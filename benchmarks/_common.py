@@ -1,0 +1,143 @@
+"""Shared setup for the benchmark/experiment harness.
+
+One canonical machine and workload suite is used across every table
+and figure so numbers are comparable between experiments:
+
+* **Machine**: 64 nodes, 16 per rack (4 racks), 64 cores/node.
+* **FAT** baseline: 512 GiB node-local DRAM, no pool (32 TiB total).
+* **THIN-G{p}**: 128 GiB local; p% of the removed DRAM (384 GiB/node)
+  returned as one global pool.  THIN-G100 matches FAT's total DRAM;
+  THIN-G50 is the cost-saving configuration (20 TiB total, 62.5%).
+* **THIN-R{p}**: same budget, per-rack pools.
+* **Workloads**: the three reference mixes at offered load 0.9,
+  600 jobs, seed 42 (generation is deterministic).
+* **Scheduler default**: FCFS + memory-aware EASY + first-fit,
+  linear penalty β=0.3, dilation-aware kills.
+
+Benches print paper-style tables to stdout (pytest-benchmark is run
+with ``-s`` via the bench conftest so tables always appear) and make
+only *robust-shape* assertions — who wins, direction of trends — never
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import run_config
+from repro.cluster import ClusterSpec
+from repro.engine.results import SimulationResult
+from repro.metrics.summary import ResultSummary
+from repro.sched import Scheduler
+from repro.units import GiB
+from repro.workload import Job
+from repro.workload.reference import generate_reference_jobs
+
+NODES = 64
+NODES_PER_RACK = 16
+FAT_LOCAL = 512 * GiB
+THIN_LOCAL = 128 * GiB
+SEED = 42
+NUM_JOBS = 600
+LOAD = 0.9
+BETA = 0.3
+
+DEFAULT_PENALTY = {"kind": "linear", "beta": BETA}
+
+
+@lru_cache(maxsize=None)
+def workload(
+    name: str = "W-MIX",
+    num_jobs: int = NUM_JOBS,
+    seed: int = SEED,
+    load: float = LOAD,
+) -> Tuple[Job, ...]:
+    """Deterministic cached workload (fresh copies are made per run)."""
+    jobs = generate_reference_jobs(
+        name,
+        seed=seed,
+        num_jobs=num_jobs,
+        cluster_nodes=NODES,
+        max_mem_per_node=FAT_LOCAL,
+        target_load=load,
+    )
+    return tuple(jobs)
+
+
+def fat_spec(name: str = "FAT") -> ClusterSpec:
+    return ClusterSpec.fat_node(
+        num_nodes=NODES,
+        local_mem=FAT_LOCAL,
+        nodes_per_rack=NODES_PER_RACK,
+        name=name,
+    )
+
+
+def thin_spec(
+    fraction: float = 0.5,
+    reach: str = "global",
+    local_mem: int = THIN_LOCAL,
+    name: Optional[str] = None,
+) -> ClusterSpec:
+    return ClusterSpec.thin_node(
+        num_nodes=NODES,
+        nodes_per_rack=NODES_PER_RACK,
+        local_mem=local_mem,
+        fat_local_mem=FAT_LOCAL,
+        pool_fraction=fraction,
+        reach=reach,
+        name=name,
+    )
+
+
+def local_only_spec(local_mem: int, name: Optional[str] = None) -> ClusterSpec:
+    """A machine with the given local DRAM and no pool at all."""
+    return ClusterSpec.fat_node(
+        num_nodes=NODES,
+        local_mem=local_mem,
+        nodes_per_rack=NODES_PER_RACK,
+        name=name or f"LOCAL-{local_mem // GiB}",
+    )
+
+
+def run(
+    spec: ClusterSpec,
+    jobs,
+    label: str = "",
+    penalty: Optional[dict] = None,
+    audit: bool = True,
+    scheduler: Optional[Scheduler] = None,
+    sample_interval: Optional[float] = None,
+    class_local_mem: int = THIN_LOCAL,
+    **build_kwargs,
+) -> Tuple[SimulationResult, ResultSummary]:
+    """`run_config` with the canonical defaults applied.
+
+    ``class_local_mem`` defaults to the *thin* node size so the
+    light/mid/heavy breakdown means the same thing in every arm:
+    heavy = needs the pool on the thin machine.
+    """
+    if scheduler is None and "penalty" not in build_kwargs:
+        build_kwargs["penalty"] = penalty or DEFAULT_PENALTY
+    return run_config(
+        spec,
+        list(jobs),
+        scheduler=scheduler,
+        label=label or spec.name,
+        audit=audit,
+        class_local_mem=class_local_mem,
+        sample_interval=sample_interval,
+        **build_kwargs,
+    )
+
+
+def banner(experiment: str, caption: str) -> None:
+    print()
+    print("=" * 72)
+    print(f"{experiment}: {caption}")
+    print("=" * 72)
+
+
+def summaries_to_rows(summaries: List[ResultSummary]) -> List[Dict]:
+    return [s.row() for s in summaries]

@@ -1,0 +1,70 @@
+"""A1 (ablation) — walltime-kill policy under dilation.
+
+Design choice called out in DESIGN.md §3: what happens when remote-
+memory dilation pushes a job past its user walltime?  ``strict``
+(production default, unmodified) kills at the raw walltime — charging
+the user for the *system's* choice to serve them remote memory;
+``dilation_aware`` scales the bound by the same factor; ``none`` is
+the idealized upper bound.
+
+Measured on a strong penalty (β=0.8) so the effect is visible.
+Asserted shape: strict kills strictly more jobs than dilation-aware,
+dilation-aware kills only genuine underestimates, none kills nobody —
+and the strict arm wastes real node-hours on jobs it then kills.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import ascii_table
+
+from _common import banner, run, thin_spec, workload
+
+POLICIES = ("strict", "dilation_aware", "none")
+STRONG_PENALTY = {"kind": "linear", "beta": 0.8}
+
+
+def kill_policy_experiment():
+    jobs = workload("W-DATA")
+    results = {}
+    for policy in POLICIES:
+        result, summary = run(
+            thin_spec(fraction=0.5, name=f"kill-{policy}"), jobs,
+            label=policy, kill_policy=policy, penalty=STRONG_PENALTY,
+        )
+        wasted = sum(
+            j.nodes * (j.end_time - j.start_time) / 3600.0
+            for j in result.killed
+        )
+        results[policy] = (summary, wasted)
+    return results
+
+
+def test_a1_kill_policy(benchmark):
+    results = benchmark.pedantic(kill_policy_experiment, rounds=1,
+                                 iterations=1)
+    banner("A1", "kill policy under strong dilation "
+                 "(W-DATA on THIN-G50, β=0.8)")
+    rows = [
+        [
+            policy,
+            summary.jobs_completed,
+            summary.jobs_killed,
+            round(wasted, 1),
+            round(summary.wait["mean"]),
+            round(summary.mean_dilation, 3),
+        ]
+        for policy, (summary, wasted) in results.items()
+    ]
+    print(ascii_table(
+        ["kill policy", "completed", "killed", "killed node-hours",
+         "wait mean (s)", "mean dilation"],
+        rows,
+    ))
+    strict, _ = results["strict"]
+    aware, _ = results["dilation_aware"]
+    none_, _ = results["none"]
+    # Strict manufactures kills out of dilation.
+    assert strict.jobs_killed > aware.jobs_killed
+    assert none_.jobs_killed == 0
+    # The manufactured kills burned node-hours.
+    assert results["strict"][1] > results["dilation_aware"][1]

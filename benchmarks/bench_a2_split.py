@@ -1,0 +1,73 @@
+"""A2 (ablation) — local/remote split policy.
+
+Design choice from DESIGN.md §3 / `repro.memdis.split`: how a job's
+footprint divides between node DRAM and the pool.  ``local_first`` is
+the performance-optimal policy; ``fixed_ratio`` models static
+hardware interleaving (a fraction goes remote even when it would fit
+locally); ``headroom`` reserves node DRAM for the OS/page cache.
+
+Asserted shape: local-first yields the lowest mean remote fraction
+and dilation; fixed-ratio pays dilation on *every* job (including the
+small ones); headroom sits between.
+"""
+
+from __future__ import annotations
+
+from repro.memdis import FixedRatioSplit, LocalFirstSplit, LinearPenalty
+from repro.metrics import ascii_table
+from repro.sched import Scheduler
+from repro.units import GiB
+
+from _common import banner, run, thin_spec, workload
+
+ARMS = (
+    ("local_first", lambda: LocalFirstSplit()),
+    ("headroom-16GiB", lambda: LocalFirstSplit(headroom=16 * GiB)),
+    ("fixed_ratio-0.5", lambda: FixedRatioSplit(local_ratio=0.5)),
+)
+
+
+def split_experiment():
+    jobs = workload("W-MIX")
+    summaries = {}
+    for label, make_split in ARMS:
+        scheduler = Scheduler(
+            split_policy=make_split(),
+            penalty=LinearPenalty(beta=0.3),
+        )
+        _, summary = run(
+            thin_spec(fraction=1.0, name=f"split-{label}"), jobs,
+            label=label, scheduler=scheduler,
+        )
+        summaries[label] = summary
+    return summaries
+
+
+def test_a2_split_policy(benchmark):
+    summaries = benchmark.pedantic(split_experiment, rounds=1, iterations=1)
+    banner("A2", "local/remote split policy (W-MIX on THIN-G100, β=0.3)")
+    rows = [
+        [
+            label,
+            round(s.mean_remote_fraction, 4),
+            round(s.mean_dilation, 4),
+            round(s.wait["mean"]),
+            round(s.bsld["mean"], 2),
+            f"{s.pool_utilization:.1%}",
+        ]
+        for label, s in summaries.items()
+    ]
+    print(ascii_table(
+        ["split policy", "mean remote frac", "mean dilation",
+         "wait mean (s)", "bsld mean", "pool util"],
+        rows,
+    ))
+    local = summaries["local_first"]
+    head = summaries["headroom-16GiB"]
+    ratio = summaries["fixed_ratio-0.5"]
+    assert local.mean_remote_fraction < head.mean_remote_fraction
+    assert head.mean_remote_fraction < ratio.mean_remote_fraction
+    assert local.mean_dilation <= ratio.mean_dilation
+    # Static interleaving taxes even light jobs: remote fraction ~0.5
+    # for everyone.
+    assert ratio.mean_remote_fraction > 0.4

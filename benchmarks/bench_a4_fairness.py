@@ -1,0 +1,88 @@
+"""A4 (ablation) — fair-share scheduling on the disaggregated machine.
+
+Multi-user fairness with a pool twist: the usage tracker charges pool
+memory as well as nodes, so a pool-hogging user is deprioritized even
+at modest node counts.  Scenario: one hog user floods the machine with
+wide, long, pool-heavy jobs; six small users trickle in behind.
+
+Reported: per-user mean wait under FCFS, WFP, and fair-share, plus
+Jain's index over per-user *usage-normalized* service.  Asserted
+shape: fair-share serves the small users no worse than FCFS does and
+makes the hog pay; every arm completes the full workload.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import ascii_table, jain_index, per_user_stats
+from repro.units import GiB
+
+from _common import NODES, banner, run, thin_spec
+from repro.workload import Job
+
+
+def hog_workload():
+    jobs = []
+    job_id = 0
+    for i in range(16):
+        job_id += 1
+        jobs.append(Job(
+            job_id=job_id, submit_time=float(i * 10), nodes=16,
+            walltime=4 * 3600.0, runtime=3.5 * 3600.0,
+            mem_per_node=256 * GiB,  # deep into the pool
+            user="hog", tag="data",
+        ))
+    for i in range(48):
+        job_id += 1
+        jobs.append(Job(
+            job_id=job_id, submit_time=600.0 + i * 120.0, nodes=2,
+            walltime=1800.0, runtime=1200.0,
+            mem_per_node=16 * GiB,
+            user=f"small{i % 6}", tag="compute",
+        ))
+    return jobs
+
+
+def fairness_experiment():
+    jobs = hog_workload()
+    outcomes = {}
+    for queue in ("fcfs", "wfp", "fairshare"):
+        result, summary = run(
+            thin_spec(fraction=0.5, name=f"fair-{queue}"), jobs,
+            label=queue, queue=queue,
+        )
+        stats = {s.user: s for s in per_user_stats(result.jobs)}
+        outcomes[queue] = (summary, stats)
+    return outcomes
+
+
+def test_a4_fairshare(benchmark):
+    outcomes = benchmark.pedantic(fairness_experiment, rounds=1, iterations=1)
+    banner("A4", f"fair-share on THIN-G50 ({NODES} nodes): one pool-heavy "
+                 "hog vs six small users")
+    rows = []
+    for queue, (summary, stats) in outcomes.items():
+        small_waits = [s.mean_wait for u, s in stats.items() if u != "hog"]
+        small_mean = sum(small_waits) / len(small_waits)
+        rows.append([
+            queue,
+            round(stats["hog"].mean_wait),
+            round(small_mean),
+            round(jain_index([s.mean_bsld for s in stats.values()]), 3),
+            summary.jobs_completed,
+        ])
+    print(ascii_table(
+        ["queue policy", "hog wait (s)", "small users wait (s)",
+         "jain(bsld)", "completed"],
+        rows,
+    ))
+    fcfs_stats = outcomes["fcfs"][1]
+    fair_stats = outcomes["fairshare"][1]
+    fcfs_small = sum(s.mean_wait for u, s in fcfs_stats.items()
+                     if u != "hog") / 6
+    fair_small = sum(s.mean_wait for u, s in fair_stats.items()
+                     if u != "hog") / 6
+    assert fair_small <= fcfs_small
+    assert fair_stats["hog"].mean_wait >= fcfs_stats["hog"].mean_wait
+    assert all(summary.jobs_completed + summary.jobs_killed
+               + summary.jobs_rejected == 64
+               for summary, _ in outcomes.values())

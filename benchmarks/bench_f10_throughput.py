@@ -1,0 +1,60 @@
+"""F10 — Throughput under sustained overload.
+
+Drives the balanced mix at offered load 1.2 (the machine cannot keep
+up; the queue grows) and compares FAT, budget-neutral THIN-G100, and
+cost-saving THIN-G50 on makespan, jobs/hour, and delivered node-hours.
+This is the capacity argument in one table: at equal DRAM the thin
+machine delivers the same throughput; at 62.5% of the DRAM it still
+delivers within 15% of baseline throughput.  Those two bounds are
+asserted.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import ascii_table
+
+from _common import banner, fat_spec, run, thin_spec, workload
+
+ARMS = (
+    ("FAT", lambda: fat_spec()),
+    ("THIN-G100", lambda: thin_spec(fraction=1.0, name="THIN-G100")),
+    ("THIN-G50", lambda: thin_spec(fraction=0.5, name="THIN-G50")),
+)
+
+
+def throughput_experiment():
+    jobs = workload("W-MIX", load=1.2)
+    summaries = []
+    for label, make_spec in ARMS:
+        _, summary = run(make_spec(), jobs, label=label)
+        summaries.append(summary)
+    return summaries
+
+
+def test_f10_overload_throughput(benchmark):
+    summaries = benchmark.pedantic(throughput_experiment, rounds=1,
+                                   iterations=1)
+    banner("F10", "sustained overload (W-MIX at offered load 1.2)")
+    rows = [
+        [
+            s.label,
+            f"{s.makespan / 3600:.1f}",
+            round(s.throughput_jobs_per_hour, 1),
+            f"{s.node_utilization:.0%}",
+            round(s.wait["mean"]),
+            s.jobs_killed,
+        ]
+        for s in summaries
+    ]
+    print(ascii_table(
+        ["config", "makespan (h)", "jobs/hour", "node util",
+         "wait mean (s)", "killed"],
+        rows,
+    ))
+    fat, thin100, thin50 = summaries
+    # Budget-neutral disaggregation: no meaningful throughput loss.
+    assert thin100.makespan <= fat.makespan * 1.10
+    # 62.5% of the DRAM still delivers within 15% of the makespan.
+    assert thin50.makespan <= fat.makespan * 1.15
+    assert thin50.throughput_jobs_per_hour >= \
+        fat.throughput_jobs_per_hour * 0.85

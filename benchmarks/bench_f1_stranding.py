@@ -1,0 +1,73 @@
+"""F1 — Motivation: memory stranding on fat nodes.
+
+Replays each mix on the FAT baseline and reports (a) the CDF of
+requested and used per-node memory against the 512 GiB provisioned,
+and (b) the time-averaged stranded-DRAM fraction.  The paper-shape
+claims asserted: most jobs use a small fraction of the provisioned
+memory, and the stranded fraction on the compute-heavy mix exceeds
+40% — the number that motivates buying less node DRAM and pooling it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import ascii_table, stranded_memory_fraction
+from repro.units import GiB
+
+from _common import FAT_LOCAL, banner, fat_spec, run, workload
+
+MIXES = ("W-COMP", "W-MIX", "W-DATA")
+PERCENTILES = (10, 25, 50, 75, 90, 99)
+
+
+def stranding_experiment():
+    cdf_rows = []
+    stranded = {}
+    for name in MIXES:
+        jobs = workload(name)
+        result, summary = run(fat_spec(), jobs, label=f"FAT/{name}",
+                              penalty={"kind": "none"})
+        req = np.array([j.mem_per_node for j in jobs], dtype=float)
+        used = np.array([j.mem_used_per_node for j in jobs], dtype=float)
+        cdf_rows.append(
+            [name, "requested"]
+            + [f"{np.percentile(req, p) / GiB:.0f}" for p in PERCENTILES]
+        )
+        cdf_rows.append(
+            [name, "used"]
+            + [f"{np.percentile(used, p) / GiB:.0f}" for p in PERCENTILES]
+        )
+        stranded[name] = (result, summary)
+    return cdf_rows, stranded
+
+
+def test_f1_memory_stranding(benchmark):
+    cdf_rows, stranded = benchmark.pedantic(
+        stranding_experiment, rounds=1, iterations=1
+    )
+    banner("F1", f"per-node memory CDF vs the {FAT_LOCAL // GiB} GiB "
+                 "provisioned on FAT nodes")
+    print(ascii_table(
+        ["mix", "metric"] + [f"p{p} (GiB)" for p in PERCENTILES], cdf_rows
+    ))
+    print()
+    rows = []
+    for name, (result, summary) in stranded.items():
+        frac = stranded_memory_fraction(result)
+        rows.append([
+            name,
+            f"{summary.node_utilization:.0%}",
+            f"{summary.local_mem_used_util:.1%}",
+            f"{frac:.1%}",
+        ])
+    print(ascii_table(
+        ["mix", "node util", "DRAM actually used", "DRAM stranded"], rows
+    ))
+    # Shape assertions: the machine is busy, the DRAM is not.
+    comp_result, comp_summary = stranded["W-COMP"]
+    assert comp_summary.node_utilization > 0.5
+    assert stranded_memory_fraction(comp_result) > 0.40
+    # Even the data-heavy mix strands a large fraction.
+    data_result, _ = stranded["W-DATA"]
+    assert stranded_memory_fraction(data_result) > 0.25

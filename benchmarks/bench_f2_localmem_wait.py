@@ -1,0 +1,70 @@
+"""F2 — Mean wait time vs node-local memory capacity.
+
+The core capacity-planning figure: shrink node-local DRAM from 512 GiB
+down to 64 GiB.  Without a pool, shrinking DRAM makes big-memory jobs
+*impossible* (rejected) — the machine sheds exactly the workload the
+memory was bought for.  With the removed DRAM returned as a global
+pool, everything keeps running and the wait curve stays near the fat
+baseline.  Asserted shape: the pooled arm never rejects, the no-pool
+arm rejects progressively more as DRAM shrinks, and at 128 GiB local
+the pooled arm's wait stays within 2× of the fat baseline.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.report import series_table
+from repro.units import GiB
+
+from _common import banner, local_only_spec, run, thin_spec, workload
+
+LOCAL_SIZES = (64, 128, 192, 256, 384, 512)  # GiB per node
+
+
+def localmem_sweep():
+    jobs = workload("W-MIX")
+    waits_pool, waits_nopool = [], []
+    rejected_nopool, rejected_pool = [], []
+    for local_gib in LOCAL_SIZES:
+        local = local_gib * GiB
+        # Thin + pool: removed DRAM fully returned as a global pool.
+        _, pooled = run(
+            thin_spec(fraction=1.0, local_mem=local,
+                      name=f"POOL-{local_gib}"),
+            jobs,
+        )
+        waits_pool.append(pooled.wait["mean"])
+        rejected_pool.append(pooled.jobs_rejected)
+        # Same local DRAM, no pool: big jobs are simply infeasible.
+        _, bare = run(local_only_spec(local), jobs)
+        waits_nopool.append(bare.wait["mean"])
+        rejected_nopool.append(bare.jobs_rejected)
+    return waits_pool, waits_nopool, rejected_pool, rejected_nopool
+
+
+def test_f2_wait_vs_local_memory(benchmark):
+    waits_pool, waits_nopool, rejected_pool, rejected_nopool = (
+        benchmark.pedantic(localmem_sweep, rounds=1, iterations=1)
+    )
+    banner("F2", "mean wait (s) and rejections vs local DRAM per node "
+                 "(W-MIX, pool = removed DRAM)")
+    print(series_table(
+        "GiB/node",
+        list(LOCAL_SIZES),
+        {
+            "wait pooled (s)": [round(w) for w in waits_pool],
+            "wait no-pool (s)": [round(w) for w in waits_nopool],
+            "rejected pooled": rejected_pool,
+            "rejected no-pool": rejected_nopool,
+        },
+    ))
+    # The pooled arm keeps the whole workload feasible at every size.
+    assert all(r == 0 for r in rejected_pool)
+    # The bare arm sheds more workload the smaller the DRAM.
+    assert rejected_nopool[0] > rejected_nopool[-1]
+    assert rejected_nopool[0] > 20
+    assert rejected_nopool[-1] == 0  # 512 GiB local fits everything
+    # At the canonical 128 GiB thin point, pooled wait is within 2x of
+    # the fat (512 GiB) baseline wait.
+    fat_wait = waits_pool[-1]
+    thin_wait = waits_pool[1]
+    assert thin_wait <= max(2.0 * fat_wait, 600.0)

@@ -1,0 +1,57 @@
+"""F3 — Bounded slowdown and dilation vs node-local memory capacity.
+
+Companion to F2 on the user-experience metric: as local DRAM shrinks,
+more of each job's footprint is remote, so dilation rises and bounded
+slowdown with it.  Asserted shape: mean remote fraction and mean
+dilation decrease monotonically as local DRAM grows, and bounded
+slowdown at 512 GiB (no remote at all) is the sweep's minimum-or-near.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.report import series_table
+from repro.units import GiB
+
+from _common import banner, run, thin_spec, workload
+
+LOCAL_SIZES = (64, 128, 192, 256, 384, 512)
+
+
+def bsld_sweep():
+    jobs = workload("W-MIX")
+    bslds, dilations, remote_fracs = [], [], []
+    for local_gib in LOCAL_SIZES:
+        _, summary = run(
+            thin_spec(fraction=1.0, local_mem=local_gib * GiB,
+                      name=f"POOL-{local_gib}"),
+            jobs,
+        )
+        bslds.append(summary.bsld["mean"])
+        dilations.append(summary.mean_dilation)
+        remote_fracs.append(summary.mean_remote_fraction)
+    return bslds, dilations, remote_fracs
+
+
+def test_f3_bsld_vs_local_memory(benchmark):
+    bslds, dilations, remote_fracs = benchmark.pedantic(
+        bsld_sweep, rounds=1, iterations=1
+    )
+    banner("F3", "bounded slowdown / dilation vs local DRAM per node "
+                 "(W-MIX, linear β=0.3, pool = removed DRAM)")
+    print(series_table(
+        "GiB/node",
+        list(LOCAL_SIZES),
+        {
+            "mean bsld": [round(b, 2) for b in bslds],
+            "mean dilation": [round(d, 4) for d in dilations],
+            "mean remote frac": [round(f, 4) for f in remote_fracs],
+        },
+    ))
+    # Remote fraction and dilation shrink monotonically with local DRAM.
+    assert all(a >= b - 1e-12 for a, b in zip(remote_fracs, remote_fracs[1:]))
+    assert all(a >= b - 1e-12 for a, b in zip(dilations, dilations[1:]))
+    # At 512 GiB local nothing is remote.
+    assert remote_fracs[-1] == 0.0
+    assert dilations[-1] == 0.0
+    # Slowdown at full-fat local is no worse than at the thinnest point.
+    assert bslds[-1] <= bslds[0]

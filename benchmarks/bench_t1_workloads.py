@@ -1,0 +1,65 @@
+"""T1 — Workload characterization table.
+
+Reproduces the standard "Table 1" of the evaluation: for each
+reference mix, job count, node-count and runtime statistics, the
+requested-memory distribution, and the fraction of jobs whose per-node
+footprint exceeds the thin-node local DRAM (i.e. the jobs that *need*
+the pool).  The memory-intensity ordering W-COMP < W-MIX < W-DATA is
+asserted — it is the premise of every following experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import ascii_table
+from repro.units import GiB, HOUR
+
+from _common import FAT_LOCAL, LOAD, NODES, THIN_LOCAL, banner, workload
+
+MIXES = ("W-COMP", "W-MIX", "W-DATA")
+
+
+def characterize():
+    rows = []
+    mean_mems = {}
+    for name in MIXES:
+        jobs = workload(name, num_jobs=1000)
+        nodes = np.array([j.nodes for j in jobs])
+        runtime = np.array([j.runtime for j in jobs])
+        mem = np.array([j.mem_per_node for j in jobs], dtype=float)
+        used_ratio = np.array(
+            [j.mem_used_per_node / j.mem_per_node for j in jobs]
+        )
+        heavy = float(np.mean(mem > THIN_LOCAL))
+        accuracy = np.array([j.estimate_accuracy for j in jobs])
+        mean_mems[name] = float(mem.mean())
+        rows.append([
+            name,
+            len(jobs),
+            f"{nodes.mean():.1f}",
+            int(np.median(nodes)),
+            f"{runtime.mean() / HOUR:.2f}",
+            f"{mem.mean() / GiB:.1f}",
+            f"{np.median(mem) / GiB:.1f}",
+            f"{np.percentile(mem, 95) / GiB:.0f}",
+            f"{heavy:.0%}",
+            f"{used_ratio.mean():.2f}",
+            f"{accuracy.mean():.2f}",
+        ])
+    return rows, mean_mems
+
+
+def test_t1_workload_characterization(benchmark):
+    rows, mean_mems = benchmark.pedantic(characterize, rounds=1, iterations=1)
+    banner("T1", f"reference workloads on {NODES} nodes at offered load {LOAD}")
+    print(ascii_table(
+        ["mix", "jobs", "mean nodes", "med nodes", "mean rt (h)",
+         "mean GiB/node", "med GiB/node", "p95 GiB", f">{THIN_LOCAL // GiB}GiB",
+         "used/req", "est acc"],
+        rows,
+    ))
+    print(f"\n(fat node = {FAT_LOCAL // GiB} GiB/node; thin node = "
+          f"{THIN_LOCAL // GiB} GiB/node)")
+    # The premise: the mixes are ordered by memory intensity.
+    assert mean_mems["W-COMP"] < mean_mems["W-MIX"] < mean_mems["W-DATA"]

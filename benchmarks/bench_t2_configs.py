@@ -1,0 +1,55 @@
+"""T2 — Cluster configuration table.
+
+The hardware arms every experiment compares: the fat-node baseline and
+the thin-node + pool configurations at several DRAM budgets and both
+pool reaches.  Total-DRAM bookkeeping is asserted (THIN-G100 must
+match FAT exactly; THIN-*50 must be 62.5% of FAT's DRAM).
+"""
+
+from __future__ import annotations
+
+from repro.metrics import ascii_table
+from repro.units import GiB, TiB
+
+from _common import NODES, banner, fat_spec, thin_spec
+
+
+def build_configs():
+    specs = [
+        fat_spec(),
+        thin_spec(fraction=1.0, reach="global", name="THIN-G100"),
+        thin_spec(fraction=0.5, reach="global", name="THIN-G50"),
+        thin_spec(fraction=0.25, reach="global", name="THIN-G25"),
+        thin_spec(fraction=1.0, reach="rack", name="THIN-R100"),
+        thin_spec(fraction=0.5, reach="rack", name="THIN-R50"),
+    ]
+    for spec in specs:
+        spec.validate()
+    return specs
+
+
+def test_t2_cluster_configurations(benchmark):
+    specs = benchmark.pedantic(build_configs, rounds=1, iterations=1)
+    fat = specs[0]
+    banner("T2", "hardware configurations under comparison")
+    rows = []
+    for spec in specs:
+        rows.append([
+            spec.name,
+            spec.num_nodes,
+            spec.num_racks,
+            f"{spec.node.local_mem / GiB:.0f}",
+            f"{spec.pool.rack_pool / TiB:.2f}" if spec.pool.rack_pool else "-",
+            f"{spec.pool.global_pool / TiB:.2f}" if spec.pool.global_pool else "-",
+            f"{spec.total_mem / TiB:.1f}",
+            f"{spec.total_mem / fat.total_mem:.0%}",
+        ])
+    print(ascii_table(
+        ["config", "nodes", "racks", "GiB/node", "rack pool (TiB)",
+         "global pool (TiB)", "total DRAM (TiB)", "vs FAT"],
+        rows,
+    ))
+    assert specs[1].total_mem == fat.total_mem  # THIN-G100 budget-neutral
+    assert specs[2].total_mem / fat.total_mem == 0.625  # THIN-G50
+    assert specs[4].total_mem == fat.total_mem  # THIN-R100
+    assert all(spec.num_nodes == NODES for spec in specs)

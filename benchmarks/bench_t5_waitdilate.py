@@ -1,0 +1,91 @@
+"""T5 — Wait-vs-dilate gate ablation under fabric contention.
+
+On a bandwidth-constrained pool with the contention penalty model,
+compare the start gates: always-start (classic), the pressure
+threshold gate, and the adaptive cost-based gate.  Gating trades queue
+wait for lower dilation; whether it pays depends on the workload — the
+table shows the trade and the assertions pin the mechanism: gated arms
+never dilate *more* on average than always-start, and every arm
+terminates the full workload (liveness of the gates).
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterSpec
+from repro.metrics import ascii_table
+from repro.units import GiB
+
+from _common import (
+    FAT_LOCAL,
+    NODES,
+    NODES_PER_RACK,
+    THIN_LOCAL,
+    banner,
+    run,
+    workload,
+)
+
+GATES = ("always", "pressure", "adaptive")
+CONTENTION_PENALTY = {
+    "kind": "contention", "beta": 0.3, "kappa": 3.0, "threshold": 0.4,
+}
+
+
+def contended_spec() -> ClusterSpec:
+    removed_total = (FAT_LOCAL - THIN_LOCAL) * NODES
+    pool_total = removed_total // 2
+    return ClusterSpec.from_dict({
+        "name": "THIN-G50-contended",
+        "num_nodes": NODES,
+        "nodes_per_rack": NODES_PER_RACK,
+        "node": {"local_mem": THIN_LOCAL},
+        "pool": {
+            "global_pool": pool_total,
+            # Bandwidth capacity at 40% of pool bytes: heavy epochs
+            # push pressure well past the contention threshold.
+            "global_bandwidth": float(pool_total) * 0.4,
+        },
+    })
+
+
+def gate_experiment():
+    jobs = workload("W-DATA")
+    summaries = {}
+    for gate in GATES:
+        _, summary = run(
+            contended_spec(), jobs, label=gate, gate=gate,
+            penalty=CONTENTION_PENALTY,
+        )
+        summaries[gate] = summary
+    return summaries
+
+
+def test_t5_wait_vs_dilate_gates(benchmark):
+    summaries = benchmark.pedantic(gate_experiment, rounds=1, iterations=1)
+    banner("T5", "start-gate ablation under pool-bandwidth contention "
+                 "(W-DATA, contention penalty)")
+    rows = [
+        [
+            label,
+            round(s.wait["mean"]),
+            round(s.response["mean"]),
+            round(s.mean_dilation, 4),
+            round(s.bsld["mean"], 2),
+            s.jobs_completed,
+            s.jobs_killed,
+        ]
+        for label, s in summaries.items()
+    ]
+    print(ascii_table(
+        ["gate", "wait mean (s)", "response mean (s)", "mean dilation",
+         "bsld mean", "completed", "killed"],
+        rows,
+    ))
+    always = summaries["always"]
+    for gate in ("pressure", "adaptive"):
+        gated = summaries[gate]
+        # Gates exist to avoid dilation: they must not increase it.
+        assert gated.mean_dilation <= always.mean_dilation + 1e-9
+        # Liveness: the whole workload reaches a terminal state.
+        assert gated.jobs_completed + gated.jobs_killed \
+            + gated.jobs_rejected == always.jobs_total

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Tables printed by the benches are part of the deliverable (they are
+the reproduced figures), so output capturing is disabled for this
+directory: ``pytest benchmarks/ --benchmark-only`` always shows them.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benches print their tables; -s keeps them visible.
+    capman = config.pluginmanager.getplugin("capturemanager")
+    if capman is not None:
+        capman.stop_global_capturing()
+        capman._method = "no"
+        capman.start_global_capturing()

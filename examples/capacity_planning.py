@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Capacity planning: how much DRAM can disaggregation save?
+
+The procurement question behind the paper: given a target service
+level (mean bounded slowdown within 25% of the fat-node baseline),
+what is the cheapest thin-node + pool configuration?
+
+The script sweeps the total-DRAM budget (node-local 128 GiB fixed,
+pool shrinking) and reports, for each budget, the headline metrics and
+whether the SLO holds — then names the cheapest passing configuration.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import run_config
+from repro.cluster import ClusterSpec
+from repro.metrics import ascii_table
+from repro.units import GiB, TiB
+from repro.workload.reference import generate_reference_jobs
+
+NODES = 64
+SLO_FACTOR = 1.25  # allowed bsld degradation vs the fat baseline
+
+
+def main() -> None:
+    jobs = generate_reference_jobs(
+        "W-MIX", seed=11, num_jobs=500, cluster_nodes=NODES,
+        max_mem_per_node=512 * GiB, target_load=0.9,
+    )
+
+    fat = ClusterSpec.fat_node(num_nodes=NODES, local_mem="512GiB",
+                               nodes_per_rack=16, name="FAT-512")
+    _, fat_summary = run_config(
+        fat, jobs, label=fat.name, class_local_mem=512 * GiB,
+        penalty={"kind": "linear", "beta": 0.3},
+    )
+    slo = fat_summary.bsld["mean"] * SLO_FACTOR
+    print(f"baseline FAT-512: mean bsld {fat_summary.bsld['mean']:.2f}, "
+          f"total DRAM {fat.total_mem / TiB:.0f} TiB")
+    print(f"SLO: mean bsld <= {slo:.2f}\n")
+
+    rows = []
+    cheapest = None
+    for fraction in (1.0, 0.75, 0.5, 0.375, 0.25, 0.125):
+        spec = ClusterSpec.thin_node(
+            num_nodes=NODES, nodes_per_rack=16, local_mem="128GiB",
+            fat_local_mem="512GiB", pool_fraction=fraction, reach="global",
+            name=f"THIN-G{int(fraction * 100)}",
+        )
+        _, summary = run_config(
+            spec, jobs, label=spec.name, class_local_mem=512 * GiB,
+            penalty={"kind": "linear", "beta": 0.3},
+        )
+        passes = summary.bsld["mean"] <= slo and summary.jobs_rejected == 0
+        rows.append([
+            spec.name,
+            f"{spec.total_mem / TiB:.0f}",
+            f"{spec.total_mem / fat.total_mem:.0%}",
+            f"{summary.bsld['mean']:.2f}",
+            round(summary.wait["mean"]),
+            summary.jobs_rejected,
+            "PASS" if passes else "fail",
+        ])
+        if passes:
+            candidate = (spec.total_mem, spec.name, summary)
+            if cheapest is None or candidate[0] < cheapest[0]:
+                cheapest = candidate
+
+    print(ascii_table(
+        ["config", "total DRAM (TiB)", "vs FAT", "mean bsld",
+         "mean wait (s)", "rejected", "SLO"],
+        rows,
+    ))
+    if cheapest is not None:
+        total, name, summary = cheapest
+        saving = 1.0 - total / fat.total_mem
+        print(f"\ncheapest passing configuration: {name} — "
+              f"{total / TiB:.0f} TiB total DRAM "
+              f"({saving:.0%} less than the fat baseline) at mean bsld "
+              f"{summary.bsld['mean']:.2f}")
+    else:
+        print("\nno thin configuration met the SLO; raise the pool budget")
+
+
+if __name__ == "__main__":
+    main()

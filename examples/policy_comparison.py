@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Scheduler policy shoot-out on a data-intensive workload.
+
+Compares the full policy stack on the same trace and machine:
+
+* backfill: none vs EASY vs conservative;
+* queue order: FCFS vs WFP (the big-job-friendly utility);
+* the paper's ablation: memory-aware vs memory-blind EASY.
+
+Prints a comparison table with %-vs-baseline columns.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.analysis import ExperimentArm, compare_table, run_arms
+from repro.cluster import ClusterSpec
+from repro.sched import build_scheduler
+from repro.units import GiB
+from repro.workload.reference import generate_reference_jobs
+
+NODES = 64
+
+
+def main() -> None:
+    jobs = generate_reference_jobs(
+        "W-DATA", seed=3, num_jobs=400, cluster_nodes=NODES,
+        max_mem_per_node=512 * GiB, target_load=1.0,
+    )
+    # A deliberately tight pool (15% of the removed DRAM): the pool is
+    # a real bottleneck here, which is what separates memory-aware
+    # from memory-blind backfilling.
+    spec = ClusterSpec.thin_node(
+        num_nodes=NODES, nodes_per_rack=16, local_mem="128GiB",
+        fat_local_mem="512GiB", pool_fraction=0.15, reach="global",
+        name="THIN-G15",
+    )
+    penalty = {"kind": "linear", "beta": 0.3}
+
+    def sched(**kwargs):
+        merged = {"penalty": penalty}
+        merged.update(kwargs)
+        return lambda: build_scheduler(**merged)
+
+    arms = [
+        ExperimentArm("fcfs (no backfill)", spec, sched(backfill="none")),
+        ExperimentArm("fcfs + EASY", spec, sched(backfill="easy")),
+        ExperimentArm("fcfs + EASY (mem-blind)", spec,
+                      sched(backfill="easy", memory_aware=False)),
+        ExperimentArm("fcfs + conservative", spec,
+                      sched(backfill="conservative")),
+        ExperimentArm("wfp + EASY", spec, sched(queue="wfp")),
+        ExperimentArm("sjf + EASY", spec, sched(queue="sjf")),
+    ]
+    summaries = run_arms(arms, jobs, class_local_mem=512 * GiB)
+    print(f"{len(jobs)} W-DATA jobs on {spec.name} "
+          f"({NODES} nodes, 128 GiB local + global pool)\n")
+    print(compare_table(summaries, baseline_label="fcfs (no backfill)"))
+    print()
+
+    easy = next(s for s in summaries if s.label == "fcfs + EASY")
+    blind = next(s for s in summaries if "mem-blind" in s.label)
+    print(f"memory-aware EASY vs memory-blind EASY: "
+          f"mean wait {easy.wait['mean']:.0f}s vs {blind.wait['mean']:.0f}s — "
+          "the blind scheduler's shadow reservation ignores the pool, so "
+          "backfills squat on memory the queue head is waiting for.")
+
+
+if __name__ == "__main__":
+    main()

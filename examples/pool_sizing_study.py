@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Pool sizing and reach study with confidence intervals.
+
+A small end-to-end research study: for pool budgets from 12.5% to 100%
+of the removed DRAM and both reaches (one global pool vs per-rack
+pools), replicate the experiment over five workload seeds and report
+mean wait with 95% t-intervals — the level of rigor a real evaluation
+section needs before claiming one reach beats the other.
+
+Run:  python examples/pool_sizing_study.py
+"""
+
+from repro.analysis import mean_ci, run_config
+from repro.cluster import ClusterSpec
+from repro.metrics import ascii_table
+from repro.units import GiB
+from repro.workload.reference import generate_reference_jobs
+
+NODES = 64
+SEEDS = (1, 2, 3, 4, 5)
+FRACTIONS = (0.125, 0.25, 0.5, 1.0)
+
+
+def run_arm(fraction: float, reach: str, seed: int):
+    jobs = generate_reference_jobs(
+        "W-DATA", seed=seed, num_jobs=300, cluster_nodes=NODES,
+        max_mem_per_node=512 * GiB, target_load=0.9,
+    )
+    spec = ClusterSpec.thin_node(
+        num_nodes=NODES, nodes_per_rack=16, local_mem="128GiB",
+        fat_local_mem="512GiB", pool_fraction=fraction, reach=reach,
+    )
+    _, summary = run_config(
+        spec, jobs, class_local_mem=512 * GiB,
+        placement="rack_pack" if reach == "rack" else "first_fit",
+        penalty={"kind": "linear", "beta": 0.3},
+    )
+    return summary.wait["mean"], summary.jobs_rejected
+
+
+def main() -> None:
+    print(f"pool sizing × reach on W-DATA, {len(SEEDS)} seeds, "
+          f"{NODES} nodes (mean wait ± 95% CI, and jobs shed as "
+          f"infeasible)\n")
+    rows = []
+    for fraction in FRACTIONS:
+        row = [f"{fraction:.0%}"]
+        for reach in ("global", "rack"):
+            outcomes = [run_arm(fraction, reach, seed) for seed in SEEDS]
+            waits = [w for w, _ in outcomes]
+            shed = sum(r for _, r in outcomes)
+            mean, half = mean_ci(waits)
+            row.append(f"{mean:,.0f} ± {half:,.0f}")
+            row.append(shed)
+        rows.append(row)
+    print(ascii_table(
+        ["pool budget", "global wait (s)", "shed", "rack wait (s)", "shed"],
+        rows,
+    ))
+    print(
+        "\nreading: feasibility first — rack pools shed the widest "
+        "memory-heavy jobs at every\nbudget (a wide job's demand "
+        "concentrates in few racks), and shedding the most\ndemanding "
+        "jobs flatters the surviving mix's wait.  The global pool keeps "
+        "the whole\nworkload feasible; at equal feasibility (100% "
+        "budget) the reaches converge."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""dismem-sched: HPC job scheduling with disaggregated memory resources.
+
+A trace-driven discrete-event simulation library reproducing the
+CLUSTER 2024 study "Job Scheduling in High Performance Computing
+Systems with Disaggregated Memory Resources".  See README.md for a
+tour and DESIGN.md for the system inventory.
+
+Public API highlights
+---------------------
+- :class:`repro.cluster.ClusterSpec` / :class:`repro.cluster.Cluster` —
+  the machine (nodes, racks, memory pools);
+- :mod:`repro.workload` — jobs, SWF traces, synthetic generators;
+- :mod:`repro.memdis` — local/remote splits, pool allocators, penalty
+  models;
+- :mod:`repro.sched` — queue policies, EASY/conservative backfill,
+  placement, memory-aware decision policies;
+- :class:`repro.engine.SchedulerSimulation` — run a workload on a
+  machine under a policy stack;
+- :mod:`repro.metrics` / :mod:`repro.analysis` — metrics, summaries,
+  sweeps, reports.
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]

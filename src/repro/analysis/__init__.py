@@ -1,0 +1,17 @@
+"""Experiment harness: runs, sweeps, replication, and comparisons."""
+
+from .experiments import run_config, run_replications, ExperimentArm, run_arms
+from .compare import relative_change, crossover_point, compare_table
+from .stats import mean_ci, bootstrap_ci
+
+__all__ = [
+    "run_config",
+    "run_replications",
+    "ExperimentArm",
+    "run_arms",
+    "relative_change",
+    "crossover_point",
+    "compare_table",
+    "mean_ci",
+    "bootstrap_ci",
+]

@@ -1,0 +1,88 @@
+"""Comparing arms: improvements, crossovers, and matrix tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.report import ascii_table
+from ..metrics.summary import ResultSummary
+
+__all__ = ["relative_change", "crossover_point", "compare_table"]
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """(value - baseline) / baseline; 0 when the baseline is 0.
+
+    Negative values mean the arm improved on the baseline for
+    lower-is-better metrics (wait, slowdown).
+    """
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline
+
+
+def crossover_point(
+    x_values: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> Optional[float]:
+    """First x where series A stops beating series B (A >= B).
+
+    Linear interpolation between sweep points; ``None`` when A wins
+    everywhere (or the sweep starts with A already losing, in which
+    case the first x is returned).  Used by F6 to locate the penalty
+    level at which disaggregation stops paying.
+    """
+    if len(x_values) != len(series_a) or len(x_values) != len(series_b):
+        raise ValueError("mismatched sweep lengths")
+    prev_x: Optional[float] = None
+    prev_gap: Optional[float] = None
+    for x, a, b in zip(x_values, series_a, series_b):
+        gap = a - b
+        if gap >= 0:
+            if prev_gap is None or prev_x is None or gap == 0:
+                return float(x)
+            # Interpolate the zero crossing of the gap.
+            frac = -prev_gap / (gap - prev_gap)
+            return float(prev_x + frac * (x - prev_x))
+        prev_x, prev_gap = float(x), gap
+    return None
+
+
+def compare_table(
+    summaries: Sequence[ResultSummary],
+    metrics: Sequence[str] = (
+        "wait_mean",
+        "bsld_mean",
+        "node_util",
+        "pool_util",
+        "killed",
+    ),
+    baseline_label: Optional[str] = None,
+) -> str:
+    """Arms × metrics table, optionally with %-vs-baseline columns."""
+    rows: List[List[object]] = []
+    baseline: Optional[Dict[str, object]] = None
+    if baseline_label is not None:
+        for summary in summaries:
+            if summary.label == baseline_label:
+                baseline = summary.row()
+                break
+        if baseline is None:
+            raise ValueError(f"baseline {baseline_label!r} not among summaries")
+    headers = ["config"] + list(metrics)
+    if baseline is not None:
+        headers += [f"{m}_vs_base" for m in ("wait_mean", "bsld_mean")]
+    for summary in summaries:
+        row_data = summary.row()
+        row: List[object] = [summary.label]
+        row += [row_data.get(metric, "") for metric in metrics]
+        if baseline is not None:
+            for metric in ("wait_mean", "bsld_mean"):
+                change = relative_change(
+                    float(baseline.get(metric, 0.0)),
+                    float(row_data.get(metric, 0.0)),
+                )
+                row.append(f"{change:+.1%}")
+        rows.append(row)
+    return ascii_table(headers, rows)

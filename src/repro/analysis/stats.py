@@ -1,0 +1,55 @@
+"""Statistical helpers: confidence intervals for replicated runs."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["mean_ci", "bootstrap_ci"]
+
+# Two-sided 95% t critical values for small samples (df 1..30); falls
+# back to the normal 1.96 beyond.  Hard-coding avoids a scipy runtime
+# dependency in the core library (scipy remains dev-only).
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def mean_ci(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and 95% t-interval half-width.
+
+    Returns ``(mean, half_width)``; half-width is 0 for n < 2.
+    """
+    array = np.asarray(values, dtype=float)
+    n = array.size
+    if n == 0:
+        return 0.0, 0.0
+    mean = float(np.mean(array))
+    if n < 2:
+        return mean, 0.0
+    sem = float(np.std(array, ddof=1)) / math.sqrt(n)
+    t = _T95[n - 2] if n - 2 < len(_T95) else 1.96
+    return mean, t * sem
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Percentile bootstrap 95% CI of the mean: (mean, lo, hi)."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return 0.0, 0.0, 0.0
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, array.size, size=(n_resamples, array.size))
+    means = array[idx].mean(axis=1)
+    return (
+        float(array.mean()),
+        float(np.percentile(means, 2.5)),
+        float(np.percentile(means, 97.5)),
+    )

@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    dismem-sched run --config experiment.json [--csv out.csv]
+        Run one configured experiment, print the summary table, audit
+        the schedule, optionally dump the per-job CSV.
+
+    dismem-sched demo [--jobs N] [--seed S]
+        A built-in fat-vs-thin comparison on the W-MIX workload — the
+        30-second tour of what the library shows.
+
+    dismem-sched workloads
+        List the bundled reference workload mixes.
+
+(Installed as ``dismem-sched``; also runnable as ``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.compare import compare_table
+from .analysis.experiments import run_config
+from .cluster.spec import ClusterSpec
+from .config import ExperimentConfig
+from .engine.audit import audit_result
+from .engine.simulation import SchedulerSimulation
+from .errors import ReproError
+from .metrics.report import ascii_table, rows_to_csv
+from .metrics.summary import summarize
+from .sim.rng import RandomStreams
+from .units import GiB
+from .workload.reference import REFERENCE_WORKLOADS, generate_reference_jobs
+
+__all__ = ["main"]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig.from_file(args.config)
+    cluster = config.build_cluster()
+    scheduler = config.build_scheduler()
+    jobs = config.build_jobs()
+    sim = SchedulerSimulation(
+        cluster, scheduler, jobs, sample_interval=config.sample_interval
+    )
+    result = sim.run()
+    audit_result(result)
+    summary = summarize(result, label=config.name)
+    row = summary.row()
+    print(ascii_table(list(row.keys()), [list(row.values())]))
+    if args.gantt:
+        from .metrics.gantt import render_gantt
+
+        print()
+        print(render_gantt(result, width=args.gantt))
+    if args.csv:
+        job_rows = [
+            {
+                "job_id": job.job_id,
+                "submit": job.submit_time,
+                "start": job.start_time,
+                "end": job.end_time,
+                "nodes": job.nodes,
+                "mem_per_node": job.mem_per_node,
+                "remote_per_node": job.remote_per_node,
+                "dilation": job.dilation,
+                "state": job.state.value,
+            }
+            for job in result.jobs
+        ]
+        Path(args.csv).write_text(rows_to_csv(job_rows))
+        print(f"per-job records written to {args.csv}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    jobs = generate_reference_jobs(
+        "W-MIX",
+        seed=args.seed,
+        num_jobs=args.jobs,
+        cluster_nodes=64,
+        max_mem_per_node=512 * GiB,
+        target_load=0.9,
+    )
+    fat = ClusterSpec.fat_node(num_nodes=64, local_mem="512GiB", name="FAT-512")
+    thin = ClusterSpec.thin_node(
+        num_nodes=64, local_mem="128GiB", fat_local_mem="512GiB",
+        pool_fraction=0.5, reach="global", name="THIN-128+pool/2",
+    )
+    summaries = []
+    for spec in (fat, thin):
+        _, summary = run_config(
+            spec, jobs, label=spec.name,
+            class_local_mem=512 * GiB,
+            penalty={"kind": "linear", "beta": 0.3},
+        )
+        summaries.append(summary)
+    print("fat-node baseline vs thin-node + pool at HALF the total DRAM:")
+    print(compare_table(summaries, baseline_label="FAT-512"))
+    print()
+    print("stranded DRAM fraction:",
+          "  ".join(f"{s.label}: {s.stranded_fraction:.1%}" for s in summaries))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(REFERENCE_WORKLOADS):
+        jobs = generate_reference_jobs(name, seed=0, num_jobs=300,
+                                       cluster_nodes=64)
+        mean_mem = sum(j.mem_per_node for j in jobs) / len(jobs)
+        heavy = sum(1 for j in jobs if j.mem_per_node > 128 * GiB)
+        rows.append([name, len(jobs), f"{mean_mem / GiB:.1f}",
+                     f"{heavy / len(jobs):.0%}"])
+    print(ascii_table(
+        ["workload", "sample jobs", "mean GiB/node", ">128GiB jobs"], rows
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dismem-sched",
+        description="HPC job scheduling with disaggregated memory: "
+        "trace-driven simulation harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a configured experiment")
+    p_run.add_argument("--config", required=True, help="experiment JSON path")
+    p_run.add_argument("--csv", help="write per-job records to this CSV")
+    p_run.add_argument("--gantt", type=int, nargs="?", const=100, default=0,
+                       metavar="WIDTH",
+                       help="print an ASCII gantt chart (optional width)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_demo = sub.add_parser("demo", help="built-in fat-vs-thin comparison")
+    p_demo.add_argument("--jobs", type=int, default=400)
+    p_demo.add_argument("--seed", type=int, default=1)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_wl = sub.add_parser("workloads", help="list reference workload mixes")
+    p_wl.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Hardware model: nodes, racks, disaggregated memory pools, fabric.
+
+The cluster is the passive substrate: it tracks which nodes are busy
+and how much pool memory is granted, enforces capacity, and answers
+feasibility queries.  *Choosing* nodes and pool grants is the job of
+the scheduler (:mod:`repro.sched`) and the memory allocator
+(:mod:`repro.memdis`).
+"""
+
+from .spec import ClusterSpec, PoolSpec, NodeSpec
+from .node import Node, NodeState
+from .rack import Rack
+from .pool import MemoryPool
+from .fabric import Fabric, PoolReach
+from .cluster import Cluster
+
+__all__ = [
+    "ClusterSpec",
+    "PoolSpec",
+    "NodeSpec",
+    "Node",
+    "NodeState",
+    "Rack",
+    "MemoryPool",
+    "Fabric",
+    "PoolReach",
+    "Cluster",
+]

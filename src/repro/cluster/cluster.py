@@ -1,0 +1,197 @@
+"""The assembled machine: nodes, racks, pools, and capacity queries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import AllocationError
+from .fabric import Fabric
+from .node import Node, NodeState
+from .pool import MemoryPool
+from .rack import Rack
+from .spec import ClusterSpec
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """Instantiated hardware built from a :class:`ClusterSpec`.
+
+    The cluster owns state (node ownership, pool grants) and enforces
+    capacity; it performs no policy.  Node selection and local/remote
+    splitting are decided by the scheduler stack and handed in as
+    explicit grant maps.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        spec.validate()
+        self.spec = spec
+        self.nodes: List[Node] = []
+        self.racks: List[Rack] = []
+        rack_count = spec.num_racks
+        for rack_id in range(rack_count):
+            lo = rack_id * spec.nodes_per_rack
+            hi = min(lo + spec.nodes_per_rack, spec.num_nodes)
+            rack_nodes = [
+                Node(node_id, rack_id, spec.node.cores, spec.node.local_mem)
+                for node_id in range(lo, hi)
+            ]
+            self.nodes.extend(rack_nodes)
+            pool: Optional[MemoryPool] = None
+            if spec.pool.rack_pool > 0:
+                pool = MemoryPool(
+                    f"rack{rack_id}", spec.pool.rack_pool, spec.pool.rack_bandwidth
+                )
+            self.racks.append(Rack(rack_id, rack_nodes, pool))
+        self.global_pool: Optional[MemoryPool] = None
+        if spec.pool.global_pool > 0:
+            self.global_pool = MemoryPool(
+                "global", spec.pool.global_pool, spec.pool.global_bandwidth
+            )
+        self.fabric = Fabric(self)
+        self._free_count = len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def rack(self, rack_id: int) -> Rack:
+        return self.racks[rack_id]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_racks(self) -> int:
+        return len(self.racks)
+
+    @property
+    def free_node_count(self) -> int:
+        return self._free_count
+
+    def free_nodes(self) -> List[Node]:
+        """All idle nodes in node-id order (deterministic)."""
+        return [node for node in self.nodes if node.is_free]
+
+    def all_pools(self) -> List[MemoryPool]:
+        pools = [rack.pool for rack in self.racks if rack.pool is not None]
+        if self.global_pool is not None:
+            pools.append(self.global_pool)
+        return pools
+
+    def pool_by_id(self, pool_id: str) -> MemoryPool:
+        for pool in self.all_pools():
+            if pool.pool_id == pool_id:
+                return pool
+        raise KeyError(pool_id)
+
+    @property
+    def total_pool_free(self) -> int:
+        return sum(pool.free for pool in self.all_pools())
+
+    @property
+    def total_pool_capacity(self) -> int:
+        return sum(pool.capacity for pool in self.all_pools())
+
+    @property
+    def total_pool_used(self) -> int:
+        return sum(pool.used for pool in self.all_pools())
+
+    # ------------------------------------------------------------------
+    # allocation (called by the engine with scheduler-chosen grants)
+    # ------------------------------------------------------------------
+    def allocate_nodes(
+        self,
+        job_id: int,
+        node_ids: Iterable[int],
+        local_grant: int,
+    ) -> None:
+        """Assign ``node_ids`` exclusively to ``job_id``.
+
+        ``local_grant`` is the per-node local-memory grant.  The call is
+        atomic: on failure, nothing is allocated.
+        """
+        node_ids = list(node_ids)
+        taken: List[Node] = []
+        try:
+            for node_id in node_ids:
+                node = self.nodes[node_id]
+                node.allocate(job_id, local_grant)
+                taken.append(node)
+        except AllocationError:
+            for node in taken:
+                node.release(job_id)
+            raise
+        self._free_count -= len(node_ids)
+
+    def release_nodes(self, job_id: int, node_ids: Iterable[int]) -> None:
+        node_ids = list(node_ids)
+        for node_id in node_ids:
+            self.nodes[node_id].release(job_id)
+        self._free_count += len(node_ids)
+
+    def take_down(self, node_id: int) -> None:
+        """Remove an idle node from service (failure injection).
+
+        The caller must release any running job first; taking down a
+        busy node raises.
+        """
+        node = self.nodes[node_id]
+        was_free = node.is_free
+        node.mark_down()
+        if was_free:
+            self._free_count -= 1
+
+    def bring_up(self, node_id: int) -> None:
+        """Return a DOWN node to service."""
+        node = self.nodes[node_id]
+        if node.state is NodeState.DOWN:
+            node.mark_up()
+            self._free_count += 1
+
+    def allocate_pool(self, job_id: int, grants: Dict[str, int]) -> None:
+        """Apply pool grants ``{pool_id: MiB}`` atomically for ``job_id``."""
+        applied: List[MemoryPool] = []
+        try:
+            for pool_id, amount in grants.items():
+                if amount <= 0:
+                    continue
+                pool = self.pool_by_id(pool_id)
+                pool.allocate(job_id, amount)
+                applied.append(pool)
+        except AllocationError:
+            for pool in applied:
+                pool.release_if_held(job_id)
+            raise
+
+    def release_pool(self, job_id: int) -> int:
+        """Release every pool grant held by ``job_id``; returns MiB freed."""
+        freed = 0
+        for pool in self.all_pools():
+            freed += pool.release_if_held(job_id)
+        return freed
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Cheap state snapshot for metrics sampling."""
+        return {
+            "free_nodes": self._free_count,
+            "busy_nodes": self.num_nodes - self._free_count
+            - sum(1 for node in self.nodes if node.state is NodeState.DOWN),
+            "local_mem_granted": sum(
+                node.local_grant for node in self.nodes if not node.is_free
+            ),
+            "pool_used": self.total_pool_used,
+            "pool_capacity": self.total_pool_capacity,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Cluster({self.spec.name}: {self.num_nodes} nodes / "
+            f"{self.num_racks} racks, pool={self.total_pool_capacity} MiB)"
+        )

@@ -1,0 +1,66 @@
+"""Pool reachability model.
+
+The fabric answers one question: *which pools can a given set of nodes
+draw remote memory from, and in what preference order?*  Two reach
+domains exist:
+
+* every node reaches its **rack pool** (if the spec defines one);
+* every node reaches the **global pool** (if defined).
+
+Preference order is rack-first (closer, cheaper) then global; the
+hybrid allocator in :mod:`repro.memdis.allocator` exploits this.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cluster import Cluster
+    from .pool import MemoryPool
+
+__all__ = ["PoolReach", "Fabric"]
+
+
+class PoolReach(enum.Enum):
+    """Which domain a pool belongs to."""
+
+    RACK = "rack"
+    GLOBAL = "global"
+
+
+class Fabric:
+    """Reachability and ordering of pools for node sets."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self._cluster = cluster
+
+    def reachable_pools(self, node_ids: List[int]) -> List["MemoryPool"]:
+        """Pools reachable by *all* of ``node_ids``, nearest first.
+
+        A rack pool qualifies only when every node lives in that rack —
+        a job spanning racks cannot stripe one logical grant across
+        rack pools it cannot uniformly reach.  (Per-node grants across
+        different rack pools are handled by the allocator, which calls
+        :meth:`pools_for_node` instead.)
+        """
+        pools: List["MemoryPool"] = []
+        racks = {self._cluster.node(nid).rack_id for nid in node_ids}
+        if len(racks) == 1:
+            rack = self._cluster.rack(next(iter(racks)))
+            if rack.pool is not None:
+                pools.append(rack.pool)
+        if self._cluster.global_pool is not None:
+            pools.append(self._cluster.global_pool)
+        return pools
+
+    def pools_for_node(self, node_id: int) -> List["MemoryPool"]:
+        """Pools reachable by one node, nearest first."""
+        pools: List["MemoryPool"] = []
+        rack = self._cluster.rack(self._cluster.node(node_id).rack_id)
+        if rack.pool is not None:
+            pools.append(rack.pool)
+        if self._cluster.global_pool is not None:
+            pools.append(self._cluster.global_pool)
+        return pools

@@ -1,0 +1,86 @@
+"""Disaggregated memory pool with per-job grant accounting."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import AllocationError
+
+__all__ = ["MemoryPool"]
+
+
+class MemoryPool:
+    """A shared memory pool (rack-local or system-wide).
+
+    Tracks per-job grants so release is exact and double-free is
+    detectable.  Bandwidth is a *declared* capacity consumed by the
+    contention penalty model; the pool itself only enforces capacity.
+    """
+
+    __slots__ = ("pool_id", "capacity", "bandwidth", "_grants", "_used")
+
+    def __init__(self, pool_id: str, capacity: int, bandwidth: float = float("inf")) -> None:
+        if capacity < 0:
+            raise AllocationError(f"pool capacity must be non-negative, got {capacity}")
+        self.pool_id = pool_id
+        self.capacity = capacity  # MiB
+        self.bandwidth = bandwidth
+        self._grants: Dict[int, int] = {}
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    @property
+    def utilization(self) -> float:
+        return self._used / self.capacity if self.capacity else 0.0
+
+    def grant_of(self, job_id: int) -> int:
+        return self._grants.get(job_id, 0)
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._grants)
+
+    # ------------------------------------------------------------------
+    def allocate(self, job_id: int, amount: int) -> None:
+        """Grant ``amount`` MiB to ``job_id`` (additive across calls)."""
+        if amount < 0:
+            raise AllocationError(f"negative pool allocation {amount} for job {job_id}")
+        if amount == 0:
+            return
+        if amount > self.free:
+            raise AllocationError(
+                f"pool {self.pool_id}: job {job_id} requested {amount} MiB "
+                f"but only {self.free} free of {self.capacity}"
+            )
+        self._grants[job_id] = self._grants.get(job_id, 0) + amount
+        self._used += amount
+
+    def release(self, job_id: int) -> int:
+        """Return the whole grant of ``job_id``; returns the amount freed."""
+        amount = self._grants.pop(job_id, None)
+        if amount is None:
+            raise AllocationError(
+                f"pool {self.pool_id}: job {job_id} holds no grant to release"
+            )
+        self._used -= amount
+        return amount
+
+    def release_if_held(self, job_id: int) -> int:
+        """Release ``job_id``'s grant if any; returns amount (0 if none)."""
+        if job_id in self._grants:
+            return self.release(job_id)
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MemoryPool({self.pool_id}, used={self._used}/{self.capacity} MiB, "
+            f"jobs={len(self._grants)})"
+        )

@@ -1,0 +1,208 @@
+"""Declarative cluster specifications.
+
+A :class:`ClusterSpec` fully describes the hardware under test:
+node count and shape, rack organization, and the disaggregated memory
+pools (rack-local and/or global).  Specs are plain dataclasses with a
+dict round-trip so experiment configurations can live in JSON.
+
+The two canonical configurations of the evaluation are provided as
+constructors: :func:`ClusterSpec.fat_node` (big local DRAM, no pool)
+and :func:`ClusterSpec.thin_node` (small local DRAM plus pool capacity
+expressed as a fraction of the DRAM removed from the nodes), which keeps
+total-DRAM-preserving comparisons honest by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+from ..units import GiB, parse_mem
+
+__all__ = ["NodeSpec", "PoolSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Shape of one compute node."""
+
+    cores: int = 64
+    local_mem: int = 256 * GiB  # MiB
+
+    def validate(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive, got {self.cores}")
+        if self.local_mem < 0:
+            raise ConfigurationError(
+                f"local_mem must be non-negative, got {self.local_mem}"
+            )
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Shape of the disaggregated memory pools.
+
+    ``rack_pool`` is the capacity (MiB) of each per-rack pool;
+    ``global_pool`` the capacity of the single system-wide pool.  Either
+    may be zero.  ``rack_bandwidth`` / ``global_bandwidth`` are relative
+    bandwidth capacities (jobs' remote demand in GiB counts against
+    them) used only by the contention penalty model.
+    """
+
+    rack_pool: int = 0  # MiB per rack
+    global_pool: int = 0  # MiB total
+    rack_bandwidth: float = float("inf")
+    global_bandwidth: float = float("inf")
+
+    def validate(self) -> None:
+        if self.rack_pool < 0 or self.global_pool < 0:
+            raise ConfigurationError("pool capacities must be non-negative")
+        if self.rack_bandwidth <= 0 or self.global_bandwidth <= 0:
+            raise ConfigurationError("pool bandwidths must be positive")
+
+    @property
+    def disaggregated(self) -> bool:
+        return self.rack_pool > 0 or self.global_pool > 0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Complete description of a simulated machine."""
+
+    name: str = "cluster"
+    num_nodes: int = 128
+    nodes_per_rack: int = 16
+    node: NodeSpec = field(default_factory=NodeSpec)
+    pool: PoolSpec = field(default_factory=PoolSpec)
+
+    def validate(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be positive, got {self.num_nodes}")
+        if self.nodes_per_rack <= 0:
+            raise ConfigurationError(
+                f"nodes_per_rack must be positive, got {self.nodes_per_rack}"
+            )
+        self.node.validate()
+        self.pool.validate()
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_racks(self) -> int:
+        return -(-self.num_nodes // self.nodes_per_rack)  # ceil division
+
+    @property
+    def total_local_mem(self) -> int:
+        """Total node-local DRAM in MiB."""
+        return self.num_nodes * self.node.local_mem
+
+    @property
+    def total_pool_mem(self) -> int:
+        """Total disaggregated DRAM in MiB."""
+        return self.num_racks * self.pool.rack_pool + self.pool.global_pool
+
+    @property
+    def total_mem(self) -> int:
+        return self.total_local_mem + self.total_pool_mem
+
+    # ------------------------------------------------------------------
+    # canonical configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def fat_node(
+        cls,
+        num_nodes: int = 128,
+        local_mem: int | str = 512 * GiB,
+        cores: int = 64,
+        nodes_per_rack: int = 16,
+        name: str = "FAT",
+    ) -> "ClusterSpec":
+        """Traditional provisioning: all DRAM is node-local, no pool."""
+        return cls(
+            name=name,
+            num_nodes=num_nodes,
+            nodes_per_rack=nodes_per_rack,
+            node=NodeSpec(cores=cores, local_mem=parse_mem(local_mem)),
+            pool=PoolSpec(),
+        )
+
+    @classmethod
+    def thin_node(
+        cls,
+        num_nodes: int = 128,
+        local_mem: int | str = 128 * GiB,
+        fat_local_mem: int | str = 512 * GiB,
+        pool_fraction: float = 1.0,
+        reach: str = "global",
+        cores: int = 64,
+        nodes_per_rack: int = 16,
+        name: str | None = None,
+        rack_bandwidth: float = float("inf"),
+        global_bandwidth: float = float("inf"),
+    ) -> "ClusterSpec":
+        """Disaggregated provisioning at controlled total-DRAM budget.
+
+        The DRAM removed from each node relative to the fat baseline
+        (``fat_local_mem - local_mem``) is returned to the system as
+        pool capacity scaled by ``pool_fraction``; ``pool_fraction=1``
+        keeps total DRAM identical to the fat baseline,
+        ``pool_fraction<1`` models the cost-saving configurations the
+        paper's economics argument rests on.  ``reach`` is ``"global"``
+        (one system-wide pool) or ``"rack"`` (per-rack pools).
+        """
+        local = parse_mem(local_mem)
+        fat = parse_mem(fat_local_mem)
+        if local > fat:
+            raise ConfigurationError(
+                f"thin-node local_mem {local} exceeds fat baseline {fat}"
+            )
+        if pool_fraction < 0:
+            raise ConfigurationError("pool_fraction must be non-negative")
+        removed_total = (fat - local) * num_nodes
+        pool_total = int(round(removed_total * pool_fraction))
+        num_racks = -(-num_nodes // nodes_per_rack)
+        if reach == "global":
+            pool = PoolSpec(global_pool=pool_total, global_bandwidth=global_bandwidth)
+        elif reach == "rack":
+            pool = PoolSpec(
+                rack_pool=pool_total // num_racks, rack_bandwidth=rack_bandwidth
+            )
+        else:
+            raise ConfigurationError(f"unknown pool reach {reach!r}")
+        if name is None:
+            name = f"THIN-{reach.upper()}-{int(pool_fraction * 100)}"
+        return cls(
+            name=name,
+            num_nodes=num_nodes,
+            nodes_per_rack=nodes_per_rack,
+            node=NodeSpec(cores=cores, local_mem=local),
+            pool=pool,
+        )
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        node_data = dict(data.get("node", {}))
+        pool_data = dict(data.get("pool", {}))
+        if "local_mem" in node_data:
+            node_data["local_mem"] = parse_mem(node_data["local_mem"])
+        if "rack_pool" in pool_data:
+            pool_data["rack_pool"] = parse_mem(pool_data["rack_pool"])
+        if "global_pool" in pool_data:
+            pool_data["global_pool"] = parse_mem(pool_data["global_pool"])
+        spec = cls(
+            name=data.get("name", "cluster"),
+            num_nodes=int(data.get("num_nodes", 128)),
+            nodes_per_rack=int(data.get("nodes_per_rack", 16)),
+            node=NodeSpec(**node_data),
+            pool=PoolSpec(**pool_data),
+        )
+        spec.validate()
+        return spec

@@ -1,0 +1,122 @@
+"""Experiment configuration: one JSON document describes a full run.
+
+Schema (all sections optional except ``cluster``):
+
+.. code-block:: json
+
+    {
+      "name": "thin-vs-fat",
+      "cluster": {"num_nodes": 128, "nodes_per_rack": 16,
+                   "node": {"local_mem": "128GiB"},
+                   "pool": {"global_pool": "48TiB"}},
+      "workload": {"reference": "W-MIX", "num_jobs": 1000,
+                    "load": 0.85, "seed": 1},
+      "scheduler": {"queue": "fcfs", "backfill": "easy",
+                     "placement": "first_fit",
+                     "penalty": {"kind": "linear", "beta": 0.3}},
+      "sample_interval": 600
+    }
+
+``workload`` alternatively takes ``{"swf": "path/to/trace.swf",
+"cores_per_node": 1}`` to replay a real trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from .cluster.cluster import Cluster
+from .cluster.spec import ClusterSpec
+from .errors import ConfigurationError
+from .sched.base import Scheduler, build_scheduler
+from .sim.rng import RandomStreams
+from .units import GiB
+from .workload.job import Job
+from .workload.reference import reference_workload
+from .workload.swf import SWFFields, read_swf
+from .workload.synthetic import SyntheticWorkload
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass
+class ExperimentConfig:
+    """A parsed, validated experiment description."""
+
+    name: str
+    cluster: ClusterSpec
+    workload: Dict[str, Any] = field(default_factory=dict)
+    scheduler: Dict[str, Any] = field(default_factory=dict)
+    sample_interval: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        if "cluster" not in data:
+            raise ConfigurationError("config requires a 'cluster' section")
+        return cls(
+            name=str(data.get("name", "experiment")),
+            cluster=ClusterSpec.from_dict(data["cluster"]),
+            workload=dict(data.get("workload", {})),
+            scheduler=dict(data.get("scheduler", {})),
+            sample_interval=data.get("sample_interval"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid config JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ExperimentConfig":
+        return cls.from_json(Path(path).read_text())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cluster": self.cluster.to_dict(),
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "sample_interval": self.sample_interval,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    # ------------------------------------------------------------------
+    def build_cluster(self) -> Cluster:
+        return Cluster(self.cluster)
+
+    def build_scheduler(self) -> Scheduler:
+        return build_scheduler(**self.scheduler)
+
+    def build_jobs(self) -> List[Job]:
+        """Materialize the workload section into jobs."""
+        spec = dict(self.workload)
+        seed = int(spec.pop("seed", 0))
+        if "swf" in spec:
+            fields = SWFFields(cores_per_node=int(spec.get("cores_per_node", 1)))
+            jobs, _header = read_swf(
+                spec["swf"], fields=fields, streams=RandomStreams(seed)
+            )
+            max_jobs = spec.get("num_jobs")
+            if max_jobs is not None:
+                jobs = jobs[: int(max_jobs)]
+            return jobs
+        reference = spec.pop("reference", "W-MIX")
+        num_jobs = int(spec.pop("num_jobs", 1000))
+        load = spec.pop("load", 0.85)
+        params = reference_workload(
+            reference,
+            num_jobs=num_jobs,
+            cluster_nodes=self.cluster.num_nodes,
+            max_mem_per_node=int(spec.pop("max_mem_per_node", 512 * GiB)),
+            target_load=load,
+        )
+        return SyntheticWorkload(params).generate(RandomStreams(seed))

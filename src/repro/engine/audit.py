@@ -1,0 +1,226 @@
+"""Post-hoc schedule auditor.
+
+Replays a :class:`~repro.engine.results.SimulationResult` and proves
+the invariants from DESIGN.md §7.  The auditor is intentionally
+independent of the engine's bookkeeping: it recomputes everything from
+the jobs and the memory ledger, so an engine bug cannot vouch for
+itself.  Tests run it after every integration scenario; benches run it
+once per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import AuditError
+from ..workload.job import JobState
+from .results import SimulationResult
+
+__all__ = ["audit_result"]
+
+_EPS = 1e-6
+
+
+def audit_result(result: SimulationResult, strict_promises: bool = True) -> None:
+    """Raise :class:`AuditError` on the first violated invariant.
+
+    ``strict_promises`` additionally enforces backfill promises
+    (realized start ≤ first promised start); valid only for runs whose
+    queue policy is FCFS and whose kill policy bounds runtimes — the
+    caller knows, we check ``result.scheduler_info``.
+    """
+    _check_terminal_states(result)
+    _check_node_exclusivity(result)
+    _check_pool_capacity(result)
+    _check_reach_and_split(result)
+    _check_metric_identities(result)
+    if strict_promises and _promises_apply(result):
+        _check_promises(result)
+    if (
+        result.scheduler_info.get("backfill") == "none"
+        and result.scheduler_info.get("queue") == "fcfs"
+        and result.scheduler_info.get("gate") == "always"
+    ):
+        _check_fcfs_no_overtaking(result)
+
+
+def _promises_apply(result: SimulationResult) -> bool:
+    """Promises are hard guarantees only for EASY backfill under FCFS
+    order (later arrivals cannot overtake), bounded runtimes (estimates
+    are upper bounds), memory-aware reservations (a memory-blind shadow
+    is exactly the promise the paper shows being broken), and no start
+    gate (a gate may deliberately hold a job past its promised start).
+
+    Conservative backfill here is *recompute-style* — the reservation
+    schedule is rebuilt every cycle, and greedy earliest-start
+    schedules are not monotone under early completions (a
+    higher-priority job shifting earlier can legitimately push a
+    lower-priority reservation later), so its promises are advisory.
+    """
+    return (
+        result.scheduler_info.get("backfill") == "easy"
+        and result.scheduler_info.get("queue") == "fcfs"
+        and result.scheduler_info.get("kill") != "none"
+        and result.scheduler_info.get("memory_aware") != "false"
+        and result.scheduler_info.get("gate") == "always"
+        # A node failure can legally delay a promised start (the shadow
+        # was computed on capacity that then died).
+        and not result.failures
+    )
+
+
+# ----------------------------------------------------------------------
+def _check_terminal_states(result: SimulationResult) -> None:
+    for job in result.jobs:
+        if not job.state.terminal:
+            raise AuditError(f"job {job.job_id} ended non-terminal: {job.state}")
+        if job.state is JobState.REJECTED:
+            if job.start_time is not None or job.assigned_nodes:
+                raise AuditError(f"rejected job {job.job_id} has execution record")
+            continue
+        if job.start_time is None or job.end_time is None:
+            raise AuditError(f"finished job {job.job_id} missing start/end")
+        if job.end_time < job.start_time - _EPS:
+            raise AuditError(f"job {job.job_id} ends before it starts")
+        if job.state is JobState.COMPLETED:
+            expected = job.dilated_runtime
+            actual = job.end_time - job.start_time
+            if abs(actual - expected) > 1e-3:
+                raise AuditError(
+                    f"job {job.job_id} completed in {actual}, expected "
+                    f"dilated runtime {expected}"
+                )
+        if len(job.assigned_nodes) != job.nodes:
+            raise AuditError(
+                f"job {job.job_id} held {len(job.assigned_nodes)} nodes, "
+                f"requested {job.nodes}"
+            )
+
+
+def _check_node_exclusivity(result: SimulationResult) -> None:
+    intervals: Dict[int, List[Tuple[float, float, int]]] = {}
+    for job in result.finished:
+        for node_id in job.assigned_nodes:
+            intervals.setdefault(node_id, []).append(
+                (job.start_time, job.end_time, job.job_id)
+            )
+    for node_id, spans in intervals.items():
+        spans.sort()
+        for (s1, e1, j1), (s2, e2, j2) in zip(spans, spans[1:]):
+            if s2 < e1 - _EPS:
+                raise AuditError(
+                    f"node {node_id} double-booked: job {j1} [{s1},{e1}) "
+                    f"overlaps job {j2} [{s2},{e2})"
+                )
+
+
+def _check_pool_capacity(result: SimulationResult) -> None:
+    result.ledger.verify_conservation()
+    spec = result.cluster_spec
+    capacities: Dict[str, int] = {}
+    if spec.pool.global_pool > 0:
+        capacities["global"] = spec.pool.global_pool
+    if spec.pool.rack_pool > 0:
+        for rack_id in range(spec.num_racks):
+            capacities[f"rack{rack_id}"] = spec.pool.rack_pool
+    seen_pools = {
+        pool_id
+        for entry in result.ledger
+        for pool_id, _ in entry.pool_grants
+    }
+    unknown = seen_pools - set(capacities)
+    if unknown:
+        raise AuditError(f"grants against unknown pools {sorted(unknown)}")
+    for pool_id, capacity in capacities.items():
+        series = result.ledger.pool_occupancy_series(pool_id)
+        for time, level in series:
+            if level > capacity + _EPS:
+                raise AuditError(
+                    f"pool {pool_id} over capacity at t={time}: "
+                    f"{level} > {capacity}"
+                )
+            if level < -_EPS:
+                raise AuditError(f"pool {pool_id} negative at t={time}: {level}")
+
+
+def _check_reach_and_split(result: SimulationResult) -> None:
+    spec = result.cluster_spec
+    per_rack = spec.nodes_per_rack
+    for job in result.finished:
+        # Split sanity: local + remote = request; local within capacity.
+        if job.local_grant_per_node + job.remote_per_node != job.mem_per_node:
+            raise AuditError(
+                f"job {job.job_id}: split {job.local_grant_per_node}+"
+                f"{job.remote_per_node} != request {job.mem_per_node}"
+            )
+        if job.local_grant_per_node > spec.node.local_mem:
+            raise AuditError(
+                f"job {job.job_id}: local grant exceeds node capacity"
+            )
+        total_remote = job.remote_per_node * job.nodes
+        granted = sum(job.pool_grants.values())
+        if granted != total_remote:
+            raise AuditError(
+                f"job {job.job_id}: pool grants {granted} != remote demand "
+                f"{total_remote}"
+            )
+        racks_of_job = {node_id // per_rack for node_id in job.assigned_nodes}
+        nodes_per_rack_of_job: Dict[int, int] = {}
+        for node_id in job.assigned_nodes:
+            rack = node_id // per_rack
+            nodes_per_rack_of_job[rack] = nodes_per_rack_of_job.get(rack, 0) + 1
+        for pool_id, amount in job.pool_grants.items():
+            if pool_id == "global":
+                continue
+            if not pool_id.startswith("rack"):
+                raise AuditError(f"job {job.job_id}: unknown pool {pool_id}")
+            rack_id = int(pool_id.removeprefix("rack"))
+            if rack_id not in racks_of_job:
+                raise AuditError(
+                    f"job {job.job_id} drew {amount} MiB from {pool_id} but "
+                    f"has no node in rack {rack_id}"
+                )
+            limit = nodes_per_rack_of_job[rack_id] * job.remote_per_node
+            if amount > limit:
+                raise AuditError(
+                    f"job {job.job_id} drew {amount} MiB from {pool_id}, more "
+                    f"than its {nodes_per_rack_of_job[rack_id]} nodes in that "
+                    f"rack can consume ({limit})"
+                )
+
+
+def _check_metric_identities(result: SimulationResult) -> None:
+    for job in result.finished:
+        if job.start_time < job.submit_time - _EPS:
+            raise AuditError(f"job {job.job_id} started before submission")
+        if job.wait_time < -_EPS:
+            raise AuditError(f"job {job.job_id} negative wait")
+        if job.bounded_slowdown() < 1.0 - _EPS:
+            raise AuditError(f"job {job.job_id} bounded slowdown below 1")
+
+
+def _check_promises(result: SimulationResult) -> None:
+    for job_id, promise in result.promises.items():
+        job = result.job(job_id)
+        if job.state is JobState.REJECTED or job.start_time is None:
+            continue
+        if job.start_time > promise.promised_start + 1e-3:
+            raise AuditError(
+                f"backfill promise violated: job {job_id} promised start "
+                f"{promise.promised_start} (decided t={promise.decided_at}) "
+                f"but started {job.start_time}"
+            )
+
+
+def _check_fcfs_no_overtaking(result: SimulationResult) -> None:
+    ran = sorted(
+        result.finished, key=lambda job: (job.submit_time, job.job_id)
+    )
+    for earlier, later in zip(ran, ran[1:]):
+        if later.start_time < earlier.start_time - _EPS:
+            raise AuditError(
+                f"FCFS/no-backfill overtaking: job {later.job_id} "
+                f"(submitted {later.submit_time}) started {later.start_time}, "
+                f"before job {earlier.job_id} (submitted {earlier.submit_time}, "
+                f"started {earlier.start_time})"
+            )

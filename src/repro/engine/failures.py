@@ -1,0 +1,85 @@
+"""Node failure injection.
+
+Larger allocations hit more hardware, so failures interact with
+scheduling (big jobs die more; down nodes shrink the machine).  The
+engine accepts a *failure trace* — a list of :class:`FailureEvent`
+(fail time, node, repair duration) — and applies it during the run:
+
+* at ``time``, the node fails.  If a job owns it, that job is killed
+  immediately (``kill_reason="node_failure"``) and all its resources
+  are released; the node goes DOWN;
+* after ``repair_time``, the node returns to service and a scheduling
+  pass runs.
+
+Traces come from :func:`exponential_failure_trace` (per-node
+exponential time-to-failure — the standard memoryless model — with
+lognormal-ish repair) or from any hand-built list, which is what the
+tests use for exact scenarios.
+
+Scheduling interplay: DOWN nodes are invisible to placement (they are
+not free) and to availability profiles (not in the base free set);
+pending repairs are *not* modeled in reservations — the scheduler is
+pessimistic about down capacity, as real schedulers are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStreams
+
+__all__ = ["FailureEvent", "exponential_failure_trace"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One node failure: when, which node, how long the repair takes."""
+
+    time: float
+    node_id: int
+    repair_time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("failure time must be non-negative")
+        if self.node_id < 0:
+            raise ConfigurationError("node id must be non-negative")
+        if self.repair_time <= 0:
+            raise ConfigurationError("repair time must be positive")
+
+
+def exponential_failure_trace(
+    num_nodes: int,
+    horizon: float,
+    mtbf: float,
+    mean_repair: float,
+    streams: RandomStreams,
+) -> List[FailureEvent]:
+    """Per-node exponential failures over ``[0, horizon]``.
+
+    Each node fails independently with mean time between failures
+    ``mtbf``; repairs are exponential with mean ``mean_repair``.  A
+    node cannot fail while down — the next failure clock starts after
+    the repair completes.  Deterministic under the stream seed.
+    """
+    if num_nodes <= 0:
+        raise ConfigurationError("num_nodes must be positive")
+    if horizon <= 0:
+        raise ConfigurationError("horizon must be positive")
+    if mtbf <= 0 or mean_repair <= 0:
+        raise ConfigurationError("mtbf and mean_repair must be positive")
+    rng = streams.get("failures")
+    events: List[FailureEvent] = []
+    for node_id in range(num_nodes):
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(mtbf))
+            if clock >= horizon:
+                break
+            repair = max(60.0, float(rng.exponential(mean_repair)))
+            events.append(FailureEvent(clock, node_id, repair))
+            clock += repair
+    events.sort(key=lambda e: (e.time, e.node_id))
+    return events

@@ -1,0 +1,108 @@
+"""The record a simulation run leaves behind.
+
+Everything downstream (metrics, audits, reports, benches) consumes a
+:class:`SimulationResult`; nothing reaches back into the engine.  The
+result deliberately stores the *jobs themselves* (with their execution
+records) rather than extracted arrays, so late-added metrics never
+require engine changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster.spec import ClusterSpec
+from ..memdis.ledger import MemoryLedger
+from ..workload.job import Job, JobState
+
+__all__ = ["Promise", "Sample", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class Promise:
+    """A backfill reservation promise recorded for auditing.
+
+    ``decided_at`` is when the scheduler made the promise;
+    ``promised_start`` the reservation's start.  Only the *first*
+    promise per job is kept — it is the strongest bound a later
+    backfill decision must honor.
+    """
+
+    job_id: int
+    decided_at: float
+    promised_start: float
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One time-series sample of system state."""
+
+    time: float
+    queue_length: int
+    running_jobs: int
+    busy_nodes: int
+    local_mem_granted: int
+    pool_used: int
+    pool_capacity: int
+
+
+@dataclass
+class SimulationResult:
+    """Complete record of one simulation run."""
+
+    jobs: List[Job]
+    cluster_spec: ClusterSpec
+    scheduler_info: Dict[str, str]
+    ledger: MemoryLedger
+    promises: Dict[int, Promise] = field(default_factory=dict)
+    samples: List[Sample] = field(default_factory=list)
+    failures: List["FailureEvent"] = field(default_factory=list)  # noqa: F821
+    cycles: int = 0
+    events: int = 0
+    started_at: float = 0.0  # earliest submit
+    finished_at: float = 0.0  # latest terminal time
+
+    # ------------------------------------------------------------------
+    def by_state(self, state: JobState) -> List[Job]:
+        return [job for job in self.jobs if job.state is state]
+
+    @property
+    def completed(self) -> List[Job]:
+        return self.by_state(JobState.COMPLETED)
+
+    @property
+    def killed(self) -> List[Job]:
+        return self.by_state(JobState.KILLED)
+
+    @property
+    def rejected(self) -> List[Job]:
+        return self.by_state(JobState.REJECTED)
+
+    @property
+    def finished(self) -> List[Job]:
+        """Jobs that ran to a terminal state on the machine (not rejected)."""
+        return [
+            job
+            for job in self.jobs
+            if job.state in (JobState.COMPLETED, JobState.KILLED)
+        ]
+
+    @property
+    def makespan(self) -> float:
+        """Last terminal time minus first submission."""
+        return self.finished_at - self.started_at
+
+    def job(self, job_id: int) -> Job:
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise KeyError(job_id)
+
+    def summary_counts(self) -> Dict[str, int]:
+        return {
+            "total": len(self.jobs),
+            "completed": len(self.completed),
+            "killed": len(self.killed),
+            "rejected": len(self.rejected),
+        }

@@ -1,0 +1,348 @@
+"""The batch-scheduling simulation driver.
+
+Event flow: every job submission enqueues the job and requests a
+scheduling pass; every completion/kill releases resources and requests
+a pass.  Passes are deduplicated per instant and run at the lowest
+intra-instant priority, so one pass sees the net effect of everything
+that happened at that time.  The scheduler's decisions are applied
+*during* the pass through the context callback — decision and
+allocation are atomic with respect to simulation time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..cluster.cluster import Cluster
+from ..cluster.node import NodeState
+from ..errors import ConfigurationError, SimulationError
+from ..memdis.ledger import MemoryLedger
+from ..sched.base import (
+    KillPolicy,
+    Scheduler,
+    SchedulerContext,
+    StartDecision,
+    pool_pressure,
+)
+from ..sim.engine import Simulator
+from ..sim.events import Event, EventPriority
+from ..workload.job import Job, JobState
+from . import lifecycle
+from .failures import FailureEvent
+from .results import Promise, Sample, SimulationResult
+
+__all__ = ["SchedulerSimulation"]
+
+_EPS = 1e-9
+
+
+class SchedulerSimulation:
+    """Runs one workload on one cluster under one scheduler stack."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        jobs: Iterable[Job],
+        sample_interval: Optional[float] = None,
+        max_events: Optional[int] = None,
+        failures: Iterable["FailureEvent"] = (),
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.jobs: List[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        if not self.jobs:
+            raise ConfigurationError("no jobs to simulate")
+        ids = [job.job_id for job in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate job ids in workload")
+        for job in self.jobs:
+            if job.state is not JobState.PENDING:
+                raise ConfigurationError(
+                    f"job {job.job_id} is {job.state.value}; "
+                    "pass fresh PENDING jobs (see workload.filters.reset_jobs)"
+                )
+        self.sample_interval = sample_interval
+        self.max_events = max_events
+        self.failures: List["FailureEvent"] = sorted(
+            failures, key=lambda e: (e.time, e.node_id)
+        )
+        for event in self.failures:
+            if event.node_id >= cluster.num_nodes:
+                raise ConfigurationError(
+                    f"failure trace references node {event.node_id}; "
+                    f"cluster has {cluster.num_nodes}"
+                )
+
+        self._sim = Simulator(start_time=self.jobs[0].submit_time)
+        self._max_job_id = max(job.job_id for job in self.jobs)
+        self._queue: List[Job] = []
+        self._running: List[Job] = []
+        self._ledger = MemoryLedger()
+        self._promises: Dict[int, Promise] = {}
+        self._samples: List[Sample] = []
+        self._end_events: Dict[int, Event] = {}
+        self._cycles = 0
+        self._pass_requested = False
+        self._terminal_count = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run to completion (or ``until``); returns the result record."""
+        if self._ran:
+            raise SimulationError("simulation already ran; build a new one")
+        self._ran = True
+        for job in self.jobs:
+            self._sim.schedule_at(
+                job.submit_time,
+                self._on_submit,
+                priority=EventPriority.SUBMIT,
+                payload=job,
+            )
+        start = self._sim.now
+        for failure in self.failures:
+            # Failures before the first submission apply at the start.
+            self._sim.schedule_at(
+                max(failure.time, start),
+                self._on_node_failure,
+                priority=EventPriority.KILL,
+                payload=failure,
+            )
+        if self.sample_interval is not None:
+            if self.sample_interval <= 0:
+                raise ConfigurationError("sample_interval must be positive")
+            self._sim.schedule_at(
+                self._sim.now, self._on_sample, priority=EventPriority.SAMPLE
+            )
+        self._sim.run(until=until, max_events=self.max_events)
+
+        if until is None and self._terminal_count != len(self.jobs):
+            stuck = [j.job_id for j in self.jobs if not j.state.terminal]
+            raise SimulationError(
+                f"simulation drained its calendar with non-terminal jobs {stuck[:10]}"
+            )
+        finished_times = [
+            job.end_time for job in self.jobs if job.end_time is not None
+        ]
+        return SimulationResult(
+            jobs=self.jobs,
+            cluster_spec=self.cluster.spec,
+            scheduler_info=self.scheduler.describe(),
+            ledger=self._ledger,
+            promises=self._promises,
+            samples=self._samples,
+            failures=self.failures,
+            cycles=self._cycles,
+            events=self._sim.events_processed,
+            started_at=self.jobs[0].submit_time,
+            finished_at=max(finished_times) if finished_times else self._sim.now,
+        )
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_submit(self, event: Event) -> None:
+        job: Job = event.payload
+        if not self.scheduler.fits_machine(job, self.cluster):
+            lifecycle.reject_job(job, self._sim.now)
+            self._terminal_count += 1
+            return
+        self._queue.append(job)
+        self._request_pass()
+
+    def _on_finish(self, event: Event) -> None:
+        job: Job = event.payload
+        self._end_events.pop(job.job_id, None)
+        self._release(job)
+        lifecycle.complete_job(job, self._sim.now)
+        self._terminal_count += 1
+        self._request_pass()
+
+    def _on_kill(self, event: Event) -> None:
+        job: Job = event.payload
+        self._end_events.pop(job.job_id, None)
+        self._release(job)
+        lifecycle.kill_job(job, self._sim.now, reason="walltime")
+        self._terminal_count += 1
+        self._request_pass()
+
+    def _on_node_failure(self, event: Event) -> None:
+        failure = event.payload
+        # Repair completes at the *absolute* time the trace implies,
+        # even when the failure itself predates simulation start.
+        repair_at = failure.time + failure.repair_time
+        if repair_at <= self._sim.now:
+            return  # failed and repaired entirely before the sim began
+        node = self.cluster.node(failure.node_id)
+        if node.state is NodeState.DOWN:
+            return  # overlapping failure while already down: absorbed
+        if node.state is NodeState.BUSY:
+            victim = next(
+                job for job in self._running if job.job_id == node.job_id
+            )
+            end_event = self._end_events.pop(victim.job_id, None)
+            if end_event is not None:
+                self._sim.cancel(end_event)
+            self._release(victim)
+            lifecycle.kill_job(victim, self._sim.now, reason="node_failure")
+            self._terminal_count += 1
+            self._maybe_resubmit_from_checkpoint(victim)
+        self.cluster.take_down(failure.node_id)
+        self._sim.schedule_at(
+            repair_at,
+            self._on_node_repair,
+            priority=EventPriority.GENERIC,
+            payload=failure.node_id,
+        )
+        self._request_pass()
+
+    def _on_node_repair(self, event: Event) -> None:
+        self.cluster.bring_up(event.payload)
+        self._request_pass()
+
+    def _maybe_resubmit_from_checkpoint(self, victim: Job) -> None:
+        """Resubmit a checkpointable failure victim as a continuation.
+
+        The application checkpointed every ``checkpoint_interval``
+        seconds of *base* progress; base progress at the kill instant
+        is wall-clock elapsed deflated by the dilation factor.  The
+        continuation carries the remaining base runtime, the original
+        request shape, and a fresh id (lineage kept in ``restart_of``).
+        If no checkpoint completed before the failure, the continuation
+        restarts from scratch.
+        """
+        if victim.checkpoint_interval is None:
+            return
+        elapsed_base = (victim.end_time - victim.start_time) / (
+            1.0 + victim.dilation
+        )
+        saved = (
+            int(elapsed_base / victim.checkpoint_interval)
+            * victim.checkpoint_interval
+        )
+        remaining = victim.runtime - saved
+        if remaining <= 0:
+            # The job was effectively done; charge a minimal restart.
+            remaining = 1.0
+        self._max_job_id += 1
+        continuation = Job(
+            job_id=self._max_job_id,
+            submit_time=self._sim.now,
+            nodes=victim.nodes,
+            walltime=victim.walltime,
+            runtime=remaining,
+            mem_per_node=victim.mem_per_node,
+            mem_used_per_node=victim.mem_used_per_node,
+            user=victim.user,
+            group=victim.group,
+            tag=victim.tag,
+            checkpoint_interval=victim.checkpoint_interval,
+            restart_of=victim.restart_of or victim.job_id,
+            restart_count=victim.restart_count + 1,
+        )
+        self.jobs.append(continuation)
+        self._sim.schedule_at(
+            self._sim.now,
+            self._on_submit,
+            priority=EventPriority.SUBMIT,
+            payload=continuation,
+        )
+
+    def _on_schedule(self, event: Event) -> None:
+        self._pass_requested = False
+        self._cycles += 1
+        ctx = SchedulerContext(
+            cluster=self.cluster,
+            now=self._sim.now,
+            queue=self._queue,
+            running=self._running,
+            start_job=self._apply_start,
+            record_promise=self._record_promise,
+        )
+        self.scheduler.schedule(ctx)
+
+    def _on_sample(self, event: Event) -> None:
+        snap = self.cluster.snapshot()
+        self._samples.append(
+            Sample(
+                time=self._sim.now,
+                queue_length=len(self._queue),
+                running_jobs=len(self._running),
+                busy_nodes=snap["busy_nodes"],
+                local_mem_granted=snap["local_mem_granted"],
+                pool_used=snap["pool_used"],
+                pool_capacity=snap["pool_capacity"],
+            )
+        )
+        if self._terminal_count < len(self.jobs):
+            self._sim.schedule_after(
+                self.sample_interval, self._on_sample, priority=EventPriority.SAMPLE
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _request_pass(self) -> None:
+        if not self._pass_requested:
+            self._pass_requested = True
+            self._sim.schedule_at(
+                self._sim.now, self._on_schedule, priority=EventPriority.SCHEDULE
+            )
+
+    def _record_promise(self, job_id: int, promised_start: float) -> None:
+        if job_id not in self._promises:
+            self._promises[job_id] = Promise(
+                job_id=job_id,
+                decided_at=self._sim.now,
+                promised_start=promised_start,
+            )
+
+    def _apply_start(self, decision: StartDecision) -> None:
+        job = decision.job
+        now = self._sim.now
+        # Pressure is measured with the job's own grant included: the
+        # job competes with itself on the fabric from its first byte.
+        pressure = pool_pressure(self.cluster, decision.plan)
+        dilation = self.scheduler.penalty.dilation(
+            decision.split.remote_fraction, pressure
+        )
+
+        self.cluster.allocate_nodes(job.job_id, decision.node_ids, decision.split.local)
+        try:
+            self.cluster.allocate_pool(job.job_id, decision.plan)
+        except Exception:
+            self.cluster.release_nodes(job.job_id, decision.node_ids)
+            raise
+        self._ledger.record_grant(
+            now,
+            job.job_id,
+            local_total=decision.split.local * job.nodes,
+            pool_grants=decision.plan,
+        )
+        lifecycle.start_job(job, now, decision, dilation)
+        self._queue.remove(job)
+        self._running.append(job)
+
+        bound = lifecycle.kill_bound(job, self.scheduler.kill_policy)
+        dilated_runtime = job.dilated_runtime
+        if bound is not None and dilated_runtime > bound + _EPS:
+            end_event = self._sim.schedule_at(
+                now + bound, self._on_kill, priority=EventPriority.KILL, payload=job
+            )
+        else:
+            end_event = self._sim.schedule_at(
+                now + dilated_runtime,
+                self._on_finish,
+                priority=EventPriority.FINISH,
+                payload=job,
+            )
+        self._end_events[job.job_id] = end_event
+
+    def _release(self, job: Job) -> None:
+        self.cluster.release_nodes(job.job_id, job.assigned_nodes)
+        self.cluster.release_pool(job.job_id)
+        self._ledger.record_release(self._sim.now, job.job_id)
+        self._running.remove(job)

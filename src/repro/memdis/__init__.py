@@ -1,0 +1,52 @@
+"""Disaggregated-memory subsystem.
+
+Four concerns, each in its own module:
+
+* :mod:`~repro.memdis.split` — how a job's per-node footprint divides
+  into a local and a remote share;
+* :mod:`~repro.memdis.allocator` — which pool(s) serve the remote
+  share (global / rack-local / hybrid), with non-mutating feasibility
+  checks the scheduler uses for reservations;
+* :mod:`~repro.memdis.penalty` — how the remote share dilates runtime;
+* :mod:`~repro.memdis.ledger` — conservation accounting and an event
+  trail for audits and time-series metrics.
+"""
+
+from .split import MemorySplit, SplitPolicy, LocalFirstSplit, FixedRatioSplit, local_first_split
+from .allocator import (
+    PoolAllocator,
+    GlobalPoolAllocator,
+    RackLocalAllocator,
+    HybridAllocator,
+    allocator_for,
+)
+from .penalty import (
+    PenaltyModel,
+    NoPenalty,
+    LinearPenalty,
+    SaturatingPenalty,
+    ContentionPenalty,
+    penalty_from_dict,
+)
+from .ledger import MemoryLedger, LedgerEntry
+
+__all__ = [
+    "MemorySplit",
+    "SplitPolicy",
+    "LocalFirstSplit",
+    "FixedRatioSplit",
+    "local_first_split",
+    "PoolAllocator",
+    "GlobalPoolAllocator",
+    "RackLocalAllocator",
+    "HybridAllocator",
+    "allocator_for",
+    "PenaltyModel",
+    "NoPenalty",
+    "LinearPenalty",
+    "SaturatingPenalty",
+    "ContentionPenalty",
+    "penalty_from_dict",
+    "MemoryLedger",
+    "LedgerEntry",
+]

@@ -1,0 +1,141 @@
+"""Memory grant ledger: conservation accounting and an audit trail.
+
+The cluster enforces capacity at the instant of each call; the ledger
+provides the *history*: every grant and release, timestamped, with
+per-job records.  The auditor replays it to prove conservation (every
+MiB granted is released exactly once) and pool-capacity respect at all
+times, and the metrics layer derives pool-occupancy time series from
+it without having sampled during the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import AllocationError
+
+__all__ = ["LedgerEntry", "MemoryLedger"]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One grant or release event."""
+
+    time: float
+    job_id: int
+    kind: str  # "grant" | "release"
+    local_total: int  # MiB across all the job's nodes
+    pool_grants: Tuple[Tuple[str, int], ...]  # sorted (pool_id, MiB)
+
+    @property
+    def remote_total(self) -> int:
+        return sum(amount for _, amount in self.pool_grants)
+
+
+class MemoryLedger:
+    """Append-only record of memory grants."""
+
+    def __init__(self) -> None:
+        self.entries: List[LedgerEntry] = []
+        self._open: Dict[int, LedgerEntry] = {}
+
+    # ------------------------------------------------------------------
+    def record_grant(
+        self,
+        time: float,
+        job_id: int,
+        local_total: int,
+        pool_grants: Dict[str, int],
+    ) -> None:
+        if job_id in self._open:
+            raise AllocationError(f"ledger: job {job_id} already holds a grant")
+        entry = LedgerEntry(
+            time=time,
+            job_id=job_id,
+            kind="grant",
+            local_total=local_total,
+            pool_grants=tuple(sorted(pool_grants.items())),
+        )
+        self.entries.append(entry)
+        self._open[job_id] = entry
+
+    def record_release(self, time: float, job_id: int) -> LedgerEntry:
+        """Close the job's open grant; returns the matching grant entry."""
+        grant = self._open.pop(job_id, None)
+        if grant is None:
+            raise AllocationError(f"ledger: job {job_id} has no open grant")
+        if time < grant.time:
+            raise AllocationError(
+                f"ledger: job {job_id} released at t={time} before grant t={grant.time}"
+            )
+        self.entries.append(
+            LedgerEntry(
+                time=time,
+                job_id=job_id,
+                kind="release",
+                local_total=grant.local_total,
+                pool_grants=grant.pool_grants,
+            )
+        )
+        return grant
+
+    # ------------------------------------------------------------------
+    @property
+    def open_jobs(self) -> List[int]:
+        return sorted(self._open)
+
+    def outstanding_remote(self) -> int:
+        """Total pool MiB currently granted."""
+        return sum(entry.remote_total for entry in self._open.values())
+
+    def outstanding_local(self) -> int:
+        return sum(entry.local_total for entry in self._open.values())
+
+    def pool_occupancy_series(self, pool_id: str) -> List[Tuple[float, int]]:
+        """(time, occupancy MiB) step series for one pool.
+
+        Events at the same instant are netted before the point is
+        emitted, so the series never shows a transient spike for a
+        release-then-grant at one time.
+        """
+        deltas: Dict[float, int] = {}
+        for entry in self.entries:
+            amount = dict(entry.pool_grants).get(pool_id, 0)
+            if amount == 0:
+                continue
+            sign = 1 if entry.kind == "grant" else -1
+            deltas[entry.time] = deltas.get(entry.time, 0) + sign * amount
+        series: List[Tuple[float, int]] = []
+        level = 0
+        for time in sorted(deltas):
+            level += deltas[time]
+            series.append((time, level))
+        return series
+
+    def verify_conservation(self) -> None:
+        """Raise :class:`AllocationError` if any grant is unbalanced.
+
+        Intended for end-of-run checks where all jobs have finished;
+        open grants at call time count as violations.
+        """
+        if self._open:
+            raise AllocationError(
+                f"ledger: jobs {sorted(self._open)} still hold grants"
+            )
+        balance: Dict[int, int] = {}
+        for entry in self.entries:
+            sign = 1 if entry.kind == "grant" else -1
+            key = entry.job_id
+            balance[key] = balance.get(key, 0) + sign * (
+                entry.local_total + entry.remote_total
+            )
+        bad = {job: value for job, value in balance.items() if value != 0}
+        if bad:
+            raise AllocationError(f"ledger: unbalanced jobs {bad}")
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,162 @@
+"""Remote-memory performance penalty models.
+
+Accessing pooled memory over a fabric costs bandwidth and latency; the
+net effect on a batch job is runtime **dilation**.  A penalty model
+maps the job's remote fraction ``f = remote / (local + remote)`` (and,
+for the contention model, current pool pressure) to a dilation
+``d ≥ 0``; the engine then runs the job for ``runtime × (1 + d)``.
+
+The dilation is fixed at job start.  That is a deliberate modeling
+simplification (recomputing dilation as neighbours come and go would
+make completion times history-dependent and reservations unstable);
+the contention model captures the first-order effect by pricing the
+pressure observed at start time.
+
+All models are monotone in ``f`` — more remote memory never makes a
+job faster — and return 0 for ``f = 0``; the property tests pin both.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Mapping, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "PenaltyModel",
+    "NoPenalty",
+    "LinearPenalty",
+    "SaturatingPenalty",
+    "ContentionPenalty",
+    "penalty_from_dict",
+]
+
+
+class PenaltyModel(abc.ABC):
+    """Maps remote fraction (and optional pool pressure) to dilation."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def dilation(self, remote_fraction: float, pool_pressure: float = 0.0) -> float:
+        """Dilation ``d ≥ 0``; realized runtime is ``runtime × (1+d)``.
+
+        ``pool_pressure`` is the fraction of pool *bandwidth* already
+        committed when the job starts (0 = idle fabric); only the
+        contention model uses it.
+        """
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"kind": self.name}
+        data.update(
+            {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
+        )
+        return data
+
+    @staticmethod
+    def _check_fraction(remote_fraction: float) -> float:
+        if remote_fraction < 0.0 or remote_fraction > 1.0:
+            raise ConfigurationError(
+                f"remote fraction must be within [0, 1], got {remote_fraction}"
+            )
+        return remote_fraction
+
+
+class NoPenalty(PenaltyModel):
+    """Idealized fabric: remote memory is free (upper-bound arm)."""
+
+    name = "none"
+
+    def dilation(self, remote_fraction: float, pool_pressure: float = 0.0) -> float:
+        self._check_fraction(remote_fraction)
+        return 0.0
+
+
+class LinearPenalty(PenaltyModel):
+    """Dilation grows linearly with the remote fraction: ``β · f``.
+
+    β is the dilation of a fully remote job; published CXL numbers put
+    app-level slowdowns for fully pooled working sets around 1.2–1.5×,
+    i.e. β in [0.2, 0.5], which is the range experiment F6 sweeps.
+    """
+
+    name = "linear"
+
+    def __init__(self, beta: float = 0.3) -> None:
+        if beta < 0:
+            raise ConfigurationError("beta must be non-negative")
+        self.beta = beta
+
+    def dilation(self, remote_fraction: float, pool_pressure: float = 0.0) -> float:
+        return self.beta * self._check_fraction(remote_fraction)
+
+
+class SaturatingPenalty(PenaltyModel):
+    """Concave dilation ``β·f / (1 + γ·f)``.
+
+    Models working-set locality: the first remote gigabytes hold cold
+    pages, so the marginal cost of remote memory falls with ``f``.
+    """
+
+    name = "saturating"
+
+    def __init__(self, beta: float = 0.5, gamma: float = 1.0) -> None:
+        if beta < 0 or gamma < 0:
+            raise ConfigurationError("beta and gamma must be non-negative")
+        self.beta = beta
+        self.gamma = gamma
+
+    def dilation(self, remote_fraction: float, pool_pressure: float = 0.0) -> float:
+        f = self._check_fraction(remote_fraction)
+        return self.beta * f / (1.0 + self.gamma * f)
+
+
+class ContentionPenalty(PenaltyModel):
+    """Linear penalty inflated by pool-bandwidth pressure.
+
+    ``β · f · (1 + κ · max(0, pressure - threshold))`` — below the
+    pressure threshold the fabric is uncongested and the model matches
+    :class:`LinearPenalty`; above it, every unit of excess pressure
+    adds κ·β·f of queueing surcharge.
+    """
+
+    name = "contention"
+
+    def __init__(self, beta: float = 0.3, kappa: float = 2.0, threshold: float = 0.5) -> None:
+        if beta < 0 or kappa < 0:
+            raise ConfigurationError("beta and kappa must be non-negative")
+        if not (0.0 <= threshold <= 1.0):
+            raise ConfigurationError("threshold must be within [0, 1]")
+        self.beta = beta
+        self.kappa = kappa
+        self.threshold = threshold
+
+    def dilation(self, remote_fraction: float, pool_pressure: float = 0.0) -> float:
+        f = self._check_fraction(remote_fraction)
+        surcharge = 1.0 + self.kappa * max(0.0, pool_pressure - self.threshold)
+        return self.beta * f * surcharge
+
+
+_MODELS = {
+    "none": NoPenalty,
+    "linear": LinearPenalty,
+    "saturating": SaturatingPenalty,
+    "contention": ContentionPenalty,
+}
+
+
+def penalty_from_dict(data: Mapping[str, Any] | str | None) -> PenaltyModel:
+    """Build a penalty model from a config dict (or bare name)."""
+    if data is None:
+        return LinearPenalty()
+    if isinstance(data, str):
+        data = {"kind": data}
+    data = dict(data)
+    kind = data.pop("kind", "linear")
+    cls = _MODELS.get(str(kind).lower())
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown penalty model {kind!r}; choose from {sorted(_MODELS)}"
+        )
+    return cls(**data)

@@ -1,0 +1,94 @@
+"""Local/remote memory split policies.
+
+Given a job's per-node request ``m`` and the node's local capacity
+``L``, a split policy decides how much is served from node DRAM and
+how much must come from a pool.  The obvious policy — local first,
+overflow remote — is also the right one for performance (local DRAM is
+strictly faster), but alternatives exist for modeling studies:
+reserving local headroom for the OS, or pinning a fixed tier ratio the
+way static CXL interleaving does.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "MemorySplit",
+    "SplitPolicy",
+    "LocalFirstSplit",
+    "FixedRatioSplit",
+    "local_first_split",
+]
+
+
+@dataclass(frozen=True)
+class MemorySplit:
+    """Per-node local/remote shares in MiB."""
+
+    local: int
+    remote: int
+
+    @property
+    def total(self) -> int:
+        return self.local + self.remote
+
+    @property
+    def remote_fraction(self) -> float:
+        return self.remote / self.total if self.total else 0.0
+
+
+class SplitPolicy(abc.ABC):
+    """Decides the per-node local/remote split for a request."""
+
+    @abc.abstractmethod
+    def split(self, mem_per_node: int, local_capacity: int) -> MemorySplit:
+        ...
+
+
+class LocalFirstSplit(SplitPolicy):
+    """Fill local DRAM (minus optional headroom) first, overflow remote.
+
+    ``headroom`` models memory the node cannot give to jobs (OS, file
+    cache); production schedulers always keep some.
+    """
+
+    def __init__(self, headroom: int = 0) -> None:
+        if headroom < 0:
+            raise ConfigurationError("headroom must be non-negative")
+        self.headroom = headroom
+
+    def split(self, mem_per_node: int, local_capacity: int) -> MemorySplit:
+        usable = max(0, local_capacity - self.headroom)
+        local = min(mem_per_node, usable)
+        return MemorySplit(local=local, remote=mem_per_node - local)
+
+
+class FixedRatioSplit(SplitPolicy):
+    """Serve a fixed fraction locally (static interleaving model).
+
+    ``local_ratio`` of the request goes local, capped by capacity; the
+    rest is remote *even when it would fit locally*, which is exactly
+    how hardware-interleaved CXL configurations behave.
+    """
+
+    def __init__(self, local_ratio: float, headroom: int = 0) -> None:
+        if not (0.0 <= local_ratio <= 1.0):
+            raise ConfigurationError("local_ratio must be within [0, 1]")
+        if headroom < 0:
+            raise ConfigurationError("headroom must be non-negative")
+        self.local_ratio = local_ratio
+        self.headroom = headroom
+
+    def split(self, mem_per_node: int, local_capacity: int) -> MemorySplit:
+        usable = max(0, local_capacity - self.headroom)
+        local = min(int(round(mem_per_node * self.local_ratio)), usable, mem_per_node)
+        return MemorySplit(local=local, remote=mem_per_node - local)
+
+
+def local_first_split(mem_per_node: int, local_capacity: int) -> MemorySplit:
+    """Module-level shortcut for the default policy."""
+    return LocalFirstSplit().split(mem_per_node, local_capacity)

@@ -1,0 +1,30 @@
+"""Metrics: per-job statistics, system utilization, summaries, reports."""
+
+from .jobstats import JobFrame, collect_jobs, aggregate
+from .sysstats import SystemStats, compute_system_stats, stranded_memory_fraction
+from .timeseries import step_integral, step_series_from_jobs, resample_step
+from .summary import ResultSummary, summarize
+from .report import ascii_table, rows_to_csv, format_row
+from .userstats import UserStats, per_user_stats, jain_index
+from .gantt import render_gantt
+
+__all__ = [
+    "JobFrame",
+    "collect_jobs",
+    "aggregate",
+    "SystemStats",
+    "compute_system_stats",
+    "stranded_memory_fraction",
+    "step_integral",
+    "step_series_from_jobs",
+    "resample_step",
+    "ResultSummary",
+    "summarize",
+    "ascii_table",
+    "rows_to_csv",
+    "format_row",
+    "UserStats",
+    "per_user_stats",
+    "jain_index",
+    "render_gantt",
+]

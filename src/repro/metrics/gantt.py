@@ -1,0 +1,120 @@
+"""ASCII Gantt rendering of small schedules.
+
+For debugging scenarios and for the examples: one row per node, time
+binned into fixed-width columns, each cell showing the job occupying
+the node (last hex digit of the job id) or ``.`` for idle.  Pool
+occupancy is rendered as a percentage sparkline row underneath when
+the machine has pools.
+
+This is intentionally a *small-schedule* tool (≤ ~64 nodes and ~120
+columns read well); the real figures come from the metrics layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..engine.results import SimulationResult
+from ..workload.job import Job, JobState
+
+__all__ = ["render_gantt"]
+
+_SPARK = " .:-=+*#%@"
+
+
+def _cell_char(job_id: int) -> str:
+    return format(job_id % 16, "x")
+
+
+def render_gantt(
+    result: SimulationResult,
+    width: int = 80,
+    max_nodes: Optional[int] = 64,
+) -> str:
+    """Render the run as an ASCII node-time chart.
+
+    ``width`` is the number of time columns; each column covers
+    ``horizon / width`` seconds and shows the job occupying the node
+    at the column's midpoint.
+    """
+    jobs: List[Job] = [
+        job for job in result.jobs
+        if job.state in (JobState.COMPLETED, JobState.KILLED)
+        and job.start_time is not None and job.end_time is not None
+    ]
+    t0, t1 = result.started_at, result.finished_at
+    horizon = max(t1 - t0, 1e-9)
+    num_nodes = result.cluster_spec.num_nodes
+    shown_nodes = num_nodes if max_nodes is None else min(num_nodes, max_nodes)
+    step = horizon / width
+    midpoints = [t0 + (i + 0.5) * step for i in range(width)]
+
+    # node -> list of (start, end, job_id), sorted
+    by_node: dict[int, List[tuple]] = {}
+    for job in jobs:
+        for node_id in job.assigned_nodes:
+            if node_id < shown_nodes:
+                by_node.setdefault(node_id, []).append(
+                    (job.start_time, job.end_time, job.job_id)
+                )
+    for spans in by_node.values():
+        spans.sort()
+
+    lines = [
+        f"gantt: {result.cluster_spec.name}  "
+        f"t0={t0:.0f}s  horizon={horizon:.0f}s  "
+        f"({step:.0f}s/column)"
+    ]
+    for node_id in range(shown_nodes):
+        spans = by_node.get(node_id, [])
+        row = []
+        for t in midpoints:
+            char = "."
+            for start, end, job_id in spans:
+                if start <= t < end:
+                    char = _cell_char(job_id)
+                    break
+                if start > t:
+                    break
+            row.append(char)
+        lines.append(f"n{node_id:03d} |{''.join(row)}|")
+    if shown_nodes < num_nodes:
+        lines.append(f"... ({num_nodes - shown_nodes} more nodes)")
+
+    # Pool occupancy sparkline from the ledger.
+    pool_capacity = result.cluster_spec.total_pool_mem
+    if pool_capacity > 0:
+        level_points: List[tuple] = []
+        for pool in _pool_ids(result):
+            for time, level in result.ledger.pool_occupancy_series(pool):
+                level_points.append((time, pool, level))
+        if level_points:
+            # Evaluate total occupancy at each column midpoint.
+            per_pool: dict[str, List[tuple]] = {}
+            for time, pool, level in level_points:
+                per_pool.setdefault(pool, []).append((time, level))
+            row = []
+            for t in midpoints:
+                total = 0
+                for series in per_pool.values():
+                    current = 0
+                    for time, level in series:
+                        if time <= t:
+                            current = level
+                        else:
+                            break
+                    total += current
+                frac = min(1.0, total / pool_capacity)
+                row.append(_SPARK[int(frac * (len(_SPARK) - 1))])
+            lines.append(f"pool |{''.join(row)}| (0..100% of "
+                         f"{pool_capacity} MiB)")
+    return "\n".join(lines)
+
+
+def _pool_ids(result: SimulationResult) -> Iterable[str]:
+    spec = result.cluster_spec
+    if spec.pool.rack_pool > 0:
+        for rack_id in range(spec.num_racks):
+            yield f"rack{rack_id}"
+    if spec.pool.global_pool > 0:
+        yield "global"

@@ -1,0 +1,133 @@
+"""Per-job metric extraction and aggregation.
+
+:func:`collect_jobs` turns a list of finished jobs into a
+:class:`JobFrame` of parallel numpy arrays — the vectorized form every
+aggregate below consumes.  The frame keeps request attributes (nodes,
+memory) alongside outcome metrics (wait, slowdown, dilation) so
+breakdowns by job class are one boolean mask away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..workload.job import Job, JobState
+
+__all__ = ["JobFrame", "collect_jobs", "aggregate", "BSLD_TAU"]
+
+BSLD_TAU = 10.0  # classic bounded-slowdown threshold, seconds
+
+
+@dataclass
+class JobFrame:
+    """Columnar view of finished jobs."""
+
+    job_ids: np.ndarray
+    submit: np.ndarray
+    start: np.ndarray
+    end: np.ndarray
+    nodes: np.ndarray
+    runtime: np.ndarray  # base (undilated)
+    walltime: np.ndarray
+    mem_per_node: np.ndarray
+    mem_used_per_node: np.ndarray
+    remote_per_node: np.ndarray
+    dilation: np.ndarray
+    killed: np.ndarray  # bool
+    tags: List[str]
+
+    def __len__(self) -> int:
+        return len(self.job_ids)
+
+    # Derived metrics --------------------------------------------------
+    @property
+    def wait(self) -> np.ndarray:
+        return self.start - self.submit
+
+    @property
+    def response(self) -> np.ndarray:
+        return self.end - self.submit
+
+    @property
+    def bounded_slowdown(self) -> np.ndarray:
+        denom = np.maximum(BSLD_TAU, self.runtime)
+        return np.maximum(1.0, self.response / denom)
+
+    @property
+    def remote_fraction(self) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(
+                self.mem_per_node > 0, self.remote_per_node / self.mem_per_node, 0.0
+            )
+        return frac
+
+    @property
+    def node_seconds(self) -> np.ndarray:
+        return self.nodes * (self.end - self.start)
+
+    def mask(self, predicate: np.ndarray) -> "JobFrame":
+        """Sub-frame selected by a boolean mask."""
+        idx = np.asarray(predicate, dtype=bool)
+        return JobFrame(
+            job_ids=self.job_ids[idx],
+            submit=self.submit[idx],
+            start=self.start[idx],
+            end=self.end[idx],
+            nodes=self.nodes[idx],
+            runtime=self.runtime[idx],
+            walltime=self.walltime[idx],
+            mem_per_node=self.mem_per_node[idx],
+            mem_used_per_node=self.mem_used_per_node[idx],
+            remote_per_node=self.remote_per_node[idx],
+            dilation=self.dilation[idx],
+            killed=self.killed[idx],
+            tags=[tag for tag, keep in zip(self.tags, idx) if keep],
+        )
+
+    def by_tag(self) -> Dict[str, "JobFrame"]:
+        out: Dict[str, JobFrame] = {}
+        for tag in sorted(set(self.tags)):
+            out[tag] = self.mask(np.array([t == tag for t in self.tags]))
+        return out
+
+
+def collect_jobs(jobs: Iterable[Job]) -> JobFrame:
+    """Build a frame from every job with a complete execution record."""
+    ran = [
+        job
+        for job in jobs
+        if job.state in (JobState.COMPLETED, JobState.KILLED)
+        and job.start_time is not None
+        and job.end_time is not None
+    ]
+    return JobFrame(
+        job_ids=np.array([j.job_id for j in ran], dtype=np.int64),
+        submit=np.array([j.submit_time for j in ran], dtype=float),
+        start=np.array([j.start_time for j in ran], dtype=float),
+        end=np.array([j.end_time for j in ran], dtype=float),
+        nodes=np.array([j.nodes for j in ran], dtype=np.int64),
+        runtime=np.array([j.runtime for j in ran], dtype=float),
+        walltime=np.array([j.walltime for j in ran], dtype=float),
+        mem_per_node=np.array([j.mem_per_node for j in ran], dtype=np.int64),
+        mem_used_per_node=np.array([j.mem_used_per_node for j in ran], dtype=np.int64),
+        remote_per_node=np.array([j.remote_per_node for j in ran], dtype=np.int64),
+        dilation=np.array([j.dilation for j in ran], dtype=float),
+        killed=np.array([j.state is JobState.KILLED for j in ran], dtype=bool),
+        tags=[j.tag for j in ran],
+    )
+
+
+def aggregate(values: Sequence[float]) -> Dict[str, float]:
+    """mean / median / p95 / max of a metric column (0s when empty)."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return {"mean": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "mean": float(np.mean(array)),
+        "median": float(np.median(array)),
+        "p95": float(np.percentile(array, 95)),
+        "max": float(np.max(array)),
+    }

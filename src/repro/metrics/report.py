@@ -1,0 +1,75 @@
+"""Plain-text tables and CSV output.
+
+Benches print paper-style tables to stdout; sweeps write CSVs.  No
+plotting dependency is assumed — figures are emitted as aligned series
+tables (x column plus one column per curve), which is what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["ascii_table", "rows_to_csv", "format_row", "series_table"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned monospace table."""
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_row(row: Mapping[str, object], columns: Sequence[str]) -> List[str]:
+    return [_fmt(row.get(col, "")) for col in columns]
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """CSV text from a list of flat dicts (union of keys, stable order)."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    out = io.StringIO()
+    out.write(",".join(columns) + "\n")
+    for row in rows:
+        out.write(",".join(str(row.get(col, "")) for col in columns) + "\n")
+    return out.getvalue()
+
+
+def series_table(
+    x_name: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence],
+) -> str:
+    """Figure-as-table: x column plus one column per named curve."""
+    headers = [x_name] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return ascii_table(headers, rows)

@@ -1,0 +1,151 @@
+"""One-stop result summarization.
+
+:func:`summarize` condenses a :class:`SimulationResult` into the flat
+:class:`ResultSummary` record that tables, benches, and sweeps consume:
+headline job metrics (wait / response / bounded slowdown aggregates),
+system utilization, kill/reject counts, and optional per-memory-class
+breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..engine.results import SimulationResult
+from ..units import GiB
+from .jobstats import JobFrame, aggregate, collect_jobs
+from .sysstats import SystemStats, compute_system_stats
+
+__all__ = ["ResultSummary", "summarize", "memory_class_of"]
+
+
+def memory_class_of(mem_per_node: int, local_mem: int) -> str:
+    """Classify a job by per-node footprint relative to node DRAM.
+
+    * ``light`` — fits in half the node's local memory;
+    * ``mid``   — fits locally but uses more than half;
+    * ``heavy`` — exceeds local memory (needs the pool on this machine).
+    """
+    if mem_per_node <= local_mem // 2:
+        return "light"
+    if mem_per_node <= local_mem:
+        return "mid"
+    return "heavy"
+
+
+@dataclass
+class ResultSummary:
+    """Flat summary of one simulation run."""
+
+    label: str
+    jobs_total: int
+    jobs_completed: int
+    jobs_killed: int
+    jobs_rejected: int
+    wait: Dict[str, float]
+    response: Dict[str, float]
+    bsld: Dict[str, float]
+    node_utilization: float
+    local_mem_used_util: float
+    stranded_fraction: float
+    pool_utilization: float
+    throughput_jobs_per_hour: float
+    makespan: float
+    mean_remote_fraction: float
+    mean_dilation: float
+    by_class: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    by_tag: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, float | str | int]:
+        """Flat dict for CSV/tables."""
+        return {
+            "label": self.label,
+            "jobs": self.jobs_total,
+            "completed": self.jobs_completed,
+            "killed": self.jobs_killed,
+            "rejected": self.jobs_rejected,
+            "wait_mean": self.wait["mean"],
+            "wait_p95": self.wait["p95"],
+            "resp_mean": self.response["mean"],
+            "bsld_mean": self.bsld["mean"],
+            "bsld_p95": self.bsld["p95"],
+            "node_util": self.node_utilization,
+            "mem_used_util": self.local_mem_used_util,
+            "stranded": self.stranded_fraction,
+            "pool_util": self.pool_utilization,
+            "jobs_per_hour": self.throughput_jobs_per_hour,
+            "makespan_h": self.makespan / 3600.0,
+            "remote_frac": self.mean_remote_fraction,
+            "dilation": self.mean_dilation,
+        }
+
+
+def _class_breakdown(frame: JobFrame, local_mem: int) -> Dict[str, Dict[str, float]]:
+    import numpy as np
+
+    out: Dict[str, Dict[str, float]] = {}
+    classes = np.array(
+        [memory_class_of(int(m), local_mem) for m in frame.mem_per_node]
+    )
+    for cls in ("light", "mid", "heavy"):
+        sub = frame.mask(classes == cls)
+        if len(sub) == 0:
+            continue
+        out[cls] = {
+            "jobs": float(len(sub)),
+            "wait_mean": float(sub.wait.mean()),
+            "bsld_mean": float(sub.bounded_slowdown.mean()),
+            "remote_frac_mean": float(sub.remote_fraction.mean()),
+        }
+    return out
+
+
+def summarize(
+    result: SimulationResult,
+    label: str = "",
+    class_local_mem: int | None = None,
+) -> ResultSummary:
+    """Summarize a run.
+
+    ``class_local_mem`` sets the node-DRAM reference for the
+    light/mid/heavy breakdown; defaults to the run's own node size, but
+    cross-configuration tables should pass the *fat baseline* size so
+    classes mean the same thing in every column.
+    """
+    frame = collect_jobs(result.jobs)
+    stats: SystemStats = compute_system_stats(result)
+    local_mem = (
+        class_local_mem
+        if class_local_mem is not None
+        else result.cluster_spec.node.local_mem
+    )
+    by_tag: Dict[str, Dict[str, float]] = {}
+    for tag, sub in frame.by_tag().items():
+        by_tag[tag] = {
+            "jobs": float(len(sub)),
+            "wait_mean": float(sub.wait.mean()) if len(sub) else 0.0,
+            "bsld_mean": float(sub.bounded_slowdown.mean()) if len(sub) else 0.0,
+        }
+    return ResultSummary(
+        label=label or result.cluster_spec.name,
+        jobs_total=len(result.jobs),
+        jobs_completed=stats.completed,
+        jobs_killed=stats.killed,
+        jobs_rejected=stats.rejected,
+        wait=aggregate(frame.wait),
+        response=aggregate(frame.response),
+        bsld=aggregate(frame.bounded_slowdown),
+        node_utilization=stats.node_utilization,
+        local_mem_used_util=stats.local_mem_used_util,
+        stranded_fraction=stats.stranded_fraction,
+        pool_utilization=stats.pool_utilization,
+        throughput_jobs_per_hour=stats.throughput_jobs_per_hour,
+        makespan=result.makespan,
+        mean_remote_fraction=(
+            float(frame.remote_fraction.mean()) if len(frame) else 0.0
+        ),
+        mean_dilation=float(frame.dilation.mean()) if len(frame) else 0.0,
+        by_class=_class_breakdown(frame, local_mem),
+        by_tag=by_tag,
+    )

@@ -1,0 +1,111 @@
+"""System-level statistics: utilization, memory stranding, throughput.
+
+All integrals are exact step-function integrals over the measurement
+horizon ``[first submit, last terminal event]`` (no sampling error).
+
+Memory accounting vocabulary (per DESIGN.md / experiment F1):
+
+* **granted local** — node DRAM promised to running jobs (their
+  requested footprint clipped to node capacity);
+* **used local** — the part of granted local the jobs actually touch
+  (their high-water usage, local share first);
+* **stranded** — powered node DRAM that is *not used* at an instant:
+  idle-node DRAM plus the granted-but-untouched and ungranted slack on
+  busy nodes.  The stranded fraction on a fat-node machine is the
+  quantitative motivation for disaggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cluster.spec import ClusterSpec
+from .timeseries import step_integral, step_series_from_jobs
+from ..engine.results import SimulationResult
+
+__all__ = ["SystemStats", "compute_system_stats", "stranded_memory_fraction"]
+
+
+@dataclass(frozen=True)
+class SystemStats:
+    """Horizon-integrated system metrics."""
+
+    horizon: float  # seconds measured
+    node_utilization: float  # busy node-seconds / capacity node-seconds
+    local_mem_granted_util: float  # granted local MiB-s / capacity MiB-s
+    local_mem_used_util: float  # used local MiB-s / capacity MiB-s
+    stranded_fraction: float  # 1 - used-local utilization
+    pool_utilization: float  # pool MiB-s used / pool capacity MiB-s (0 if no pool)
+    throughput_jobs_per_hour: float
+    delivered_node_hours: float
+    completed: int
+    killed: int
+    rejected: int
+
+
+def compute_system_stats(result: SimulationResult) -> SystemStats:
+    spec = result.cluster_spec
+    t0, t1 = result.started_at, result.finished_at
+    horizon = max(t1 - t0, 1e-9)
+    finished = result.finished
+
+    # Node occupancy ---------------------------------------------------
+    times, busy = step_series_from_jobs(finished, lambda job: float(job.nodes))
+    busy_node_seconds = step_integral(times, busy, t0, t1)
+    node_util = busy_node_seconds / (spec.num_nodes * horizon)
+
+    # Local memory -----------------------------------------------------
+    local_capacity = spec.total_local_mem  # MiB
+    times_g, granted = step_series_from_jobs(
+        finished, lambda job: float(job.local_grant_per_node * job.nodes)
+    )
+    granted_integral = step_integral(times_g, granted, t0, t1)
+    granted_util = (
+        granted_integral / (local_capacity * horizon) if local_capacity else 0.0
+    )
+
+    def used_local(job) -> float:
+        # Usage fills the local share first (local DRAM is faster).
+        return float(min(job.mem_used_per_node, job.local_grant_per_node) * job.nodes)
+
+    times_u, used = step_series_from_jobs(finished, used_local)
+    used_integral = step_integral(times_u, used, t0, t1)
+    used_util = used_integral / (local_capacity * horizon) if local_capacity else 0.0
+
+    # Pool -------------------------------------------------------------
+    pool_capacity = spec.total_pool_mem
+    pool_util = 0.0
+    if pool_capacity > 0:
+        pool_ids = [f"rack{r}" for r in range(spec.num_racks)] if spec.pool.rack_pool else []
+        if spec.pool.global_pool:
+            pool_ids.append("global")
+        pool_integral = 0.0
+        for pool_id in pool_ids:
+            series = result.ledger.pool_occupancy_series(pool_id)
+            if series:
+                times_p = [t for t, _ in series]
+                levels = [v for _, v in series]
+                pool_integral += step_integral(times_p, levels, t0, t1)
+        pool_util = pool_integral / (pool_capacity * horizon)
+
+    completed = len(result.completed)
+    return SystemStats(
+        horizon=horizon,
+        node_utilization=node_util,
+        local_mem_granted_util=granted_util,
+        local_mem_used_util=used_util,
+        stranded_fraction=1.0 - used_util,
+        pool_utilization=pool_util,
+        throughput_jobs_per_hour=completed / (horizon / 3600.0),
+        delivered_node_hours=busy_node_seconds / 3600.0,
+        completed=completed,
+        killed=len(result.killed),
+        rejected=len(result.rejected),
+    )
+
+
+def stranded_memory_fraction(result: SimulationResult) -> float:
+    """Fraction of machine DRAM (node-local) not actually used, time-
+    averaged over the horizon — the F1 motivation number."""
+    return compute_system_stats(result).stranded_fraction

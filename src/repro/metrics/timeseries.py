@@ -1,0 +1,93 @@
+"""Step-function time series utilities.
+
+Everything a batch simulation produces is piecewise constant between
+events, so the natural series representation is ``(times, values)``
+with ``values[i]`` holding on ``[times[i], times[i+1])``.  These
+helpers build such series from job records and integrate them exactly
+(no sampling error), per the numerics guidance of doing the math on
+arrays rather than in Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..workload.job import Job
+
+__all__ = ["step_series_from_jobs", "step_integral", "resample_step"]
+
+
+def step_series_from_jobs(
+    jobs: Iterable[Job],
+    weight: Callable[[Job], float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Step series of ``sum(weight(job))`` over all running jobs.
+
+    Builds the +weight at start / -weight at end event sequence and
+    returns ``(times, values)`` where ``values[i]`` holds on
+    ``[times[i], times[i+1])``.  Jobs without an execution record are
+    ignored.
+    """
+    events: List[Tuple[float, float]] = []
+    for job in jobs:
+        if job.start_time is None or job.end_time is None:
+            continue
+        w = weight(job)
+        if w == 0.0:
+            continue
+        events.append((job.start_time, w))
+        events.append((job.end_time, -w))
+    if not events:
+        return np.array([]), np.array([])
+    events.sort(key=lambda item: item[0])
+    times_raw = np.array([time for time, _ in events])
+    deltas = np.array([delta for _, delta in events])
+    # Collapse identical timestamps so the series is a function.
+    times, index = np.unique(times_raw, return_inverse=True)
+    merged = np.zeros_like(times, dtype=float)
+    np.add.at(merged, index, deltas)
+    values = np.cumsum(merged)
+    # Clamp float dust: occupancy is a sum of +w/-w pairs.
+    values[np.abs(values) < 1e-9] = 0.0
+    return times, values
+
+
+def step_integral(
+    times: Sequence[float],
+    values: Sequence[float],
+    t0: float,
+    t1: float,
+) -> float:
+    """Exact integral of a step series over ``[t0, t1]``.
+
+    ``values[i]`` holds on ``[times[i], times[i+1])``; the level before
+    ``times[0]`` is zero and the last level extends to ``t1``.
+    """
+    if t1 <= t0 or len(times) == 0:
+        return 0.0
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    # Segment boundaries clipped to the window.
+    starts = np.clip(times, t0, t1)
+    ends = np.clip(np.append(times[1:], t1), t0, t1)
+    widths = np.maximum(0.0, ends - starts)
+    return float(np.dot(widths, values))
+
+
+def resample_step(
+    times: Sequence[float],
+    values: Sequence[float],
+    sample_times: Sequence[float],
+) -> np.ndarray:
+    """Evaluate a step series at arbitrary instants (level is zero
+    before the first breakpoint)."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    sample_times = np.asarray(sample_times, dtype=float)
+    if len(times) == 0:
+        return np.zeros_like(sample_times)
+    idx = np.searchsorted(times, sample_times, side="right") - 1
+    out = np.where(idx >= 0, values[np.clip(idx, 0, len(values) - 1)], 0.0)
+    return out

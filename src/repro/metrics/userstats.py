@@ -1,0 +1,76 @@
+"""Per-user statistics and fairness indices.
+
+Fair-share evaluation needs two views: how much each user *consumed*
+(node-seconds, pool-MiB-seconds) and how each user was *served* (mean
+wait/slowdown).  The classic scalar for "how even is this" is Jain's
+fairness index: 1.0 when perfectly even, 1/n when one user takes all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..workload.job import Job, JobState
+
+__all__ = ["UserStats", "per_user_stats", "jain_index"]
+
+
+@dataclass(frozen=True)
+class UserStats:
+    """Aggregated outcomes for one user."""
+
+    user: str
+    jobs: int
+    node_seconds: float
+    pool_mib_seconds: float
+    mean_wait: float
+    mean_bsld: float
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n·Σx²)``; 1.0 is perfectly fair.
+
+    Empty input or all-zero input returns 1.0 (nothing to be unfair
+    about).
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return 1.0
+    total = array.sum()
+    squares = float(np.dot(array, array))
+    if squares == 0.0:
+        return 1.0
+    return float(total * total / (array.size * squares))
+
+
+def per_user_stats(jobs: Iterable[Job], tau: float = 10.0) -> List[UserStats]:
+    """Per-user aggregation over finished jobs, sorted by user name."""
+    buckets: Dict[str, List[Job]] = {}
+    for job in jobs:
+        if job.state in (JobState.COMPLETED, JobState.KILLED) \
+                and job.start_time is not None and job.end_time is not None:
+            buckets.setdefault(job.user, []).append(job)
+    stats: List[UserStats] = []
+    for user in sorted(buckets):
+        mine = buckets[user]
+        durations = [j.end_time - j.start_time for j in mine]
+        node_seconds = sum(j.nodes * d for j, d in zip(mine, durations))
+        pool_mib_seconds = sum(
+            sum(j.pool_grants.values()) * d for j, d in zip(mine, durations)
+        )
+        waits = [j.wait_time for j in mine]
+        bslds = [j.bounded_slowdown(tau) for j in mine]
+        stats.append(
+            UserStats(
+                user=user,
+                jobs=len(mine),
+                node_seconds=node_seconds,
+                pool_mib_seconds=pool_mib_seconds,
+                mean_wait=float(np.mean(waits)),
+                mean_bsld=float(np.mean(bslds)),
+            )
+        )
+    return stats

@@ -1,0 +1,85 @@
+"""Scheduling framework: queue policies, backfill, placement, memory-awareness.
+
+The stack, bottom to top:
+
+* :mod:`~repro.sched.queue_policies` — who is next in line;
+* :mod:`~repro.sched.profile` — when resources (nodes *and* pool
+  memory) become available in the future, including reservations;
+* :mod:`~repro.sched.placement` — which concrete nodes a job gets;
+* :mod:`~repro.sched.backfill` — no-backfill / EASY / conservative
+  strategies producing start decisions;
+* :mod:`~repro.sched.memaware` — wait-vs-dilate gating policies;
+* :mod:`~repro.sched.base` — the :class:`Scheduler` facade gluing the
+  pieces, consumed by :class:`repro.engine.SchedulerSimulation`.
+"""
+
+from .base import Scheduler, SchedulerContext, StartDecision, build_scheduler
+from .queue_policies import (
+    QueuePolicy,
+    FCFSPolicy,
+    SJFPolicy,
+    LJFPolicy,
+    WFPPolicy,
+    UNICEFPolicy,
+    DominantSharePolicy,
+    queue_policy_for,
+)
+from .fairshare import FairSharePolicy, UsageTracker
+from .profile import AvailabilityProfile, Reservation
+from .placement import (
+    PlacementPolicy,
+    FirstFitPlacement,
+    RackPackPlacement,
+    MinRemotePlacement,
+    SpreadPlacement,
+    placement_for,
+)
+from .backfill import (
+    BackfillStrategy,
+    NoBackfill,
+    EasyBackfill,
+    ConservativeBackfill,
+    backfill_for,
+)
+from .memaware import (
+    StartGate,
+    AlwaysStart,
+    PressureGate,
+    AdaptiveGate,
+    gate_for,
+)
+
+__all__ = [
+    "Scheduler",
+    "SchedulerContext",
+    "StartDecision",
+    "build_scheduler",
+    "QueuePolicy",
+    "FCFSPolicy",
+    "SJFPolicy",
+    "LJFPolicy",
+    "WFPPolicy",
+    "UNICEFPolicy",
+    "DominantSharePolicy",
+    "FairSharePolicy",
+    "UsageTracker",
+    "queue_policy_for",
+    "AvailabilityProfile",
+    "Reservation",
+    "PlacementPolicy",
+    "FirstFitPlacement",
+    "RackPackPlacement",
+    "MinRemotePlacement",
+    "SpreadPlacement",
+    "placement_for",
+    "BackfillStrategy",
+    "NoBackfill",
+    "EasyBackfill",
+    "ConservativeBackfill",
+    "backfill_for",
+    "StartGate",
+    "AlwaysStart",
+    "PressureGate",
+    "AdaptiveGate",
+    "gate_for",
+]

@@ -1,0 +1,278 @@
+"""Scheduler facade: policy stack, decisions, and shared helpers.
+
+A :class:`Scheduler` bundles the whole policy stack — queue order,
+backfill strategy, placement, memory split, pool allocator, penalty
+model, start gate, kill policy — and exposes the helpers every
+backfill strategy needs (feasibility checks, duration estimates,
+profile construction).  The engine hands it a
+:class:`SchedulerContext` each cycle and applies the returned
+decisions through the context's ``start_job`` callback *during* the
+pass, so strategies always observe live state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..cluster.cluster import Cluster
+from ..errors import ConfigurationError
+from ..memdis.allocator import (
+    GlobalPoolAllocator,
+    HybridAllocator,
+    PoolAllocator,
+    RackLocalAllocator,
+    allocator_for,
+)
+from ..memdis.penalty import LinearPenalty, PenaltyModel, penalty_from_dict
+from ..memdis.split import LocalFirstSplit, MemorySplit, SplitPolicy
+from ..workload.job import Job, JobState
+from .placement import FirstFitPlacement, PlacementPolicy, placement_for
+from .profile import AvailabilityProfile
+from .queue_policies import FCFSPolicy, QueuePolicy, queue_policy_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .backfill import BackfillStrategy
+    from .memaware import StartGate
+
+__all__ = [
+    "KillPolicy",
+    "StartDecision",
+    "SchedulerContext",
+    "Scheduler",
+    "build_scheduler",
+    "pool_pressure",
+]
+
+
+class KillPolicy(str, enum.Enum):
+    """What happens when a job reaches its walltime bound.
+
+    * ``strict`` — killed at the user walltime, dilation or not (what
+      an unmodified production scheduler would do; penalizes remote
+      memory twice);
+    * ``dilation_aware`` — the kill bound is scaled by the same
+      ``1 + dilation`` as the runtime, so disaggregation does not
+      manufacture extra kills (default; keeps comparisons clean);
+    * ``none`` — jobs always run to completion (idealized arm).
+    """
+
+    STRICT = "strict"
+    DILATION_AWARE = "dilation_aware"
+    NONE = "none"
+
+
+def pool_pressure(cluster: Cluster, plan: Optional[Dict[str, int]] = None) -> float:
+    """Worst-case pool bandwidth pressure, optionally after ``plan``.
+
+    Pressure of a pool is granted MiB over its declared bandwidth
+    capacity; pools with infinite bandwidth contribute zero.  The
+    maximum across pools is the figure the contention penalty and the
+    start gates consume.
+    """
+    worst = 0.0
+    for pool in cluster.all_pools():
+        if pool.bandwidth == float("inf"):
+            continue
+        used = pool.used + (plan or {}).get(pool.pool_id, 0)
+        worst = max(worst, used / pool.bandwidth)
+    return worst
+
+
+@dataclass(frozen=True)
+class StartDecision:
+    """A concrete, immediately applicable job start."""
+
+    job: Job
+    node_ids: Tuple[int, ...]
+    plan: Dict[str, int]  # pool_id -> MiB
+    split: MemorySplit
+
+    def __post_init__(self) -> None:
+        if len(self.node_ids) != self.job.nodes:
+            raise ConfigurationError(
+                f"decision for job {self.job.job_id} has {len(self.node_ids)} "
+                f"nodes, job requested {self.job.nodes}"
+            )
+
+
+@dataclass
+class SchedulerContext:
+    """Everything a strategy may consult or invoke during one cycle."""
+
+    cluster: Cluster
+    now: float
+    queue: List[Job]  # live reference: engine removes started jobs
+    running: List[Job]  # live reference
+    start_job: Callable[[StartDecision], None]
+    record_promise: Callable[[int, float], None] = lambda job_id, start: None
+
+    def pending(self) -> List[Job]:
+        return [job for job in self.queue if job.state is JobState.PENDING]
+
+
+class Scheduler:
+    """The full policy stack; one instance drives one simulation."""
+
+    def __init__(
+        self,
+        queue_policy: Optional[QueuePolicy] = None,
+        backfill: Optional["BackfillStrategy"] = None,
+        placement: Optional[PlacementPolicy] = None,
+        split_policy: Optional[SplitPolicy] = None,
+        allocator: Optional[PoolAllocator] = None,
+        penalty: Optional[PenaltyModel] = None,
+        gate: Optional["StartGate"] = None,
+        kill_policy: KillPolicy | str = KillPolicy.DILATION_AWARE,
+    ) -> None:
+        from .backfill import EasyBackfill  # deferred: avoids import cycle
+        from .memaware import AlwaysStart
+
+        self.queue_policy = queue_policy or FCFSPolicy()
+        self.backfill = backfill or EasyBackfill()
+        self.placement = placement or FirstFitPlacement()
+        self.split_policy = split_policy or LocalFirstSplit()
+        self._allocator = allocator  # may be None: resolved per cluster
+        self.penalty = penalty or LinearPenalty()
+        self.gate = gate or AlwaysStart()
+        self.kill_policy = KillPolicy(kill_policy)
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def schedule(self, ctx: SchedulerContext) -> List[StartDecision]:
+        """Run one scheduling cycle; returns the applied decisions."""
+        return self.backfill.run(ctx, self)
+
+    # ------------------------------------------------------------------
+    # helpers shared by strategies
+    # ------------------------------------------------------------------
+    def resolve_allocator(self, cluster: Cluster) -> PoolAllocator:
+        """Explicit allocator, or the natural one for the machine.
+
+        rack+global pools → hybrid; only global → global; only rack →
+        rack; no pools → global (any remote demand is then simply
+        infeasible, which is the correct answer on a pool-less machine).
+        """
+        if self._allocator is not None:
+            return self._allocator
+        has_rack = any(rack.pool is not None for rack in cluster.racks)
+        has_global = cluster.global_pool is not None
+        if has_rack and has_global:
+            self._allocator = HybridAllocator()
+        elif has_rack:
+            self._allocator = RackLocalAllocator()
+        else:
+            self._allocator = GlobalPoolAllocator()
+        return self._allocator
+
+    def split_for(self, job: Job, cluster: Cluster) -> MemorySplit:
+        return self.split_policy.split(job.mem_per_node, cluster.spec.node.local_mem)
+
+    def est_dilation(self, job: Job, cluster: Cluster, split: Optional[MemorySplit] = None) -> float:
+        """Dilation estimate for a *pending* job at current pressure."""
+        split = split or self.split_for(job, cluster)
+        return self.penalty.dilation(split.remote_fraction, pool_pressure(cluster))
+
+    def est_duration(self, job: Job, cluster: Cluster) -> float:
+        """Occupancy bound used for reservations of pending jobs."""
+        if self.kill_policy is KillPolicy.STRICT:
+            return job.walltime
+        return job.walltime * (1.0 + self.est_dilation(job, cluster))
+
+    def duration_of_running(self, job: Job) -> float:
+        """Occupancy bound for an already-running job (dilation known)."""
+        if self.kill_policy is KillPolicy.STRICT:
+            return job.walltime
+        return job.walltime * (1.0 + job.dilation)
+
+    def fits_machine(self, job: Job, cluster: Cluster) -> bool:
+        """Could the job run on an *empty* machine? Submission check."""
+        if job.nodes > cluster.num_nodes:
+            return False
+        split = self.split_for(job, cluster)
+        if split.remote == 0:
+            return True
+        free_all = frozenset(range(cluster.num_nodes))
+        node_ids = self.placement.select(cluster, free_all, job.nodes, split.remote)
+        if node_ids is None:
+            return False
+        capacity_override = {
+            pool.pool_id: pool.capacity for pool in cluster.all_pools()
+        }
+        plan = self.resolve_allocator(cluster).plan(
+            cluster, node_ids, split.remote, free_override=capacity_override
+        )
+        return plan is not None
+
+    def try_start_now(
+        self, ctx: SchedulerContext, job: Job, check_gate: bool = True
+    ) -> Optional[StartDecision]:
+        """Feasible start against *live* state, gate included."""
+        cluster = ctx.cluster
+        if job.nodes > cluster.free_node_count:
+            return None
+        split = self.split_for(job, cluster)
+        free = frozenset(node.node_id for node in cluster.free_nodes())
+        pool_free = {pool.pool_id: pool.free for pool in cluster.all_pools()}
+        node_ids = self.placement.select(
+            cluster, free, job.nodes, split.remote, pool_free
+        )
+        if node_ids is None:
+            return None
+        plan: Optional[Dict[str, int]] = {}
+        if split.remote > 0:
+            plan = self.resolve_allocator(cluster).plan(cluster, node_ids, split.remote)
+            if plan is None:
+                return None
+        decision = StartDecision(
+            job=job, node_ids=tuple(node_ids), plan=plan, split=split
+        )
+        if check_gate and not self.gate.permit(ctx, self, decision):
+            return None
+        return decision
+
+    def build_profile(self, ctx: SchedulerContext) -> AvailabilityProfile:
+        return AvailabilityProfile(
+            ctx.cluster, ctx.running, ctx.now, self.duration_of_running
+        )
+
+    def describe(self) -> Dict[str, str]:
+        """Human-readable policy stack (for reports and audits)."""
+        return {
+            "queue": self.queue_policy.name,
+            "backfill": self.backfill.name,
+            "placement": self.placement.name,
+            "penalty": self.penalty.name,
+            "gate": self.gate.name,
+            "kill": self.kill_policy.value,
+            "memory_aware": str(getattr(self.backfill, "memory_aware", True)).lower(),
+        }
+
+
+def build_scheduler(
+    queue: str = "fcfs",
+    backfill: str = "easy",
+    placement: str = "first_fit",
+    allocator: Optional[str] = None,
+    penalty: Optional[dict | str] = None,
+    gate: str = "always",
+    kill_policy: str = "dilation_aware",
+    memory_aware: bool = True,
+    headroom: int = 0,
+) -> Scheduler:
+    """String-based constructor used by configs, the CLI, and benches."""
+    from .backfill import backfill_for
+    from .memaware import gate_for
+
+    return Scheduler(
+        queue_policy=queue_policy_for(queue),
+        backfill=backfill_for(backfill, memory_aware=memory_aware),
+        placement=placement_for(placement),
+        split_policy=LocalFirstSplit(headroom=headroom),
+        allocator=allocator_for(allocator) if allocator else None,
+        penalty=penalty_from_dict(penalty),
+        gate=gate_for(gate),
+        kill_policy=kill_policy,
+    )

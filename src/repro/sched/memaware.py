@@ -1,0 +1,152 @@
+"""Start gates: the wait-vs-dilate decision.
+
+A feasible start is not always a *good* start.  When the penalty model
+is contention-sensitive, launching a remote-heavy job into a saturated
+fabric dilates it (and pins the pressure high for everyone after it);
+waiting a few minutes for a pool-holding job to finish may be cheaper.
+A :class:`StartGate` sees each feasible :class:`StartDecision` before
+it is applied and may veto it — the job stays queued and is
+reconsidered at the next scheduling event.
+
+Safety: every gate must be *live* — it may only veto while there is a
+running job whose completion will change the inputs to the veto, and
+each gate carries a ``max_hold`` escape hatch, so gating can never
+deadlock the queue.  Experiment T5 ablates these policies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..units import HOUR
+from .base import Scheduler, SchedulerContext, StartDecision, pool_pressure
+
+__all__ = ["StartGate", "AlwaysStart", "PressureGate", "AdaptiveGate", "gate_for"]
+
+
+class StartGate(abc.ABC):
+    """Vetoes or permits feasible start decisions."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def permit(
+        self, ctx: SchedulerContext, sched: Scheduler, decision: StartDecision
+    ) -> bool:
+        ...
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _next_pool_release(ctx: SchedulerContext, sched: Scheduler) -> Optional[float]:
+        """Estimated end of the earliest-finishing pool-holding job."""
+        candidate: Optional[float] = None
+        for job in ctx.running:
+            if not job.pool_grants or job.start_time is None:
+                continue
+            est_end = job.start_time + sched.duration_of_running(job)
+            if candidate is None or est_end < candidate:
+                candidate = est_end
+        return candidate
+
+
+class AlwaysStart(StartGate):
+    """No gating: start whenever feasible (the default, and what every
+    classic scheduler does)."""
+
+    name = "always"
+
+    def permit(self, ctx, sched, decision):
+        return True
+
+
+class PressureGate(StartGate):
+    """Veto remote-heavy starts while pool pressure is high.
+
+    A decision whose grants would push pool bandwidth pressure above
+    ``threshold`` waits — but only while some running job still holds
+    pool memory (otherwise no relief is coming and waiting is
+    pointless), and never longer than ``max_hold`` seconds.
+    """
+
+    name = "pressure"
+
+    def __init__(self, threshold: float = 0.8, max_hold: float = 2 * HOUR) -> None:
+        if threshold < 0:
+            raise ConfigurationError("threshold must be non-negative")
+        if max_hold < 0:
+            raise ConfigurationError("max_hold must be non-negative")
+        self.threshold = threshold
+        self.max_hold = max_hold
+
+    def permit(self, ctx, sched, decision):
+        if decision.split.remote == 0:
+            return True
+        if pool_pressure(ctx.cluster, decision.plan) <= self.threshold:
+            return True
+        if self._next_pool_release(ctx, sched) is None:
+            return True  # nothing will ever lower the pressure
+        if ctx.now - decision.job.submit_time >= self.max_hold:
+            return True  # escape hatch against starvation
+        return False
+
+
+class AdaptiveGate(StartGate):
+    """Cost-based wait-vs-dilate: wait only when it is expected to pay.
+
+    Starting now costs ``dilation_now × walltime`` extra occupancy.
+    Waiting until the next pool-holding job finishes costs that wait
+    plus the (lower) dilation then.  The gate vetoes exactly when the
+    expected dilation saving exceeds the expected wait — with the same
+    liveness guards as :class:`PressureGate`.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, max_hold: float = 2 * HOUR) -> None:
+        if max_hold < 0:
+            raise ConfigurationError("max_hold must be non-negative")
+        self.max_hold = max_hold
+
+    def permit(self, ctx, sched, decision):
+        split = decision.split
+        if split.remote == 0:
+            return True
+        if ctx.now - decision.job.submit_time >= self.max_hold:
+            return True
+        next_release = self._next_pool_release(ctx, sched)
+        if next_release is None or next_release <= ctx.now:
+            return True
+        wait = next_release - ctx.now
+        pressure_now = pool_pressure(ctx.cluster, decision.plan)
+        dilation_now = sched.penalty.dilation(split.remote_fraction, pressure_now)
+        # Optimistic post-release pressure: the largest pool holder
+        # returns its grant; approximate with pressure from own plan
+        # alone (lower bound => gate errs toward waiting only when the
+        # saving is robust).
+        empty_pressure = 0.0
+        for pool in ctx.cluster.all_pools():
+            if pool.bandwidth == float("inf"):
+                continue
+            own = decision.plan.get(pool.pool_id, 0)
+            empty_pressure = max(empty_pressure, own / pool.bandwidth)
+        dilation_later = sched.penalty.dilation(split.remote_fraction, empty_pressure)
+        saving = (dilation_now - dilation_later) * decision.job.walltime
+        return saving <= wait
+
+
+_GATES = {
+    "always": AlwaysStart,
+    "pressure": PressureGate,
+    "adaptive": AdaptiveGate,
+}
+
+
+def gate_for(name: str) -> StartGate:
+    cls = _GATES.get(name.lower())
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown start gate {name!r}; choose from {sorted(_GATES)}"
+        )
+    return cls()

@@ -1,0 +1,228 @@
+"""Future resource availability: the reservation timeline.
+
+Backfilling needs to answer: *when, at the earliest, can this job get
+its nodes **and** its pool memory, and on which nodes?*  The
+:class:`AvailabilityProfile` answers it by replaying the future as
+currently known:
+
+* each running job returns its nodes and pool grants at its estimated
+  end (walltime-bound, dilation-adjusted by the caller);
+* each **reservation** (a promised future start) removes resources
+  over its ``[start, end)`` window.
+
+The profile is exact at node granularity — reservations hold concrete
+node ids, not just counts — because rack-local pools make placement
+identity matter: 16 free nodes spread over 4 racks cannot use a single
+rack's pool the way 16 nodes in one rack can.
+
+Overrun clamp: a running job whose estimate has already expired (only
+possible under the ``none`` kill policy) is treated as ending shortly
+after *now*; the classic "expected to end any moment" convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+    from ..memdis.allocator import PoolAllocator
+    from .placement import PlacementPolicy
+
+__all__ = ["Reservation", "AvailabilityProfile"]
+
+_OVERRUN_GRACE = 1.0  # seconds: expected end for already-overrun jobs
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A promised window of resources for one job."""
+
+    job_id: int
+    start: float
+    end: float
+    node_ids: Tuple[int, ...]
+    pool_grants: Tuple[Tuple[str, int], ...]  # sorted (pool_id, MiB)
+
+    @property
+    def plan(self) -> Dict[str, int]:
+        return dict(self.pool_grants)
+
+
+class AvailabilityProfile:
+    """Timeline of free nodes and free pool capacity.
+
+    Built from a snapshot of the cluster plus the running set; callers
+    then add (and remove) reservations.  All queries are pure — the
+    profile never touches live cluster state.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        running: Iterable[Job],
+        now: float,
+        duration_of: Callable[[Job], float],
+    ) -> None:
+        """``duration_of(job)`` is the *total* estimated occupancy of a
+        running job (e.g. its dilated walltime); the profile derives
+        the remaining time from ``job.start_time``."""
+        self._cluster = cluster
+        self._now = now
+        self._base_free: FrozenSet[int] = frozenset(
+            node.node_id for node in cluster.free_nodes()
+        )
+        self._base_pool_free: Dict[str, int] = {
+            pool.pool_id: pool.free for pool in cluster.all_pools()
+        }
+        # (time, node_ids returned, {pool: MiB returned})
+        self._releases: List[Tuple[float, Tuple[int, ...], Dict[str, int]]] = []
+        for job in running:
+            if job.start_time is None:
+                continue
+            est_end = job.start_time + duration_of(job)
+            if est_end <= now:
+                est_end = now + _OVERRUN_GRACE
+            self._releases.append(
+                (est_end, tuple(job.assigned_nodes), dict(job.pool_grants))
+            )
+        self._releases.sort(key=lambda item: item[0])
+        self._reservations: List[Reservation] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def reservations(self) -> List[Reservation]:
+        return list(self._reservations)
+
+    def add_reservation(self, reservation: Reservation) -> Reservation:
+        self._reservations.append(reservation)
+        return reservation
+
+    def remove_reservation(self, reservation: Reservation) -> None:
+        self._reservations.remove(reservation)
+
+    # ------------------------------------------------------------------
+    def breakpoints(self, after: Optional[float] = None) -> List[float]:
+        """Times at which availability can change, ascending.
+
+        Candidate start instants for any job: *now* (or ``after``) plus
+        every future release/reservation boundary.
+        """
+        start = self._now if after is None else max(after, self._now)
+        times = {start}
+        for time, _, _ in self._releases:
+            if time > start:
+                times.add(time)
+        for res in self._reservations:
+            if res.start > start:
+                times.add(res.start)
+            if res.end > start:
+                times.add(res.end)
+        return sorted(times)
+
+    # ------------------------------------------------------------------
+    def free_at(self, time: float) -> Tuple[FrozenSet[int], Dict[str, int]]:
+        """Free node set and pool free MiB at instant ``time``."""
+        free = set(self._base_free)
+        pool = dict(self._base_pool_free)
+        for rel_time, node_ids, grants in self._releases:
+            if rel_time <= time + _EPS:
+                free.update(node_ids)
+                for pool_id, amount in grants.items():
+                    pool[pool_id] = pool.get(pool_id, 0) + amount
+        for res in self._reservations:
+            if res.start <= time + _EPS and time < res.end - _EPS:
+                free.difference_update(res.node_ids)
+                for pool_id, amount in res.pool_grants:
+                    pool[pool_id] = pool.get(pool_id, 0) - amount
+        return frozenset(free), pool
+
+    def window_free(
+        self, start: float, duration: float
+    ) -> Tuple[FrozenSet[int], Dict[str, int]]:
+        """Nodes free *throughout* ``[start, start+duration)`` and the
+        per-pool minimum free capacity over the window.
+
+        Nodes: free at ``start`` minus any node claimed by a
+        reservation beginning inside the window (releases only add).
+        Pools: minimum of the step series over the window, because a
+        reservation starting mid-window dips availability.
+        """
+        end = start + duration
+        free, pool = self.free_at(start)
+        pool_min = dict(pool)
+        if self._reservations:
+            claimed: set[int] = set()
+            # Track pool level changes inside the window.
+            events: List[Tuple[float, Dict[str, int], int]] = []
+            for res in self._reservations:
+                if start + _EPS < res.start < end - _EPS:
+                    claimed.update(res.node_ids)
+                    events.append((res.start, dict(res.pool_grants), -1))
+                if start + _EPS < res.end < end - _EPS:
+                    events.append((res.end, dict(res.pool_grants), +1))
+            for rel_time, _, grants in self._releases:
+                if start + _EPS < rel_time < end - _EPS and grants:
+                    events.append((rel_time, grants, +1))
+            if claimed:
+                free = frozenset(free - claimed)
+            if events:
+                level = dict(pool)
+                for _, grants, sign in sorted(events, key=lambda ev: ev[0]):
+                    for pool_id, amount in grants.items():
+                        level[pool_id] = level.get(pool_id, 0) + sign * amount
+                        if level[pool_id] < pool_min.get(pool_id, 0):
+                            pool_min[pool_id] = level[pool_id]
+        return free, pool_min
+
+    # ------------------------------------------------------------------
+    def earliest_start(
+        self,
+        job: Job,
+        duration: float,
+        remote_per_node: int,
+        placement: "PlacementPolicy",
+        allocator: "PoolAllocator",
+        after: Optional[float] = None,
+        memory_aware: bool = True,
+    ) -> Optional[Reservation]:
+        """Earliest reservation satisfying nodes (and, when
+        ``memory_aware``, pool memory) for the job's whole window.
+
+        Returns ``None`` only when the job cannot run even on an empty
+        machine (too many nodes, or remote demand exceeding total pool
+        reach) — callers treat that as "reject".
+        """
+        for t in self.breakpoints(after=after):
+            free, pool_min = self.window_free(t, duration)
+            if len(free) < job.nodes:
+                continue
+            node_ids = placement.select(
+                self._cluster, free, job.nodes, remote_per_node, pool_min
+            )
+            if node_ids is None:
+                continue
+            if not memory_aware or remote_per_node == 0:
+                plan: Optional[Dict[str, int]] = {}
+            else:
+                plan = allocator.plan(
+                    self._cluster, node_ids, remote_per_node, free_override=pool_min
+                )
+                if plan is None:
+                    continue
+            return Reservation(
+                job_id=job.job_id,
+                start=t,
+                end=t + duration,
+                node_ids=tuple(node_ids),
+                pool_grants=tuple(sorted((plan or {}).items())),
+            )
+        return None

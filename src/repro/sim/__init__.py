@@ -1,0 +1,15 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage replaces the simpy dependency of the original artifact
+with a small event-calendar kernel whose ordering is fully specified:
+events fire in ``(time, priority, sequence)`` order, so two simulations
+with the same inputs produce byte-identical schedules.  See
+:mod:`repro.sim.engine` for the run loop.
+"""
+
+from .events import Event, EventPriority
+from .queue import EventQueue
+from .engine import Simulator
+from .rng import RandomStreams
+
+__all__ = ["Event", "EventPriority", "EventQueue", "Simulator", "RandomStreams"]

@@ -1,0 +1,145 @@
+"""The simulation run loop.
+
+:class:`Simulator` owns the clock and the event calendar.  Client code
+schedules callbacks at absolute times or delays and then calls
+:meth:`Simulator.run`.  The kernel is intentionally minimal — no
+processes, no channels — because the batch-scheduling engine built on
+top (:mod:`repro.engine.simulation`) is naturally event-oriented:
+everything happens at job submission and completion instants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .events import Event, EventPriority
+from .queue import EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulator with a deterministic event calendar."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._seq = 0
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        *,
+        priority: int = EventPriority.GENERIC,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``.
+
+        Scheduling in the past is an error; scheduling *at* the current
+        instant is allowed (the event fires after the current callback
+        returns, ordered by priority/sequence).
+        """
+        if math.isnan(time):
+            raise SimulationError("cannot schedule event at NaN time")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        event = Event(
+            time=float(time),
+            priority=int(priority),
+            seq=self._seq,
+            callback=callback,
+            payload=payload,
+        )
+        self._seq += 1
+        self._queue.push(event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[Event], None],
+        *,
+        priority: int = EventPriority.GENERIC,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, payload=payload
+        )
+
+    def cancel(self, event: Event) -> None:
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Process events in order until the calendar empties.
+
+        ``until`` stops the clock at that time: events strictly later
+        stay in the calendar and the clock is advanced to ``until``.
+        ``max_events`` guards against runaway feedback loops (each
+        processed event counts).  Returns the final clock value.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue.peek()
+                if until is not None and event.time > until:
+                    break
+                self._queue.pop()
+                self._now = event.time
+                self._events_processed += 1
+                event.callback(event)
+                if max_events is not None and self._events_processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a scheduling feedback loop"
+                    )
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def step(self) -> Event:
+        """Process exactly one event (test/debug helper)."""
+        event = self._queue.pop()
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(event)
+        return event

@@ -1,0 +1,76 @@
+"""Event objects and their deterministic ordering.
+
+An :class:`Event` couples a firing time with a callback.  Ordering is a
+strict total order on ``(time, priority, seq)``:
+
+* ``time`` — simulation seconds;
+* ``priority`` — small integers; lower fires first.  The scheduler uses
+  this to guarantee that at one instant, job completions are processed
+  before the scheduling pass that might reuse their resources, and
+  submissions before that same pass sees the queue;
+* ``seq`` — insertion counter, breaking remaining ties in FIFO order.
+
+The total order is what makes simulations reproducible: Python heaps
+are not stable, so without ``seq`` two events at the same instant could
+fire in either order from run to run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Canonical intra-instant processing order for the batch engine.
+
+    At one simulation instant resources freed by finishing jobs must be
+    visible to the scheduling pass, and newly submitted jobs must be in
+    the queue before that pass runs; hence FINISH < SUBMIT < SCHEDULE.
+    """
+
+    FINISH = 0
+    KILL = 1
+    SUBMIT = 2
+    SCHEDULE = 3
+    SAMPLE = 4
+    GENERIC = 5
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)``; the payload and
+    callback never participate in ordering.  ``cancelled`` events stay
+    in the calendar but are skipped when popped (lazy deletion), which
+    keeps cancellation O(1).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[["Event"], None]
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it; idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"Event(t={self.time:.3f}, prio={self.priority}, "
+            f"seq={self.seq}{state}, payload={self.payload!r})"
+        )

@@ -1,0 +1,74 @@
+"""Binary-heap event calendar with lazy cancellation."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from .events import Event
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, priority, seq)``.
+
+    Cancelled events are dropped lazily at pop time; ``__len__`` counts
+    only live events so emptiness checks remain meaningful.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises :class:`IndexError` when no live events remain, matching
+        list/heapq conventions.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest live event."""
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return event
+        raise IndexError("peek at empty EventQueue")
+
+    def cancel(self, event: Event) -> None:
+        """Cancel an event still in the calendar.
+
+        Idempotent: cancelling an already-cancelled event is a no-op.
+        """
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every live event in order (used by tests)."""
+        while self:
+            yield self.pop()
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,46 @@
+"""Workload substrate: jobs, traces, and synthetic generators."""
+
+from .job import Job, JobState
+from .models import (
+    LogNormal,
+    Exponential,
+    Weibull,
+    BoundedPareto,
+    Choice,
+    Distribution,
+)
+from .synthetic import SyntheticWorkload, WorkloadParams
+from .swf import read_swf, write_swf, jobs_from_swf_text, jobs_to_swf_text, SWFFields
+from .reference import reference_workload, REFERENCE_WORKLOADS
+from .filters import (
+    scale_load,
+    truncate_jobs,
+    filter_jobs,
+    shift_submit_times,
+    cap_memory,
+)
+
+__all__ = [
+    "Job",
+    "JobState",
+    "Distribution",
+    "LogNormal",
+    "Exponential",
+    "Weibull",
+    "BoundedPareto",
+    "Choice",
+    "SyntheticWorkload",
+    "WorkloadParams",
+    "read_swf",
+    "write_swf",
+    "jobs_from_swf_text",
+    "jobs_to_swf_text",
+    "SWFFields",
+    "reference_workload",
+    "REFERENCE_WORKLOADS",
+    "scale_load",
+    "truncate_jobs",
+    "filter_jobs",
+    "shift_submit_times",
+    "cap_memory",
+]

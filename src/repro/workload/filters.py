@@ -1,0 +1,96 @@
+"""Trace surgery utilities: slicing, scaling, and capping job lists.
+
+All functions return *new* job lists built from fresh PENDING copies;
+input jobs are never mutated, so a trace can be reused across
+experiment arms without state leaking between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from ..errors import ConfigurationError
+from .job import Job
+
+__all__ = [
+    "scale_load",
+    "truncate_jobs",
+    "filter_jobs",
+    "shift_submit_times",
+    "cap_memory",
+    "cap_nodes",
+    "reset_jobs",
+]
+
+
+def reset_jobs(jobs: Iterable[Job]) -> List[Job]:
+    """Fresh PENDING copies of every job (reuse a trace across runs)."""
+    return [job.copy_request() for job in jobs]
+
+
+def scale_load(jobs: Iterable[Job], factor: float) -> List[Job]:
+    """Compress (factor > 1) or stretch (factor < 1) arrivals.
+
+    Dividing inter-arrival gaps by ``factor`` multiplies offered load
+    by ``factor`` while preserving arrival-order and burst structure.
+    """
+    if factor <= 0:
+        raise ConfigurationError("load factor must be positive")
+    jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+    if not jobs:
+        return []
+    origin = jobs[0].submit_time
+    out = []
+    for job in jobs:
+        copy = job.copy_request()
+        copy.submit_time = origin + (job.submit_time - origin) / factor
+        out.append(copy)
+    return out
+
+
+def truncate_jobs(jobs: Iterable[Job], max_jobs: int) -> List[Job]:
+    """Keep the first ``max_jobs`` jobs by submit order."""
+    if max_jobs < 0:
+        raise ConfigurationError("max_jobs must be non-negative")
+    ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+    return reset_jobs(ordered[:max_jobs])
+
+
+def filter_jobs(jobs: Iterable[Job], predicate: Callable[[Job], bool]) -> List[Job]:
+    """Keep jobs satisfying ``predicate`` (fresh copies)."""
+    return reset_jobs(job for job in jobs if predicate(job))
+
+
+def shift_submit_times(jobs: Iterable[Job], offset: float) -> List[Job]:
+    """Shift all submit times by ``offset`` (clamped at zero)."""
+    out = []
+    for job in jobs:
+        copy = job.copy_request()
+        copy.submit_time = max(0.0, job.submit_time + offset)
+        out.append(copy)
+    return sorted(out, key=lambda j: (j.submit_time, j.job_id))
+
+
+def cap_memory(jobs: Iterable[Job], max_mem_per_node: int) -> List[Job]:
+    """Clamp per-node memory requests (and usage) to a machine maximum."""
+    if max_mem_per_node <= 0:
+        raise ConfigurationError("max_mem_per_node must be positive")
+    out = []
+    for job in jobs:
+        copy = job.copy_request()
+        copy.mem_per_node = min(job.mem_per_node, max_mem_per_node)
+        copy.mem_used_per_node = min(job.mem_used_per_node, copy.mem_per_node)
+        out.append(copy)
+    return out
+
+
+def cap_nodes(jobs: Iterable[Job], max_nodes: int) -> List[Job]:
+    """Clamp node requests to the machine size."""
+    if max_nodes <= 0:
+        raise ConfigurationError("max_nodes must be positive")
+    out = []
+    for job in jobs:
+        copy = job.copy_request()
+        copy.nodes = min(job.nodes, max_nodes)
+        out.append(copy)
+    return out

@@ -1,0 +1,197 @@
+"""The job model.
+
+A :class:`Job` carries the immutable request (what the user submitted)
+plus the mutable execution record filled in by the engine (start/end,
+node assignment, memory grants, dilation).  Keeping both on one object
+makes post-hoc auditing straightforward: the auditor can re-derive
+every invariant from the jobs alone.
+
+Requested vs used memory: ``mem_per_node`` is what the job *asked for*
+(and what the scheduler must reserve); ``mem_used_per_node`` is the
+high-water mark it actually touches.  The gap between the two, summed
+over a machine, is the **stranded memory** that motivates
+disaggregation (experiment F1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"  # exceeded its (possibly dilated) walltime bound
+    REJECTED = "rejected"  # can never fit the machine; refused at submit
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.KILLED, JobState.REJECTED)
+
+
+_job_counter = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One batch job: the request plus its execution record."""
+
+    # ----- request (immutable by convention) --------------------------
+    job_id: int
+    submit_time: float
+    nodes: int
+    walltime: float  # user estimate / kill bound, seconds
+    runtime: float  # true base runtime on all-local memory, seconds
+    mem_per_node: int  # requested MiB per node
+    mem_used_per_node: int = -1  # actual high-water MiB; -1 = same as requested
+    user: str = "user0"
+    group: str = "group0"
+    tag: str = ""  # free-form class label (e.g. "data", "compute")
+    # Checkpointing: when set, the application writes a checkpoint
+    # every ``checkpoint_interval`` seconds of *base* (undilated)
+    # progress; after a node-failure kill the engine resubmits a
+    # continuation job that resumes from the last checkpoint.
+    checkpoint_interval: Optional[float] = None
+    restart_of: Optional[int] = None  # original job id for continuations
+    restart_count: int = 0
+
+    # ----- execution record (filled by the engine) --------------------
+    state: JobState = JobState.PENDING
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    assigned_nodes: List[int] = field(default_factory=list)
+    local_grant_per_node: int = 0
+    remote_per_node: int = 0
+    pool_grants: Dict[str, int] = field(default_factory=dict)  # pool_id -> MiB total
+    dilation: float = 0.0  # penalty(f); realized runtime = runtime * (1 + dilation)
+    kill_reason: str = ""  # "walltime" | "node_failure" | "" when not killed
+
+    def __post_init__(self) -> None:
+        if self.mem_used_per_node < 0:
+            self.mem_used_per_node = self.mem_per_node
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if self.nodes <= 0:
+            raise ConfigurationError(f"job {self.job_id}: nodes must be positive")
+        if self.submit_time < 0:
+            raise ConfigurationError(f"job {self.job_id}: negative submit time")
+        if self.walltime <= 0:
+            raise ConfigurationError(f"job {self.job_id}: walltime must be positive")
+        if self.runtime <= 0:
+            raise ConfigurationError(f"job {self.job_id}: runtime must be positive")
+        if self.mem_per_node < 0:
+            raise ConfigurationError(f"job {self.job_id}: negative memory request")
+        if self.mem_used_per_node > self.mem_per_node:
+            raise ConfigurationError(
+                f"job {self.job_id}: used memory {self.mem_used_per_node} exceeds "
+                f"requested {self.mem_per_node}"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"job {self.job_id}: checkpoint interval must be positive"
+            )
+
+    # ------------------------------------------------------------------
+    # request-side derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_mem(self) -> int:
+        """Total requested memory across all nodes (MiB)."""
+        return self.nodes * self.mem_per_node
+
+    @property
+    def node_seconds(self) -> float:
+        """Requested node-time by user estimate (for load computations)."""
+        return self.nodes * self.walltime
+
+    @property
+    def estimate_accuracy(self) -> float:
+        """actual / estimate, the classic user-estimate accuracy metric."""
+        return min(1.0, self.runtime / self.walltime)
+
+    # ------------------------------------------------------------------
+    # execution-side derived quantities (valid once started/finished)
+    # ------------------------------------------------------------------
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of the per-node footprint served remotely."""
+        if self.mem_per_node == 0:
+            return 0.0
+        return self.remote_per_node / self.mem_per_node
+
+    @property
+    def dilated_runtime(self) -> float:
+        return self.runtime * (1.0 + self.dilation)
+
+    @property
+    def dilated_walltime(self) -> float:
+        return self.walltime * (1.0 + self.dilation)
+
+    @property
+    def wait_time(self) -> float:
+        if self.start_time is None:
+            raise ValueError(f"job {self.job_id} has not started")
+        return self.start_time - self.submit_time
+
+    @property
+    def response_time(self) -> float:
+        if self.end_time is None:
+            raise ValueError(f"job {self.job_id} has not finished")
+        return self.end_time - self.submit_time
+
+    @property
+    def actual_runtime(self) -> float:
+        if self.end_time is None or self.start_time is None:
+            raise ValueError(f"job {self.job_id} has not finished")
+        return self.end_time - self.start_time
+
+    def bounded_slowdown(self, tau: float = 10.0) -> float:
+        """Bounded slowdown, the standard job-scheduling metric.
+
+        ``max(1, response / max(tau, base_runtime))`` with the usual
+        10-second bound so sub-second jobs do not dominate the mean.
+        The *base* (undilated) runtime is the denominator, so dilation
+        shows up as increased slowdown — deliberately, since the user
+        experiences it as lost time.
+        """
+        return max(1.0, self.response_time / max(tau, self.runtime))
+
+    # ------------------------------------------------------------------
+    def copy_request(self) -> "Job":
+        """Fresh PENDING job with the same request (re-run support)."""
+        return Job(
+            job_id=self.job_id,
+            submit_time=self.submit_time,
+            nodes=self.nodes,
+            walltime=self.walltime,
+            runtime=self.runtime,
+            mem_per_node=self.mem_per_node,
+            mem_used_per_node=self.mem_used_per_node,
+            user=self.user,
+            group=self.group,
+            tag=self.tag,
+            checkpoint_interval=self.checkpoint_interval,
+            restart_of=self.restart_of,
+            restart_count=self.restart_count,
+        )
+
+    @classmethod
+    def next_id(cls) -> int:
+        """Process-wide unique id for ad-hoc job construction in tests."""
+        return next(_job_counter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Job(#{self.job_id} n={self.nodes} m={self.mem_per_node}MiB "
+            f"rt={self.runtime:.0f}s wt={self.walltime:.0f}s {self.state.value})"
+        )

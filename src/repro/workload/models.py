@@ -1,0 +1,223 @@
+"""Seedable statistical distributions for workload synthesis.
+
+Thin wrappers over :mod:`numpy.random` generators with a common
+``sample(rng)`` interface, dict round-trips for JSON configs, and the
+truncation/discretization conveniences workload models need (runtimes
+are bounded, node counts are integers biased to powers of two, memory
+footprints are heavy-tailed but capped at the machine maximum).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Distribution",
+    "LogNormal",
+    "Exponential",
+    "Weibull",
+    "BoundedPareto",
+    "Uniform",
+    "Constant",
+    "Choice",
+    "distribution_from_dict",
+]
+
+
+class Distribution(abc.ABC):
+    """A scalar distribution sampled with an explicit generator."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        ...
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Analytic mean (used to calibrate workload load factors)."""
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.array([self.sample(rng) for _ in range(n)])
+
+    def to_dict(self) -> dict[str, Any]:
+        data = {"kind": type(self).__name__.lower()}
+        data.update(self.__dict__)
+        return data
+
+
+@dataclass
+class Constant(Distribution):
+    value: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass
+class Uniform(Distribution):
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ConfigurationError(f"Uniform: high {self.high} < low {self.low}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass
+class Exponential(Distribution):
+    """Exponential with the given mean (inter-arrival workhorse)."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ConfigurationError("Exponential mean must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_value))
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass
+class Weibull(Distribution):
+    """Weibull(shape, scale); shape<1 gives the bursty arrivals seen in
+    production traces."""
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or self.scale <= 0:
+            raise ConfigurationError("Weibull shape/scale must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+
+@dataclass
+class LogNormal(Distribution):
+    """Lognormal parameterized by the *underlying* normal's mu/sigma,
+    optionally truncated to [low, high] by resampling (runtimes)."""
+
+    mu: float
+    sigma: float
+    low: float = 0.0
+    high: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError("LogNormal sigma must be non-negative")
+        if self.high <= self.low:
+            raise ConfigurationError("LogNormal truncation bounds inverted")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        for _ in range(1000):
+            value = float(rng.lognormal(self.mu, self.sigma))
+            if self.low <= value <= self.high:
+                return value
+        # Pathological truncation: clamp rather than loop forever.
+        return min(max(self.low, math.exp(self.mu)), self.high)
+
+    def mean(self) -> float:
+        # Mean of the *untruncated* lognormal; adequate for load
+        # calibration because experiments use mild truncation.
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+
+@dataclass
+class BoundedPareto(Distribution):
+    """Bounded Pareto — the canonical heavy-tailed memory model."""
+
+    alpha: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError("BoundedPareto alpha must be positive")
+        if not (0 < self.low < self.high):
+            raise ConfigurationError("BoundedPareto requires 0 < low < high")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = float(rng.uniform())
+        la, ha = self.low**self.alpha, self.high**self.alpha
+        # Inverse CDF of the bounded Pareto.
+        return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / self.alpha)
+
+    def mean(self) -> float:
+        a, l, h = self.alpha, self.low, self.high
+        if a == 1.0:
+            return math.log(h / l) * l * h / (h - l)
+        num = l**a * a * (h ** (1 - a) - l ** (1 - a))
+        den = (1 - a) * (1 - (l / h) ** a)
+        return num / den
+
+
+@dataclass
+class Choice(Distribution):
+    """Discrete distribution over explicit values (node counts)."""
+
+    values: Sequence[float]
+    weights: Sequence[float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError("Choice needs at least one value")
+        if self.weights is not None:
+            if len(self.weights) != len(self.values):
+                raise ConfigurationError("Choice weights/values length mismatch")
+            if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+                raise ConfigurationError("Choice weights must be non-negative, sum>0")
+
+    def _probs(self) -> np.ndarray:
+        if self.weights is None:
+            return np.full(len(self.values), 1.0 / len(self.values))
+        weights = np.asarray(self.weights, dtype=float)
+        return weights / weights.sum()
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.choice(np.asarray(self.values, dtype=float), p=self._probs()))
+
+    def mean(self) -> float:
+        return float(np.dot(np.asarray(self.values, dtype=float), self._probs()))
+
+
+_KINDS = {
+    "constant": Constant,
+    "uniform": Uniform,
+    "exponential": Exponential,
+    "weibull": Weibull,
+    "lognormal": LogNormal,
+    "boundedpareto": BoundedPareto,
+    "choice": Choice,
+}
+
+
+def distribution_from_dict(data: Mapping[str, Any]) -> Distribution:
+    """Rebuild a distribution from its ``to_dict`` form."""
+    data = dict(data)
+    kind = data.pop("kind", None)
+    cls = _KINDS.get(str(kind).lower())
+    if cls is None:
+        raise ConfigurationError(f"unknown distribution kind {kind!r}")
+    return cls(**data)

@@ -1,0 +1,162 @@
+"""Reference workload mixes used throughout the evaluation.
+
+Three mixes span the memory-intensity spectrum (experiment T1
+characterizes them quantitatively):
+
+* ``W-COMP`` — compute-heavy: 85% low-memory jobs; the fat-node
+  baseline strands most of its DRAM here, so disaggregation saves
+  hardware at no performance cost;
+* ``W-MIX``  — balanced: the default mix;
+* ``W-DATA`` — data-intensive: over half the jobs carry a heavy-tailed
+  memory footprint that exceeds thin-node local capacity, so
+  scheduling policy and pool sizing dominate.
+
+Each factory returns :class:`~repro.workload.synthetic.WorkloadParams`
+pre-capped to the target machine and calibrated to a requested offered
+load; generation still requires a seed via ``RandomStreams``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStreams
+from ..units import GiB, HOUR
+from .job import Job
+from .models import LogNormal, Uniform, Weibull
+from .synthetic import MemoryClass, SyntheticWorkload, WorkloadParams, power_of_two_nodes
+
+__all__ = ["reference_workload", "generate_reference_jobs", "REFERENCE_WORKLOADS"]
+
+
+def _base_params(num_jobs: int, max_nodes: int, max_mem_per_node: int) -> WorkloadParams:
+    return WorkloadParams(
+        num_jobs=num_jobs,
+        nodes=power_of_two_nodes(max(1, max_nodes // 2)),
+        runtime=LogNormal(mu=math.log(1.0 * HOUR), sigma=1.1, low=120.0, high=12 * HOUR),
+        estimate_inflation=Uniform(1.2, 4.0),
+        exact_estimate_prob=0.15,
+        max_walltime=24 * HOUR,
+        max_nodes=max_nodes,
+        max_mem_per_node=max_mem_per_node,
+    )
+
+
+def _w_comp(num_jobs: int, max_nodes: int, max_mem_per_node: int) -> WorkloadParams:
+    params = _base_params(num_jobs, max_nodes, max_mem_per_node)
+    return replace(
+        params,
+        memory_classes=[
+            MemoryClass(
+                "compute",
+                0.85,
+                LogNormal(mu=math.log(6 * GiB), sigma=0.6, low=256, high=48 * GiB),
+                usage_ratio=Uniform(0.55, 0.95),
+            ),
+            MemoryClass(
+                "data",
+                0.15,
+                LogNormal(mu=math.log(64 * GiB), sigma=0.6, low=8 * GiB, high=256 * GiB),
+                usage_ratio=Uniform(0.6, 1.0),
+            ),
+        ],
+    )
+
+
+def _w_mix(num_jobs: int, max_nodes: int, max_mem_per_node: int) -> WorkloadParams:
+    params = _base_params(num_jobs, max_nodes, max_mem_per_node)
+    return replace(
+        params,
+        memory_classes=[
+            MemoryClass(
+                "compute",
+                0.6,
+                LogNormal(mu=math.log(8 * GiB), sigma=0.7, low=256, high=64 * GiB),
+                usage_ratio=Uniform(0.5, 0.95),
+            ),
+            MemoryClass(
+                "data",
+                0.4,
+                LogNormal(mu=math.log(112 * GiB), sigma=0.7, low=16 * GiB, high=448 * GiB),
+                usage_ratio=Uniform(0.6, 1.0),
+            ),
+        ],
+    )
+
+
+def _w_data(num_jobs: int, max_nodes: int, max_mem_per_node: int) -> WorkloadParams:
+    params = _base_params(num_jobs, max_nodes, max_mem_per_node)
+    return replace(
+        params,
+        # Bursty arrivals: data-analysis campaigns come in waves.
+        interarrival=Weibull(shape=0.7, scale=45.0),
+        memory_classes=[
+            MemoryClass(
+                "compute",
+                0.45,
+                LogNormal(mu=math.log(10 * GiB), sigma=0.7, low=512, high=64 * GiB),
+                usage_ratio=Uniform(0.5, 0.95),
+            ),
+            MemoryClass(
+                "data",
+                0.55,
+                LogNormal(mu=math.log(160 * GiB), sigma=0.8, low=32 * GiB, high=504 * GiB),
+                usage_ratio=Uniform(0.65, 1.0),
+            ),
+        ],
+    )
+
+
+REFERENCE_WORKLOADS: Dict[str, Callable[[int, int, int], WorkloadParams]] = {
+    "W-COMP": _w_comp,
+    "W-MIX": _w_mix,
+    "W-DATA": _w_data,
+}
+
+
+def reference_workload(
+    name: str,
+    num_jobs: int = 1000,
+    cluster_nodes: int = 128,
+    max_mem_per_node: int = 512 * GiB,
+    target_load: float | None = 0.85,
+) -> WorkloadParams:
+    """Build one of the reference mixes, optionally load-calibrated.
+
+    ``max_mem_per_node`` caps requested memory at the *fat* baseline so
+    every job is feasible on every configuration compared (thin nodes
+    rely on the pool for the excess).
+    """
+    try:
+        factory = REFERENCE_WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown reference workload {name!r}; "
+            f"choose from {sorted(REFERENCE_WORKLOADS)}"
+        ) from None
+    params = factory(num_jobs, cluster_nodes, max_mem_per_node)
+    if target_load is not None:
+        params = params.calibrated_for_load(cluster_nodes, target_load)
+    return params
+
+
+def generate_reference_jobs(
+    name: str,
+    seed: int,
+    num_jobs: int = 1000,
+    cluster_nodes: int = 128,
+    max_mem_per_node: int = 512 * GiB,
+    target_load: float | None = 0.85,
+) -> List[Job]:
+    """One-call convenience: parameters + generation."""
+    params = reference_workload(
+        name,
+        num_jobs=num_jobs,
+        cluster_nodes=cluster_nodes,
+        max_mem_per_node=max_mem_per_node,
+        target_load=target_load,
+    )
+    return SyntheticWorkload(params).generate(RandomStreams(seed))

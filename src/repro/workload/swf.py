@@ -1,0 +1,279 @@
+"""Standard Workload Format (SWF) parsing and writing.
+
+SWF is the lingua franca of the job-scheduling literature (Feitelson's
+Parallel Workloads Archive): one line per job, 18 whitespace-separated
+fields, ``;`` comment/header lines, ``-1`` for unknown values.  The
+original study replayed production traces; this module lets any SWF
+trace drop into our simulator unchanged, and — because most public SWF
+traces lack memory columns — supports *memory synthesis*: missing
+requested/used memory fields are drawn from a caller-supplied
+distribution so memory-aware policies stay exercised.
+
+Field map (1-based, per the SWF standard):
+
+==  =============================  =========================================
+ 1  job number                     ``job_id``
+ 2  submit time (s)                ``submit_time``
+ 4  run time (s)                   ``runtime``
+ 7  used memory (KB per proc)      ``mem_used_per_node`` (converted)
+ 8  requested processors           ``nodes`` (ceil-divided by cores/node)
+ 9  requested time (s)             ``walltime``
+10  requested memory (KB per proc) ``mem_per_node`` (converted)
+11  status                         terminal-state filter
+12  user id                        ``user``
+13  group id                       ``group``
+==  =============================  =========================================
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, TextIO, Tuple
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from ..sim.rng import RandomStreams
+from .job import Job
+from .models import Distribution
+
+__all__ = [
+    "SWFFields",
+    "read_swf",
+    "write_swf",
+    "jobs_from_swf_text",
+    "jobs_to_swf_text",
+]
+
+_NUM_FIELDS = 18
+
+
+@dataclass
+class SWFFields:
+    """Conversion conventions between SWF fields and our job model.
+
+    ``cores_per_node`` converts SWF "processors" to whole nodes
+    (ceiling) and scales the per-processor memory columns to per-node
+    MiB.  Traces that already count nodes use the default of 1.
+    """
+
+    cores_per_node: int = 1
+    keep_failed: bool = False  # SWF status 0 = failed; keep as jobs?
+
+    def procs_to_nodes(self, procs: int) -> int:
+        return -(-procs // self.cores_per_node)
+
+    def kb_per_proc_to_mib_per_node(self, kb: float) -> int:
+        return int(round(kb * self.cores_per_node / 1024.0))
+
+    def mib_per_node_to_kb_per_proc(self, mib: int) -> int:
+        return int(round(mib * 1024.0 / self.cores_per_node))
+
+
+def _parse_line(line: str, lineno: int) -> List[float]:
+    parts = line.split()
+    if len(parts) < _NUM_FIELDS:
+        # Tolerate short lines by padding with -1 (some archive traces
+        # drop trailing unknown fields).
+        parts = parts + ["-1"] * (_NUM_FIELDS - len(parts))
+    try:
+        return [float(p) for p in parts[:_NUM_FIELDS]]
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: non-numeric SWF field: {exc}") from exc
+
+
+def jobs_from_swf_text(
+    text: str,
+    fields: Optional[SWFFields] = None,
+    mem_synth: Optional[Distribution] = None,
+    usage_ratio_synth: Optional[Distribution] = None,
+    streams: Optional[RandomStreams] = None,
+) -> Tuple[List[Job], dict]:
+    """Parse SWF text into jobs plus the header comment dict.
+
+    ``mem_synth`` supplies requested per-node MiB when field 10 is
+    missing; ``usage_ratio_synth`` supplies used/requested ratios when
+    field 7 is missing.  Both default to "requested == synthesized,
+    used == requested".  Jobs with non-positive runtime or processor
+    count are skipped (archive traces contain cancelled entries).
+    """
+    fields = fields or SWFFields()
+    streams = streams or RandomStreams(0)
+    rng: np.random.Generator = streams.get("swf-mem-synth")
+
+    header: dict = {}
+    jobs: List[Job] = []
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            body = line.lstrip("; ")
+            if ":" in body:
+                key, _, value = body.partition(":")
+                header[key.strip()] = value.strip()
+            continue
+        vals = _parse_line(line, lineno)
+        (
+            job_num,
+            submit,
+            _wait,
+            run_time,
+            _procs_alloc,
+            _avg_cpu,
+            used_kb,
+            procs_req,
+            req_time,
+            req_kb,
+            status,
+            user_id,
+            group_id,
+            _app,
+            _queue,
+            _partition,
+            _prec,
+            _think,
+        ) = vals
+
+        if procs_req <= 0:
+            procs_req = _procs_alloc
+        if procs_req <= 0 or run_time <= 0:
+            continue
+        if status == 5:  # cancelled before start
+            continue
+        if status == 0 and not fields.keep_failed:  # failed
+            continue
+
+        nodes = fields.procs_to_nodes(int(procs_req))
+        walltime = req_time if req_time > 0 else run_time
+        runtime = min(run_time, walltime)
+
+        if req_kb > 0:
+            mem_req = max(1, fields.kb_per_proc_to_mib_per_node(req_kb))
+        elif mem_synth is not None:
+            mem_req = max(1, int(round(mem_synth.sample(rng))))
+        else:
+            mem_req = 1
+        if used_kb > 0:
+            mem_used = min(mem_req, max(1, fields.kb_per_proc_to_mib_per_node(used_kb)))
+        elif usage_ratio_synth is not None:
+            ratio = min(1.0, max(0.0, usage_ratio_synth.sample(rng)))
+            mem_used = max(1, int(round(mem_req * ratio)))
+        else:
+            mem_used = mem_req
+
+        jobs.append(
+            Job(
+                job_id=int(job_num) if job_num > 0 else len(jobs) + 1,
+                submit_time=max(0.0, submit),
+                nodes=nodes,
+                walltime=float(walltime),
+                runtime=float(runtime),
+                mem_per_node=mem_req,
+                mem_used_per_node=mem_used,
+                user=f"user{int(user_id)}" if user_id >= 0 else "user0",
+                group=f"group{int(group_id)}" if group_id >= 0 else "group0",
+            )
+        )
+    jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+    return jobs, header
+
+
+def read_swf(
+    path: str | Path,
+    fields: Optional[SWFFields] = None,
+    mem_synth: Optional[Distribution] = None,
+    usage_ratio_synth: Optional[Distribution] = None,
+    streams: Optional[RandomStreams] = None,
+) -> Tuple[List[Job], dict]:
+    """Parse an SWF file; see :func:`jobs_from_swf_text`."""
+    text = Path(path).read_text()
+    return jobs_from_swf_text(
+        text,
+        fields=fields,
+        mem_synth=mem_synth,
+        usage_ratio_synth=usage_ratio_synth,
+        streams=streams,
+    )
+
+
+def jobs_to_swf_text(
+    jobs: Iterable[Job],
+    fields: Optional[SWFFields] = None,
+    header: Optional[dict] = None,
+    include_memory: bool = True,
+) -> str:
+    """Serialize jobs as SWF.
+
+    Execution-record fields (wait time, status) are emitted when the
+    job has run; otherwise ``-1`` per the standard.  With
+    ``include_memory=False`` the memory columns are written as ``-1``
+    the way most archive traces ship — useful for producing fixtures
+    that exercise the memory-synthesis path of the parser.
+    """
+    fields = fields or SWFFields()
+    out = io.StringIO()
+    for key, value in (header or {}).items():
+        out.write(f"; {key}: {value}\n")
+    for job in jobs:
+        wait = job.start_time - job.submit_time if job.start_time is not None else -1
+        if job.state.name == "COMPLETED":
+            status = 1
+        elif job.state.name == "KILLED":
+            status = 0
+        else:
+            status = -1
+        run_time = (
+            job.end_time - job.start_time
+            if job.end_time is not None and job.start_time is not None
+            else job.runtime
+        )
+        procs = job.nodes * fields.cores_per_node
+        used_kb = (
+            fields.mib_per_node_to_kb_per_proc(job.mem_used_per_node)
+            if include_memory
+            else -1
+        )
+        req_kb = (
+            fields.mib_per_node_to_kb_per_proc(job.mem_per_node)
+            if include_memory
+            else -1
+        )
+        row = [
+            job.job_id,
+            int(job.submit_time),
+            int(wait) if wait != -1 else -1,
+            int(round(run_time)),
+            procs if status == 1 else -1,
+            -1,
+            used_kb,
+            procs,
+            int(round(job.walltime)),
+            req_kb,
+            status,
+            int(job.user.removeprefix("user") or 0) if job.user.startswith("user") else -1,
+            int(job.group.removeprefix("group") or 0) if job.group.startswith("group") else -1,
+            -1,
+            -1,
+            -1,
+            -1,
+            -1,
+        ]
+        out.write(" ".join(str(v) for v in row) + "\n")
+    return out.getvalue()
+
+
+def write_swf(
+    jobs: Iterable[Job],
+    path: str | Path,
+    fields: Optional[SWFFields] = None,
+    header: Optional[dict] = None,
+    include_memory: bool = True,
+) -> None:
+    Path(path).write_text(
+        jobs_to_swf_text(
+            jobs, fields=fields, header=header, include_memory=include_memory
+        )
+    )

@@ -1,0 +1,286 @@
+"""Tests for the analysis harness, config round-trips, and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ExperimentArm,
+    bootstrap_ci,
+    compare_table,
+    crossover_point,
+    mean_ci,
+    relative_change,
+    run_arms,
+    run_config,
+    run_replications,
+)
+from repro.cli import main as cli_main
+from repro.cluster import ClusterSpec
+from repro.config import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.sched import Scheduler, build_scheduler
+from repro.memdis import NoPenalty
+from repro.units import GiB
+from repro.workload import JobState
+from repro.workload.reference import generate_reference_jobs
+
+from .conftest import make_job
+
+
+def small_jobs(n=30):
+    return [
+        make_job(job_id=i + 1, submit=float(i * 30), nodes=1 + i % 2,
+                 runtime=120.0, walltime=240.0, mem=(4 + i % 8) * GiB)
+        for i in range(n)
+    ]
+
+
+def small_spec(**kwargs):
+    defaults = dict(num_nodes=4, nodes_per_rack=4)
+    defaults.update(kwargs)
+    return ClusterSpec.from_dict(
+        {**defaults, "node": {"local_mem": 16 * GiB},
+         "pool": {"global_pool": 32 * GiB}}
+    )
+
+
+class TestRunConfig:
+    def test_basic_run(self):
+        result, summary = run_config(
+            small_spec(), small_jobs(), label="arm-1",
+            penalty={"kind": "linear", "beta": 0.3},
+        )
+        assert summary.label == "arm-1"
+        assert summary.jobs_completed == 30
+        assert all(job.state is JobState.COMPLETED for job in result.jobs)
+
+    def test_jobs_not_mutated(self):
+        jobs = small_jobs()
+        run_config(small_spec(), jobs, penalty="none")
+        assert all(job.state is JobState.PENDING for job in jobs)
+
+    def test_scheduler_or_kwargs_not_both(self):
+        with pytest.raises(ValueError):
+            run_config(small_spec(), small_jobs(),
+                       scheduler=Scheduler(), queue="sjf")
+
+    def test_explicit_scheduler(self):
+        _, summary = run_config(
+            small_spec(), small_jobs(),
+            scheduler=Scheduler(penalty=NoPenalty()),
+        )
+        assert summary.jobs_completed == 30
+
+
+class TestRunArms:
+    def test_arms_share_trace_fairly(self):
+        jobs = small_jobs()
+        arms = [
+            ExperimentArm("easy", small_spec(),
+                          lambda: build_scheduler(backfill="easy", penalty="none")),
+            ExperimentArm("none", small_spec(),
+                          lambda: build_scheduler(backfill="none", penalty="none")),
+        ]
+        summaries = run_arms(arms, jobs, class_local_mem=16 * GiB)
+        assert [s.label for s in summaries] == ["easy", "none"]
+        assert all(s.jobs_total == 30 for s in summaries)
+        # Backfill can only help mean wait on the same trace.
+        assert summaries[0].wait["mean"] <= summaries[1].wait["mean"] + 1e-6
+
+
+class TestReplications:
+    def test_replication_seeds_differ_but_reproduce(self):
+        def make_jobs(streams):
+            return generate_reference_jobs(
+                "W-COMP", seed=streams.seed, num_jobs=40, cluster_nodes=4,
+                max_mem_per_node=16 * GiB, target_load=0.7,
+            )
+
+        def run_one(jobs):
+            _, summary = run_config(small_spec(), jobs, penalty="none")
+            return summary
+
+        a = run_replications(make_jobs, run_one, seeds=[1, 2, 3])
+        b = run_replications(make_jobs, run_one, seeds=[1, 2, 3])
+        waits_a = [s.wait["mean"] for s in a]
+        waits_b = [s.wait["mean"] for s in b]
+        assert waits_a == waits_b  # reproducible
+        assert len(set(waits_a)) > 1  # seeds actually vary
+
+
+class TestStats:
+    def test_mean_ci_basics(self):
+        mean, half = mean_ci([10.0, 12.0, 8.0, 10.0])
+        assert mean == 10.0
+        assert half > 0
+        assert mean_ci([5.0]) == (5.0, 0.0)
+        assert mean_ci([]) == (0.0, 0.0)
+
+    def test_mean_ci_covers_true_mean(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(100):
+            sample = rng.normal(50.0, 10.0, size=10)
+            mean, half = mean_ci(sample)
+            if mean - half <= 50.0 <= mean + half:
+                hits += 1
+        assert hits >= 85  # ~95% nominal coverage
+
+    def test_bootstrap_ci(self):
+        mean, lo, hi = bootstrap_ci([1.0, 2.0, 3.0, 4.0, 5.0], seed=1)
+        assert lo <= mean <= hi
+        assert bootstrap_ci([]) == (0.0, 0.0, 0.0)
+
+
+class TestCompare:
+    def test_relative_change(self):
+        assert relative_change(100.0, 50.0) == -0.5
+        assert relative_change(0.0, 50.0) == 0.0
+
+    def test_crossover_exact_point(self):
+        x = [0.0, 1.0, 2.0]
+        a = [1.0, 2.0, 3.0]
+        b = [2.0, 2.0, 2.0]
+        assert crossover_point(x, a, b) == 1.0
+
+    def test_crossover_interpolated(self):
+        x = [0.0, 1.0]
+        a = [0.0, 2.0]
+        b = [1.0, 1.0]
+        assert crossover_point(x, a, b) == pytest.approx(0.5)
+
+    def test_crossover_none_when_a_wins(self):
+        assert crossover_point([0, 1], [1, 1], [5, 5]) is None
+
+    def test_crossover_at_start(self):
+        assert crossover_point([0, 1], [5, 5], [1, 1]) == 0.0
+
+    def test_crossover_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_point([0], [1, 2], [1, 2])
+
+    def test_compare_table_with_baseline(self):
+        jobs = small_jobs()
+        summaries = run_arms(
+            [
+                ExperimentArm("base", small_spec(),
+                              lambda: build_scheduler(penalty="none")),
+                ExperimentArm("alt", small_spec(),
+                              lambda: build_scheduler(queue="sjf", penalty="none")),
+            ],
+            jobs,
+        )
+        table = compare_table(summaries, baseline_label="base")
+        assert "base" in table and "alt" in table
+        assert "wait_mean_vs_base" in table
+
+    def test_compare_table_missing_baseline(self):
+        jobs = small_jobs(5)
+        summaries = run_arms(
+            [ExperimentArm("only", small_spec(),
+                           lambda: build_scheduler(penalty="none"))],
+            jobs,
+        )
+        with pytest.raises(ValueError):
+            compare_table(summaries, baseline_label="nope")
+
+
+class TestExperimentConfig:
+    def config_dict(self):
+        return {
+            "name": "test-exp",
+            "cluster": {
+                "num_nodes": 8,
+                "nodes_per_rack": 4,
+                "node": {"local_mem": "16GiB"},
+                "pool": {"global_pool": "64GiB"},
+            },
+            "workload": {"reference": "W-COMP", "num_jobs": 50,
+                         "load": 0.7, "seed": 3,
+                         "max_mem_per_node": 32 * GiB},
+            "scheduler": {"queue": "fcfs", "backfill": "easy",
+                          "penalty": {"kind": "linear", "beta": 0.2}},
+            "sample_interval": 300,
+        }
+
+    def test_round_trip(self):
+        config = ExperimentConfig.from_dict(self.config_dict())
+        again = ExperimentConfig.from_json(config.to_json())
+        assert again.name == "test-exp"
+        assert again.cluster == config.cluster
+        assert again.sample_interval == 300
+
+    def test_builds_everything(self):
+        config = ExperimentConfig.from_dict(self.config_dict())
+        cluster = config.build_cluster()
+        scheduler = config.build_scheduler()
+        jobs = config.build_jobs()
+        assert cluster.num_nodes == 8
+        assert scheduler.describe()["backfill"] == "easy"
+        assert len(jobs) == 50
+        assert max(j.nodes for j in jobs) <= 8
+
+    def test_missing_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_dict({"name": "x"})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_json("{not json")
+
+    def test_swf_workload(self, tmp_path):
+        from repro.workload import write_swf
+
+        trace = tmp_path / "t.swf"
+        write_swf(small_jobs(10), trace)
+        data = self.config_dict()
+        data["workload"] = {"swf": str(trace), "num_jobs": 5}
+        config = ExperimentConfig.from_dict(data)
+        jobs = config.build_jobs()
+        assert len(jobs) == 5
+
+
+class TestCLI:
+    def test_demo_runs(self, capsys):
+        assert cli_main(["demo", "--jobs", "60", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "FAT-512" in out
+        assert "stranded" in out
+
+    def test_workloads_lists_mixes(self, capsys):
+        assert cli_main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("W-COMP", "W-MIX", "W-DATA"):
+            assert name in out
+
+    def test_run_with_config(self, tmp_path, capsys):
+        config = {
+            "name": "cli-test",
+            "cluster": {"num_nodes": 4, "nodes_per_rack": 4,
+                        "node": {"local_mem": "16GiB"},
+                        "pool": {"global_pool": "32GiB"}},
+            "workload": {"reference": "W-COMP", "num_jobs": 30,
+                         "load": 0.6, "seed": 1,
+                         "max_mem_per_node": 32 * GiB},
+            "scheduler": {"penalty": {"kind": "linear", "beta": 0.2}},
+        }
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(config))
+        csv_path = tmp_path / "jobs.csv"
+        assert cli_main(["run", "--config", str(path),
+                         "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out
+        assert csv_path.exists()
+        assert "job_id" in csv_path.read_text()
+
+    def test_run_bad_config_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert cli_main(["run", "--config", str(path)]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,85 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are deliverables, so they get the same regression
+treatment as the library: each must execute end-to-end in-process
+(fast — they are all seeded and small) and print its headline output.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_exist():
+    scripts = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+    assert scripts == [
+        "capacity_planning",
+        "failure_study",
+        "policy_comparison",
+        "pool_sizing_study",
+        "quickstart",
+        "trace_replay",
+    ]
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "jobs completed" in out
+    assert "node utilization" in out
+
+
+def test_capacity_planning(capsys):
+    out = run_example("capacity_planning", capsys)
+    assert "SLO" in out
+    assert "cheapest passing configuration" in out
+
+
+def test_policy_comparison(capsys):
+    out = run_example("policy_comparison", capsys)
+    assert "fcfs + EASY" in out
+    assert "mem-blind" in out
+    # The example's closing claim must match its own numbers: aware
+    # EASY at least ties blind EASY in this pool-bound regime.
+    assert "memory-aware EASY vs memory-blind EASY" in out
+
+
+def test_trace_replay(capsys):
+    out = run_example("trace_replay", capsys)
+    assert "synthesized memory" in out
+    assert "FAT-512" in out and "THIN-G50" in out
+    # Synthesis actually happened (non-zero mean).
+    assert "0.0 GiB/node" not in out
+
+
+@pytest.mark.slow
+def test_pool_sizing_study(capsys):
+    out = run_example("pool_sizing_study", capsys)
+    assert "pool budget" in out
+    assert "±" in out
+
+
+def test_failure_study(capsys):
+    out = run_example("failure_study", capsys)
+    assert "survival" in out
+    assert "gantt:" in out
+    # Checkpointing visibly recovers completions in the output table.
+    assert "ckpt" in out and "plain" in out

@@ -1,0 +1,305 @@
+"""Tests for the metrics layer: time series, job frames, system stats,
+summaries, and report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
+from repro.engine import SchedulerSimulation
+from repro.memdis import LinearPenalty, NoPenalty
+from repro.metrics import (
+    aggregate,
+    ascii_table,
+    collect_jobs,
+    compute_system_stats,
+    resample_step,
+    rows_to_csv,
+    step_integral,
+    step_series_from_jobs,
+    summarize,
+)
+from repro.metrics.report import series_table
+from repro.metrics.summary import memory_class_of
+from repro.sched import Scheduler
+from repro.units import GiB
+from repro.workload import JobState
+
+from .conftest import make_job
+
+
+def finished_job(job_id, submit, start, runtime, nodes=1, mem=4 * GiB,
+                 mem_used=None, dilation=0.0, killed=False, tag=""):
+    job = make_job(job_id=job_id, submit=submit, nodes=nodes,
+                   walltime=runtime * 2, runtime=runtime, mem=mem,
+                   mem_used=mem_used, tag=tag)
+    job.state = JobState.KILLED if killed else JobState.COMPLETED
+    job.start_time = start
+    job.end_time = start + runtime * (1 + dilation)
+    job.assigned_nodes = list(range(nodes))
+    job.local_grant_per_node = mem
+    job.dilation = dilation
+    return job
+
+
+class TestStepSeries:
+    def test_series_from_jobs(self):
+        jobs = [
+            finished_job(1, submit=0.0, start=0.0, runtime=100.0, nodes=2),
+            finished_job(2, submit=0.0, start=50.0, runtime=100.0, nodes=3),
+        ]
+        times, values = step_series_from_jobs(jobs, lambda j: float(j.nodes))
+        assert list(times) == [0.0, 50.0, 100.0, 150.0]
+        assert list(values) == [2.0, 5.0, 3.0, 0.0]
+
+    def test_series_merges_simultaneous_events(self):
+        jobs = [
+            finished_job(1, submit=0.0, start=0.0, runtime=100.0, nodes=2),
+            finished_job(2, submit=0.0, start=100.0, runtime=50.0, nodes=2),
+        ]
+        times, values = step_series_from_jobs(jobs, lambda j: float(j.nodes))
+        # End of job 1 and start of job 2 at t=100 net to zero change.
+        assert list(times) == [0.0, 100.0, 150.0]
+        assert list(values) == [2.0, 2.0, 0.0]
+
+    def test_empty_series(self):
+        times, values = step_series_from_jobs([], lambda j: 1.0)
+        assert len(times) == 0
+        assert step_integral(times, values, 0.0, 100.0) == 0.0
+
+    def test_step_integral_exact(self):
+        times = np.array([0.0, 10.0, 20.0])
+        values = np.array([1.0, 3.0, 0.0])
+        assert step_integral(times, values, 0.0, 20.0) == pytest.approx(40.0)
+        # Clipped window.
+        assert step_integral(times, values, 5.0, 15.0) == pytest.approx(
+            5 * 1.0 + 5 * 3.0
+        )
+        # Level extends beyond the last breakpoint.
+        times2 = np.array([0.0])
+        values2 = np.array([2.0])
+        assert step_integral(times2, values2, 0.0, 50.0) == pytest.approx(100.0)
+
+    def test_step_integral_degenerate_window(self):
+        assert step_integral([0.0], [1.0], 10.0, 10.0) == 0.0
+        assert step_integral([0.0], [1.0], 10.0, 5.0) == 0.0
+
+    def test_resample(self):
+        times = np.array([10.0, 20.0])
+        values = np.array([5.0, 7.0])
+        out = resample_step(times, values, [0.0, 10.0, 15.0, 25.0])
+        assert list(out) == [0.0, 5.0, 5.0, 7.0]
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1000, allow_nan=False),
+                      st.floats(1, 100, allow_nan=False),
+                      st.integers(1, 8)),
+            min_size=1, max_size=30,
+        )
+    )
+    def test_property_integral_equals_sum_of_node_seconds(self, rows):
+        jobs = [
+            finished_job(i + 1, submit=0.0, start=start, runtime=dur,
+                         nodes=nodes)
+            for i, (start, dur, nodes) in enumerate(rows)
+        ]
+        times, values = step_series_from_jobs(jobs, lambda j: float(j.nodes))
+        t0 = min(j.start_time for j in jobs)
+        t1 = max(j.end_time for j in jobs)
+        integral = step_integral(times, values, t0, t1)
+        expected = sum(j.nodes * (j.end_time - j.start_time) for j in jobs)
+        assert integral == pytest.approx(expected, rel=1e-9)
+
+
+class TestJobFrame:
+    def make_frame(self):
+        jobs = [
+            finished_job(1, submit=0.0, start=10.0, runtime=100.0, tag="a"),
+            finished_job(2, submit=5.0, start=10.0, runtime=200.0, tag="b",
+                         killed=True),
+            finished_job(3, submit=0.0, start=0.0, runtime=5.0, tag="a"),
+        ]
+        pending = make_job(job_id=4, submit=0.0)
+        return collect_jobs(jobs + [pending])
+
+    def test_excludes_unfinished(self):
+        frame = self.make_frame()
+        assert len(frame) == 3
+        assert 4 not in frame.job_ids
+
+    def test_wait_and_response(self):
+        frame = self.make_frame()
+        assert list(frame.wait) == [10.0, 5.0, 0.0]
+        assert frame.response[0] == pytest.approx(110.0)
+
+    def test_bounded_slowdown_floor_and_tau(self):
+        frame = self.make_frame()
+        # Job 3: runtime 5 < tau -> denominator 10; response 5 -> bsld 1.
+        assert frame.bounded_slowdown[2] == 1.0
+        # Job 1: response 110 / runtime 100 = 1.1.
+        assert frame.bounded_slowdown[0] == pytest.approx(1.1)
+
+    def test_killed_mask(self):
+        frame = self.make_frame()
+        assert list(frame.killed) == [False, True, False]
+
+    def test_mask_and_by_tag(self):
+        frame = self.make_frame()
+        tagged = frame.by_tag()
+        assert set(tagged) == {"a", "b"}
+        assert len(tagged["a"]) == 2
+        assert list(tagged["a"].job_ids) == [1, 3]
+
+    def test_aggregate(self):
+        stats = aggregate([1.0, 2.0, 3.0, 10.0])
+        assert stats["mean"] == 4.0
+        assert stats["median"] == 2.5
+        assert stats["max"] == 10.0
+        assert aggregate([]) == {"mean": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}
+
+
+class TestSystemStats:
+    def run_simple(self):
+        spec = ClusterSpec(
+            num_nodes=2, nodes_per_rack=2,
+            node=NodeSpec(local_mem=16 * GiB),
+            pool=PoolSpec(global_pool=8 * GiB),
+        )
+        cluster = Cluster(spec)
+        jobs = [
+            make_job(job_id=1, submit=0.0, nodes=2, runtime=100.0,
+                     walltime=100.0, mem=20 * GiB, mem_used=18 * GiB),
+        ]
+        return SchedulerSimulation(
+            cluster, Scheduler(penalty=NoPenalty()), jobs
+        ).run()
+
+    def test_full_occupancy_run(self):
+        result = self.run_simple()
+        stats = compute_system_stats(result)
+        assert stats.node_utilization == pytest.approx(1.0)
+        # Local grant = 16 GiB/node (full) for whole horizon.
+        assert stats.local_mem_granted_util == pytest.approx(1.0)
+        # Used locally: 16 of 16 (usage fills local first: 18 >= 16).
+        assert stats.local_mem_used_util == pytest.approx(1.0)
+        # Pool: 4 GiB/node * 2 nodes = 8 GiB of 8 GiB pool.
+        assert stats.pool_utilization == pytest.approx(1.0)
+        assert stats.completed == 1
+
+    def test_stranding_on_fat_node(self):
+        spec = ClusterSpec(
+            num_nodes=2, nodes_per_rack=2,
+            node=NodeSpec(local_mem=64 * GiB),
+        )
+        cluster = Cluster(spec)
+        jobs = [
+            make_job(job_id=1, submit=0.0, nodes=2, runtime=100.0,
+                     walltime=100.0, mem=16 * GiB, mem_used=8 * GiB),
+        ]
+        result = SchedulerSimulation(
+            cluster, Scheduler(penalty=NoPenalty()), jobs
+        ).run()
+        stats = compute_system_stats(result)
+        # Used 8 GiB of 64 GiB per node -> 12.5% used, 87.5% stranded.
+        assert stats.local_mem_used_util == pytest.approx(0.125)
+        assert stats.stranded_fraction == pytest.approx(0.875)
+
+    def test_half_idle_machine(self):
+        spec = ClusterSpec(num_nodes=2, nodes_per_rack=2,
+                           node=NodeSpec(local_mem=16 * GiB))
+        cluster = Cluster(spec)
+        jobs = [make_job(job_id=1, submit=0.0, nodes=1, runtime=100.0,
+                         walltime=100.0, mem=16 * GiB)]
+        result = SchedulerSimulation(
+            cluster, Scheduler(penalty=NoPenalty()), jobs
+        ).run()
+        stats = compute_system_stats(result)
+        assert stats.node_utilization == pytest.approx(0.5)
+        assert stats.delivered_node_hours == pytest.approx(100.0 / 3600)
+
+
+class TestSummary:
+    def test_memory_class_of(self):
+        local = 16 * GiB
+        assert memory_class_of(4 * GiB, local) == "light"
+        assert memory_class_of(8 * GiB, local) == "light"
+        assert memory_class_of(12 * GiB, local) == "mid"
+        assert memory_class_of(16 * GiB, local) == "mid"
+        assert memory_class_of(20 * GiB, local) == "heavy"
+
+    def test_summarize_end_to_end(self):
+        spec = ClusterSpec(
+            num_nodes=2, nodes_per_rack=2,
+            node=NodeSpec(local_mem=16 * GiB),
+            pool=PoolSpec(global_pool=8 * GiB),
+        )
+        cluster = Cluster(spec)
+        jobs = [
+            make_job(job_id=1, submit=0.0, nodes=1, runtime=100.0,
+                     walltime=100.0, mem=20 * GiB, tag="data"),
+            make_job(job_id=2, submit=0.0, nodes=1, runtime=50.0,
+                     walltime=100.0, mem=4 * GiB, tag="compute"),
+        ]
+        result = SchedulerSimulation(
+            cluster, Scheduler(penalty=LinearPenalty(0.5)), jobs
+        ).run()
+        summary = summarize(result, label="test-run")
+        assert summary.label == "test-run"
+        assert summary.jobs_completed == 2
+        assert summary.wait["mean"] == 0.0
+        assert "heavy" in summary.by_class
+        assert "light" in summary.by_class
+        assert summary.by_tag["data"]["jobs"] == 1.0
+        assert summary.mean_dilation > 0.0
+        row = summary.row()
+        assert row["label"] == "test-run"
+        assert row["completed"] == 2
+
+    def test_class_reference_override(self):
+        spec = ClusterSpec(num_nodes=2, nodes_per_rack=2,
+                           node=NodeSpec(local_mem=64 * GiB))
+        cluster = Cluster(spec)
+        jobs = [make_job(job_id=1, submit=0.0, nodes=1, runtime=10.0,
+                         walltime=20.0, mem=40 * GiB)]
+        result = SchedulerSimulation(
+            cluster, Scheduler(penalty=NoPenalty()), jobs
+        ).run()
+        own = summarize(result)  # 40 GiB vs 64 GiB local -> mid
+        assert "mid" in own.by_class
+        other = summarize(result, class_local_mem=16 * GiB)  # -> heavy
+        assert "heavy" in other.by_class
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 123456.0]],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("value")
+        # All rows have same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_rows_to_csv(self):
+        csv = rows_to_csv([
+            {"a": 1, "b": 2},
+            {"a": 3, "c": 4},
+        ])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "1,2,"
+        assert lines[2] == "3,,4"
+
+    def test_rows_to_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_series_table(self):
+        table = series_table("x", [1, 2], {"y1": [10, 20], "y2": [30, 40]})
+        lines = table.splitlines()
+        assert "y1" in lines[0] and "y2" in lines[0]
+        assert len(lines) == 4

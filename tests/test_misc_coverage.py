@@ -1,0 +1,124 @@
+"""Covers the seams the focused suites skip: CLI flags, describe()
+contents, restart lineage in metrics, and config/scheduler edges."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
+from repro.engine import FailureEvent, SchedulerSimulation
+from repro.memdis import NoPenalty
+from repro.metrics import collect_jobs, summarize
+from repro.sched import EasyBackfill, Scheduler, build_scheduler
+from repro.units import GiB
+from repro.workload import JobState
+
+from .conftest import make_job
+
+
+class TestDescribe:
+    def test_describe_has_all_keys(self):
+        info = Scheduler().describe()
+        assert set(info) == {
+            "queue", "backfill", "placement", "penalty", "gate", "kill",
+            "memory_aware",
+        }
+        assert info["memory_aware"] == "true"
+
+    def test_describe_memory_blind(self):
+        sched = Scheduler(backfill=EasyBackfill(memory_aware=False))
+        assert sched.describe()["memory_aware"] == "false"
+
+    def test_build_scheduler_fairshare_and_dominant(self):
+        assert build_scheduler(queue="fairshare").describe()["queue"] \
+            == "fairshare"
+        assert build_scheduler(queue="dominant").describe()["queue"] \
+            == "dominant"
+
+
+class TestCLIGantt:
+    def test_run_with_gantt_flag(self, tmp_path, capsys):
+        config = {
+            "name": "gantt-test",
+            "cluster": {"num_nodes": 2, "nodes_per_rack": 2,
+                        "node": {"local_mem": "16GiB"},
+                        "pool": {"global_pool": "16GiB"}},
+            "workload": {"reference": "W-COMP", "num_jobs": 10,
+                         "load": 0.5, "seed": 2,
+                         "max_mem_per_node": 32 * GiB},
+            "scheduler": {"penalty": "none"},
+        }
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(config))
+        assert cli_main(["run", "--config", str(path), "--gantt", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "gantt:" in out
+        assert "n000 |" in out
+
+
+class TestRestartLineageInMetrics:
+    def test_summary_counts_continuations(self):
+        spec = ClusterSpec(num_nodes=2, nodes_per_rack=2,
+                           node=NodeSpec(local_mem=16 * GiB))
+        job = make_job(job_id=1, submit=0.0, nodes=1, runtime=1000.0,
+                       walltime=2000.0, mem=1 * GiB)
+        job.checkpoint_interval = 100.0
+        result = SchedulerSimulation(
+            Cluster(spec), Scheduler(penalty=NoPenalty()), [job],
+            failures=[FailureEvent(250.0, 0, 50.0)],
+        ).run()
+        summary = summarize(result)
+        # Two job records: the killed root and the completed continuation.
+        assert summary.jobs_total == 2
+        assert summary.jobs_killed == 1
+        assert summary.jobs_completed == 1
+        frame = collect_jobs(result.jobs)
+        assert len(frame) == 2
+
+    def test_continuation_visible_in_frame_wait(self):
+        spec = ClusterSpec(num_nodes=2, nodes_per_rack=2,
+                           node=NodeSpec(local_mem=16 * GiB))
+        job = make_job(job_id=1, submit=0.0, nodes=2, runtime=1000.0,
+                       walltime=2000.0, mem=1 * GiB)
+        job.checkpoint_interval = 100.0
+        result = SchedulerSimulation(
+            Cluster(spec), Scheduler(penalty=NoPenalty()), [job],
+            failures=[FailureEvent(250.0, 0, 500.0)],
+        ).run()
+        continuation = next(j for j in result.jobs if j.restart_of == 1)
+        # Needs both nodes; node 0 is down until 750.
+        assert continuation.wait_time == pytest.approx(500.0)
+
+
+class TestEngineEdges:
+    def test_sample_interval_validation(self):
+        spec = ClusterSpec(num_nodes=1, nodes_per_rack=1,
+                           node=NodeSpec(local_mem=16 * GiB))
+        sim = SchedulerSimulation(
+            Cluster(spec), Scheduler(penalty=NoPenalty()),
+            [make_job(job_id=1, runtime=10.0, walltime=20.0, mem=1 * GiB)],
+            sample_interval=-5.0,
+        )
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+    def test_run_until_partial(self):
+        spec = ClusterSpec(num_nodes=1, nodes_per_rack=1,
+                           node=NodeSpec(local_mem=16 * GiB))
+        jobs = [
+            make_job(job_id=1, submit=0.0, runtime=100.0, walltime=200.0,
+                     mem=1 * GiB),
+            make_job(job_id=2, submit=1.0, runtime=100.0, walltime=200.0,
+                     mem=1 * GiB),
+        ]
+        result = SchedulerSimulation(
+            Cluster(spec), Scheduler(penalty=NoPenalty()), jobs
+        ).run(until=50.0)
+        assert jobs[0].state is JobState.RUNNING
+        assert jobs[1].state is JobState.PENDING
+        assert result is not None

@@ -1,0 +1,143 @@
+"""Property-based tests for the AvailabilityProfile.
+
+The profile is the correctness heart of memory-aware backfilling, so
+its algebra gets its own property suite: window queries must be
+conservative refinements of instant queries, reservations must
+subtract exactly what they claim, and earliest-start must actually be
+feasible at the time it returns.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
+from repro.memdis import GlobalPoolAllocator
+from repro.sched import AvailabilityProfile, FirstFitPlacement, Reservation
+from repro.units import GiB
+from repro.workload import Job, JobState
+
+
+def make_cluster(num_nodes=6, pool=32):
+    return Cluster(ClusterSpec(
+        num_nodes=num_nodes, nodes_per_rack=3,
+        node=NodeSpec(local_mem=16 * GiB),
+        pool=PoolSpec(global_pool=pool * GiB),
+    ))
+
+
+reservations = st.lists(
+    st.tuples(
+        st.floats(0, 1000, allow_nan=False),   # start
+        st.floats(1, 500, allow_nan=False),    # duration
+        st.integers(0, 5),                     # first node id
+        st.integers(1, 3),                     # node count
+        st.integers(0, 8),                     # pool GiB
+    ),
+    max_size=6,
+).map(
+    lambda rows: [
+        Reservation(
+            job_id=100 + i,
+            start=start,
+            end=start + duration,
+            node_ids=tuple(range(first, min(first + count, 6))),
+            pool_grants=(("global", pool * GiB),) if pool else (),
+        )
+        for i, (start, duration, first, count, pool) in enumerate(rows)
+    ]
+)
+
+
+class TestProfileAlgebra:
+    @given(reservations, st.floats(0, 1500, allow_nan=False),
+           st.floats(0.5, 400, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_window_free_is_subset_of_instant_free(self, res_list, t, dur):
+        cluster = make_cluster()
+        profile = AvailabilityProfile(cluster, [], now=0.0,
+                                      duration_of=lambda j: j.walltime)
+        for res in res_list:
+            profile.add_reservation(res)
+        instant_free, instant_pool = profile.free_at(t)
+        window_free, window_pool = profile.window_free(t, dur)
+        assert window_free <= instant_free
+        for pool_id, level in window_pool.items():
+            assert level <= instant_pool[pool_id] + 1e-9
+
+    @given(reservations, st.floats(0, 1500, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_zero_width_window_matches_instant(self, res_list, t):
+        cluster = make_cluster()
+        profile = AvailabilityProfile(cluster, [], now=0.0,
+                                      duration_of=lambda j: j.walltime)
+        for res in res_list:
+            profile.add_reservation(res)
+        instant = profile.free_at(t)
+        window = profile.window_free(t, 1e-9)
+        assert window[0] == instant[0]
+        assert window[1] == instant[1]
+
+    @given(reservations)
+    @settings(max_examples=80, deadline=None)
+    def test_far_future_everything_returns(self, res_list):
+        cluster = make_cluster()
+        profile = AvailabilityProfile(cluster, [], now=0.0,
+                                      duration_of=lambda j: j.walltime)
+        for res in res_list:
+            profile.add_reservation(res)
+        free, pool = profile.free_at(1e9)
+        assert free == frozenset(range(6))
+        assert pool["global"] == 32 * GiB
+
+    @given(reservations, st.integers(1, 6), st.floats(1, 300),
+           st.integers(0, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_earliest_start_is_feasible_at_its_time(
+        self, res_list, nodes, duration, remote_gib
+    ):
+        cluster = make_cluster()
+        profile = AvailabilityProfile(cluster, [], now=0.0,
+                                      duration_of=lambda j: j.walltime)
+        for res in res_list:
+            profile.add_reservation(res)
+        job = Job(job_id=1, submit_time=0.0, nodes=nodes,
+                  walltime=duration * 2, runtime=duration,
+                  mem_per_node=16 * GiB + remote_gib * GiB)
+        found = profile.earliest_start(
+            job, duration, remote_gib * GiB,
+            FirstFitPlacement(), GlobalPoolAllocator(),
+        )
+        if remote_gib * nodes > 32:
+            # Demand exceeds the whole pool: never feasible.
+            assert found is None
+            return
+        assert found is not None
+        # The reservation's claims must be consistent with the window.
+        free, pool_min = profile.window_free(found.start, duration)
+        assert set(found.node_ids) <= free
+        for pool_id, amount in found.pool_grants:
+            assert amount <= pool_min[pool_id] + 1e-9
+
+    @given(reservations, st.integers(1, 4), st.floats(1, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_removing_reservations_never_delays(self, res_list, nodes,
+                                                duration):
+        """Monotonicity: a less-loaded machine starts you no later."""
+        cluster = make_cluster()
+        loaded = AvailabilityProfile(cluster, [], now=0.0,
+                                     duration_of=lambda j: j.walltime)
+        empty = AvailabilityProfile(cluster, [], now=0.0,
+                                    duration_of=lambda j: j.walltime)
+        for res in res_list:
+            loaded.add_reservation(res)
+        job = Job(job_id=1, submit_time=0.0, nodes=nodes,
+                  walltime=duration * 2, runtime=duration,
+                  mem_per_node=4 * GiB)
+        with_res = loaded.earliest_start(
+            job, duration, 0, FirstFitPlacement(), GlobalPoolAllocator())
+        without = empty.earliest_start(
+            job, duration, 0, FirstFitPlacement(), GlobalPoolAllocator())
+        assert without is not None
+        assert with_res is not None  # pool-less demand always fits eventually
+        assert without.start <= with_res.start + 1e-9

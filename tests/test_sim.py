@@ -1,0 +1,257 @@
+"""Tests for the discrete-event kernel: events, queue, engine, rng."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Event, EventPriority, EventQueue, RandomStreams, Simulator
+
+
+def noop(event):
+    pass
+
+
+class TestEventOrdering:
+    def test_time_dominates(self):
+        early = Event(1.0, 5, 10, noop)
+        late = Event(2.0, 0, 0, noop)
+        assert early < late
+
+    def test_priority_breaks_time_ties(self):
+        finish = Event(1.0, EventPriority.FINISH, 10, noop)
+        submit = Event(1.0, EventPriority.SUBMIT, 0, noop)
+        assert finish < submit
+
+    def test_seq_breaks_remaining_ties(self):
+        first = Event(1.0, 0, 0, noop)
+        second = Event(1.0, 0, 1, noop)
+        assert first < second
+
+    def test_priority_enum_order(self):
+        # The engine depends on this canonical order.
+        assert EventPriority.FINISH < EventPriority.KILL
+        assert EventPriority.KILL < EventPriority.SUBMIT
+        assert EventPriority.SUBMIT < EventPriority.SCHEDULE
+        assert EventPriority.SCHEDULE < EventPriority.SAMPLE
+
+
+class TestEventQueue:
+    def test_pop_ordering(self):
+        q = EventQueue()
+        events = [
+            Event(3.0, 0, 0, noop),
+            Event(1.0, 1, 1, noop),
+            Event(1.0, 0, 2, noop),
+            Event(2.0, 0, 3, noop),
+        ]
+        for e in events:
+            q.push(e)
+        popped = [q.pop() for _ in range(4)]
+        assert [e.time for e in popped] == [1.0, 1.0, 2.0, 3.0]
+        assert popped[0].priority == 0  # priority tie-break at t=1
+
+    def test_len_counts_live_only(self):
+        q = EventQueue()
+        a = Event(1.0, 0, 0, noop)
+        b = Event(2.0, 0, 1, noop)
+        q.push(a)
+        q.push(b)
+        assert len(q) == 2
+        q.cancel(a)
+        assert len(q) == 1
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        a = Event(1.0, 0, 0, noop)
+        b = Event(2.0, 0, 1, noop)
+        q.push(a)
+        q.push(b)
+        q.cancel(a)
+        assert q.pop() is b
+
+    def test_cancel_idempotent(self):
+        q = EventQueue()
+        a = Event(1.0, 0, 0, noop)
+        q.push(a)
+        q.cancel(a)
+        q.cancel(a)
+        assert len(q) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        a = Event(1.0, 0, 0, noop)
+        q.push(a)
+        assert q.peek() is a
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        a = Event(1.0, 0, 0, noop)
+        b = Event(2.0, 0, 1, noop)
+        q.push(a)
+        q.push(b)
+        q.cancel(a)
+        assert q.peek() is b
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                st.integers(min_value=0, max_value=5),
+            ),
+            max_size=200,
+        )
+    )
+    def test_property_pops_sorted(self, items):
+        q = EventQueue()
+        for seq, (time, prio) in enumerate(items):
+            q.push(Event(time, prio, seq, noop))
+        keys = [e.sort_key() for e in q.drain()]
+        assert keys == sorted(keys)
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(5.0, lambda e: times.append(sim.now))
+        sim.schedule_at(2.0, lambda e: times.append(sim.now))
+        sim.run()
+        assert times == [2.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_schedule_after(self):
+        sim = Simulator(start_time=100.0)
+        fired = []
+        sim.schedule_after(10.0, lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [110.0]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, noop)
+
+    def test_schedule_at_now_allowed(self):
+        sim = Simulator()
+        order = []
+        def outer(e):
+            order.append("outer")
+            sim.schedule_at(sim.now, lambda e2: order.append("inner"))
+        sim.schedule_at(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, noop)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_at(float("nan"), noop)
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda e: fired.append(1))
+        sim.schedule_at(10.0, lambda e: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda e: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_events_spawned_during_run(self):
+        sim = Simulator()
+        fired = []
+        def chain(e):
+            fired.append(sim.now)
+            if sim.now < 3:
+                sim.schedule_after(1.0, chain)
+        sim.schedule_at(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+        def forever(e):
+            sim.schedule_after(1.0, forever)
+        sim.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=50)
+
+    def test_priority_order_within_instant(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, lambda e: order.append("submit"),
+                        priority=EventPriority.SUBMIT)
+        sim.schedule_at(1.0, lambda e: order.append("finish"),
+                        priority=EventPriority.FINISH)
+        sim.schedule_at(1.0, lambda e: order.append("schedule"),
+                        priority=EventPriority.SCHEDULE)
+        sim.run()
+        assert order == ["finish", "submit", "schedule"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, noop)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_payload_passed(self):
+        sim = Simulator()
+        got = []
+        sim.schedule_at(1.0, lambda e: got.append(e.payload), payload={"x": 1})
+        sim.run()
+        assert got == [{"x": 1}]
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).get("arrival")
+        b = RandomStreams(42).get("arrival")
+        assert a.uniform() == b.uniform()
+
+    def test_streams_independent_of_request_order(self):
+        s1 = RandomStreams(42)
+        s2 = RandomStreams(42)
+        _ = s1.get("other")  # request an extra stream first
+        assert s1.get("arrival").uniform() == s2.get("arrival").uniform()
+
+    def test_different_names_differ(self):
+        s = RandomStreams(42)
+        assert s.get("a").uniform() != s.get("b").uniform()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("arrival")
+        b = RandomStreams(2).get("arrival")
+        assert a.uniform() != b.uniform()
+
+    def test_get_returns_same_object(self):
+        s = RandomStreams(0)
+        assert s.get("x") is s.get("x")
+
+    def test_spawn_reproducible_and_distinct(self):
+        root = RandomStreams(7)
+        child_a = root.spawn(0)
+        child_b = root.spawn(1)
+        child_a2 = RandomStreams(7).spawn(0)
+        assert child_a.seed == child_a2.seed
+        assert child_a.seed != child_b.seed
+        assert child_a.seed != root.seed

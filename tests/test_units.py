@@ -1,0 +1,129 @@
+"""Tests for unit parsing and formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units import (
+    DAY,
+    GiB,
+    HOUR,
+    MINUTE,
+    MiB,
+    TiB,
+    format_duration,
+    format_mem,
+    parse_duration,
+    parse_mem,
+)
+
+
+class TestParseMem:
+    def test_bare_int_is_mib(self):
+        assert parse_mem(512) == 512
+
+    def test_bare_float_rounds(self):
+        assert parse_mem(512.4) == 512
+
+    def test_bare_string_is_mib(self):
+        assert parse_mem("512") == 512
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1MiB", 1),
+            ("1MB", 1),
+            ("4GiB", 4 * GiB),
+            ("4gib", 4 * GiB),
+            ("4G", 4 * GiB),
+            ("2TiB", 2 * TiB),
+            ("0.5GiB", 512),
+            ("  8 GiB ", 8 * GiB),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_mem(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "GiB", "4XB", "four GiB", "-4GiB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitError):
+            parse_mem(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(UnitError):
+            parse_mem(-1)
+
+    def test_constants_consistent(self):
+        assert GiB == 1024 * MiB
+        assert TiB == 1024 * GiB
+
+
+class TestFormatMem:
+    def test_mib(self):
+        assert format_mem(512) == "512MiB"
+
+    def test_gib(self):
+        assert format_mem(4 * GiB) == "4.0GiB"
+
+    def test_tib(self):
+        assert format_mem(2 * TiB) == "2.0TiB"
+
+    @given(st.integers(min_value=0, max_value=10 * TiB))
+    def test_roundtrip_parses(self, mib):
+        # Formatting then parsing stays within 5% (rounding to 1 decimal).
+        text = format_mem(mib)
+        back = parse_mem(text)
+        assert back == pytest.approx(mib, rel=0.06, abs=1)
+
+
+class TestParseDuration:
+    def test_bare_number(self):
+        assert parse_duration(90) == 90.0
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("90s", 90.0),
+            ("2m", 2 * MINUTE),
+            ("2min", 2 * MINUTE),
+            ("3h", 3 * HOUR),
+            ("1d", DAY),
+            ("1.5h", 1.5 * HOUR),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_duration(text) == expected
+
+    def test_clock_hms(self):
+        assert parse_duration("01:30:00") == 5400.0
+
+    def test_clock_ms(self):
+        assert parse_duration("30:15") == 30 * MINUTE + 15
+
+    @pytest.mark.parametrize("bad", ["", "h", "1:2:3:4", "1.5:00", "abc"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitError):
+            parse_duration(bad)
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError):
+            parse_duration(-5)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (45, "45s"),
+            (120, "2m"),
+            (150, "2m30s"),
+            (HOUR, "1h"),
+            (5400, "1h30m"),
+            (DAY, "1d"),
+            (DAY + 2 * HOUR, "1d02h"),
+        ],
+    )
+    def test_rendering(self, seconds, expected):
+        assert format_duration(seconds) == expected

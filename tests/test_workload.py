@@ -1,0 +1,494 @@
+"""Tests for the workload substrate: jobs, distributions, generators,
+SWF round-trips, reference mixes, and trace filters."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.sim import RandomStreams
+from repro.units import GiB, HOUR
+from repro.workload import (
+    BoundedPareto,
+    Choice,
+    Exponential,
+    Job,
+    JobState,
+    LogNormal,
+    SyntheticWorkload,
+    Weibull,
+    WorkloadParams,
+    cap_memory,
+    filter_jobs,
+    jobs_from_swf_text,
+    jobs_to_swf_text,
+    reference_workload,
+    scale_load,
+    shift_submit_times,
+    truncate_jobs,
+)
+from repro.workload.models import Constant, Uniform, distribution_from_dict
+from repro.workload.reference import generate_reference_jobs
+from repro.workload.swf import SWFFields
+from repro.workload.synthetic import MemoryClass, power_of_two_nodes
+
+from .conftest import make_job
+
+
+class TestJob:
+    def test_defaults_and_derived(self):
+        job = make_job(nodes=4, mem=8 * GiB, runtime=100.0, walltime=400.0)
+        assert job.total_mem == 32 * GiB
+        assert job.node_seconds == 1600.0
+        assert job.estimate_accuracy == 0.25
+        assert job.state is JobState.PENDING
+
+    def test_used_defaults_to_requested(self):
+        job = Job(job_id=1, submit_time=0, nodes=1, walltime=10, runtime=5,
+                  mem_per_node=100)
+        assert job.mem_used_per_node == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nodes": 0},
+            {"submit": -1.0},
+            {"walltime": 0.0},
+            {"runtime": 0.0},
+            {"mem": -5},
+        ],
+    )
+    def test_invalid_requests_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            make_job(**kwargs)
+
+    def test_used_above_requested_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_job(mem=100, mem_used=200)
+
+    def test_execution_metrics(self):
+        job = make_job(submit=10.0, runtime=100.0, walltime=200.0)
+        job.start_time = 50.0
+        job.end_time = 150.0
+        assert job.wait_time == 40.0
+        assert job.response_time == 140.0
+        assert job.actual_runtime == 100.0
+        assert job.bounded_slowdown() == 1.4
+
+    def test_bounded_slowdown_floor(self):
+        job = make_job(submit=0.0, runtime=1.0, walltime=10.0)
+        job.start_time = 0.0
+        job.end_time = 1.0
+        # Short job: bounded by tau=10 in denominator and floor 1.
+        assert job.bounded_slowdown() == 1.0
+
+    def test_dilation_properties(self):
+        job = make_job(runtime=100.0, walltime=200.0, mem=10 * GiB)
+        job.remote_per_node = 5 * GiB
+        job.dilation = 0.2
+        assert job.remote_fraction == 0.5
+        assert job.dilated_runtime == pytest.approx(120.0)
+        assert job.dilated_walltime == pytest.approx(240.0)
+
+    def test_metrics_before_run_raise(self):
+        job = make_job()
+        with pytest.raises(ValueError):
+            _ = job.wait_time
+        with pytest.raises(ValueError):
+            _ = job.response_time
+
+    def test_copy_request_resets_execution(self):
+        job = make_job()
+        job.state = JobState.COMPLETED
+        job.start_time = 1.0
+        job.end_time = 2.0
+        job.assigned_nodes = [1, 2]
+        copy = job.copy_request()
+        assert copy.state is JobState.PENDING
+        assert copy.start_time is None
+        assert copy.assigned_nodes == []
+        assert copy.mem_per_node == job.mem_per_node
+
+
+class TestDistributions:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_constant(self):
+        assert Constant(5.0).sample(self.rng) == 5.0
+        assert Constant(5.0).mean() == 5.0
+
+    def test_uniform_bounds_and_mean(self):
+        dist = Uniform(2.0, 4.0)
+        samples = [dist.sample(self.rng) for _ in range(500)]
+        assert all(2.0 <= s <= 4.0 for s in samples)
+        assert np.mean(samples) == pytest.approx(3.0, rel=0.05)
+        assert dist.mean() == 3.0
+
+    def test_uniform_inverted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(4.0, 2.0)
+
+    def test_exponential_mean(self):
+        dist = Exponential(100.0)
+        samples = [dist.sample(self.rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+
+    def test_weibull_mean_analytic(self):
+        dist = Weibull(shape=0.7, scale=50.0)
+        samples = [dist.sample(self.rng) for _ in range(8000)]
+        assert np.mean(samples) == pytest.approx(dist.mean(), rel=0.1)
+
+    def test_lognormal_truncation(self):
+        dist = LogNormal(mu=5.0, sigma=2.0, low=60.0, high=1000.0)
+        samples = [dist.sample(self.rng) for _ in range(500)]
+        assert all(60.0 <= s <= 1000.0 for s in samples)
+
+    def test_bounded_pareto_bounds(self):
+        dist = BoundedPareto(alpha=1.5, low=1.0, high=100.0)
+        samples = [dist.sample(self.rng) for _ in range(2000)]
+        assert all(1.0 <= s <= 100.0 for s in samples)
+        assert np.mean(samples) == pytest.approx(dist.mean(), rel=0.15)
+
+    def test_bounded_pareto_alpha_one_mean(self):
+        dist = BoundedPareto(alpha=1.0, low=1.0, high=10.0)
+        samples = [dist.sample(self.rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(dist.mean(), rel=0.1)
+
+    def test_choice_weights(self):
+        dist = Choice(values=[1.0, 2.0], weights=[3.0, 1.0])
+        samples = [dist.sample(self.rng) for _ in range(2000)]
+        ones = sum(1 for s in samples if s == 1.0)
+        assert ones / len(samples) == pytest.approx(0.75, abs=0.05)
+        assert dist.mean() == pytest.approx(1.25)
+
+    def test_choice_validation(self):
+        with pytest.raises(ConfigurationError):
+            Choice(values=[])
+        with pytest.raises(ConfigurationError):
+            Choice(values=[1.0], weights=[1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            Choice(values=[1.0, 2.0], weights=[0.0, 0.0])
+
+    def test_dict_roundtrip(self):
+        for dist in [
+            Constant(3.0),
+            Uniform(1.0, 2.0),
+            Exponential(10.0),
+            Weibull(0.8, 30.0),
+            LogNormal(2.0, 0.5),
+            BoundedPareto(1.2, 1.0, 50.0),
+            Choice(values=[1.0, 2.0], weights=[1.0, 3.0]),
+        ]:
+            rebuilt = distribution_from_dict(dist.to_dict())
+            assert type(rebuilt) is type(dist)
+            assert rebuilt.mean() == pytest.approx(dist.mean())
+
+    def test_from_dict_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            distribution_from_dict({"kind": "cauchy"})
+
+
+class TestPowerOfTwoNodes:
+    def test_values_are_powers_of_two(self):
+        dist = power_of_two_nodes(64)
+        assert dist.values == [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+
+    def test_weights_normalized(self):
+        dist = power_of_two_nodes(64)
+        assert sum(dist.weights) == pytest.approx(1.0)
+
+    def test_small_jobs_dominate(self):
+        rng = np.random.default_rng(0)
+        dist = power_of_two_nodes(64)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        assert np.median(samples) <= 4
+
+    def test_max_one_node(self):
+        dist = power_of_two_nodes(1)
+        assert dist.values == [1.0]
+
+
+class TestSyntheticWorkload:
+    def make_params(self, **overrides):
+        defaults = dict(
+            num_jobs=200,
+            interarrival=Exponential(30.0),
+            nodes=power_of_two_nodes(16),
+            runtime=LogNormal(mu=7.0, sigma=1.0, low=60.0, high=12 * HOUR),
+            max_nodes=16,
+            max_mem_per_node=64 * GiB,
+        )
+        defaults.update(overrides)
+        return WorkloadParams(**defaults)
+
+    def test_deterministic_given_seed(self):
+        params = self.make_params()
+        jobs_a = SyntheticWorkload(params).generate(RandomStreams(5))
+        jobs_b = SyntheticWorkload(params).generate(RandomStreams(5))
+        assert [(j.submit_time, j.nodes, j.runtime, j.mem_per_node) for j in jobs_a] == [
+            (j.submit_time, j.nodes, j.runtime, j.mem_per_node) for j in jobs_b
+        ]
+
+    def test_different_seeds_differ(self):
+        params = self.make_params()
+        jobs_a = SyntheticWorkload(params).generate(RandomStreams(1))
+        jobs_b = SyntheticWorkload(params).generate(RandomStreams(2))
+        assert [j.runtime for j in jobs_a] != [j.runtime for j in jobs_b]
+
+    def test_constraints_hold(self):
+        jobs = SyntheticWorkload(self.make_params()).generate(RandomStreams(0))
+        assert len(jobs) == 200
+        for job in jobs:
+            assert 1 <= job.nodes <= 16
+            assert job.mem_per_node <= 64 * GiB
+            assert job.mem_used_per_node <= job.mem_per_node
+            assert job.runtime <= job.walltime
+            assert job.submit_time >= 0
+
+    def test_submit_times_increase(self):
+        jobs = SyntheticWorkload(self.make_params()).generate(RandomStreams(0))
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+
+    def test_arrival_rate_close_to_spec(self):
+        params = self.make_params(num_jobs=2000)
+        jobs = SyntheticWorkload(params).generate(RandomStreams(3))
+        gaps = np.diff([j.submit_time for j in jobs])
+        assert np.mean(gaps) == pytest.approx(30.0, rel=0.1)
+
+    def test_exact_estimates_present(self):
+        params = self.make_params(num_jobs=1000, exact_estimate_prob=0.5)
+        jobs = SyntheticWorkload(params).generate(RandomStreams(0))
+        exact = sum(1 for j in jobs if j.walltime == j.runtime)
+        assert exact / len(jobs) > 0.3  # 0.5 minus walltime-cap effects
+
+    def test_memory_class_tags(self):
+        jobs = SyntheticWorkload(self.make_params(num_jobs=500)).generate(
+            RandomStreams(0)
+        )
+        tags = {j.tag for j in jobs}
+        assert tags == {"compute", "data"}
+
+    def test_calibrated_load(self):
+        params = self.make_params(num_jobs=3000).calibrated_for_load(
+            num_cluster_nodes=64, target_load=0.8
+        )
+        workload = SyntheticWorkload(params)
+        assert workload.offered_load(64) == pytest.approx(0.8, rel=1e-9)
+        # Empirical check: realized node-seconds over span ≈ target.
+        jobs = workload.generate(RandomStreams(1))
+        span = jobs[-1].submit_time - jobs[0].submit_time
+        used = sum(j.nodes * j.runtime for j in jobs)
+        assert used / (64 * span) == pytest.approx(0.8, rel=0.25)
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(num_jobs=0).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(memory_classes=[]).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(exact_estimate_prob=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(
+                memory_classes=[MemoryClass("x", 0.0, Constant(100))]
+            ).validate()
+
+
+SWF_SAMPLE = """\
+; Version: 2
+; Computer: Test Machine
+; MaxNodes: 64
+1 0 10 3600 16 -1 2048 16 7200 4096 1 3 1 -1 -1 -1 -1 -1
+2 100 -1 1800 -1 -1 -1 8 3600 -1 1 4 1 -1 -1 -1 -1 -1
+3 200 -1 60 4 -1 -1 4 120 8192 0 5 2 -1 -1 -1 -1 -1
+4 300 -1 -1 4 -1 -1 4 120 -1 5 5 2 -1 -1 -1 -1 -1
+"""
+
+
+class TestSWF:
+    def test_parse_basic_fields(self):
+        jobs, header = jobs_from_swf_text(SWF_SAMPLE)
+        assert header["Computer"] == "Test Machine"
+        assert header["MaxNodes"] == "64"
+        # Job 3 is failed (status 0, dropped by default); job 4 is
+        # cancelled/no-runtime (dropped).
+        assert [j.job_id for j in jobs] == [1, 2]
+        first = jobs[0]
+        assert first.submit_time == 0.0
+        assert first.runtime == 3600.0
+        assert first.walltime == 7200.0
+        assert first.nodes == 16
+        assert first.mem_per_node == 4  # 4096 KB -> 4 MiB
+        assert first.mem_used_per_node == 2
+        assert first.user == "user3"
+
+    def test_keep_failed(self):
+        jobs, _ = jobs_from_swf_text(SWF_SAMPLE, fields=SWFFields(keep_failed=True))
+        assert [j.job_id for j in jobs] == [1, 2, 3]
+
+    def test_cores_per_node_conversion(self):
+        jobs, _ = jobs_from_swf_text(SWF_SAMPLE, fields=SWFFields(cores_per_node=8))
+        assert jobs[0].nodes == 2  # 16 procs / 8 per node
+        assert jobs[0].mem_per_node == 32  # 4096 KB * 8 / 1024
+
+    def test_memory_synthesis(self):
+        jobs, _ = jobs_from_swf_text(
+            SWF_SAMPLE,
+            mem_synth=Constant(1024.0),
+            usage_ratio_synth=Constant(0.5),
+            streams=RandomStreams(0),
+        )
+        job2 = next(j for j in jobs if j.job_id == 2)
+        assert job2.mem_per_node == 1024
+        assert job2.mem_used_per_node == 512
+
+    def test_runtime_clamped_to_walltime(self):
+        text = "1 0 -1 7200 4 -1 -1 4 3600 -1 1 1 1 -1 -1 -1 -1 -1\n"
+        jobs, _ = jobs_from_swf_text(text)
+        assert jobs[0].runtime == 3600.0
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TraceFormatError):
+            jobs_from_swf_text("1 0 x 3600 4 -1 -1 4 3600 -1 1 1 1 -1 -1 -1 -1 -1\n")
+
+    def test_short_lines_padded(self):
+        jobs, _ = jobs_from_swf_text("1 0 -1 600 4 -1 -1 4 1200 -1 1\n")
+        assert jobs[0].nodes == 4
+
+    def test_roundtrip_preserves_requests(self):
+        jobs, _ = jobs_from_swf_text(SWF_SAMPLE)
+        text = jobs_to_swf_text(jobs, header={"Version": "2"})
+        again, header = jobs_from_swf_text(text)
+        assert header["Version"] == "2"
+        assert len(again) == len(jobs)
+        for a, b in zip(jobs, again):
+            assert a.job_id == b.job_id
+            assert a.nodes == b.nodes
+            assert a.mem_per_node == b.mem_per_node
+            assert a.submit_time == pytest.approx(b.submit_time, abs=1.0)
+            assert a.walltime == pytest.approx(b.walltime, abs=1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1e6, allow_nan=False),  # submit
+                st.integers(1, 512),  # nodes
+                st.integers(60, 86400),  # runtime
+                st.floats(1.0, 4.0),  # inflation
+                st.integers(1, 512 * 1024),  # mem MiB
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, rows):
+        jobs = [
+            Job(
+                job_id=i + 1,
+                submit_time=float(int(submit)),
+                nodes=nodes,
+                walltime=float(int(runtime * inflation)) + 1.0,
+                runtime=float(runtime),
+                mem_per_node=mem,
+            )
+            for i, (submit, nodes, runtime, inflation, mem) in enumerate(rows)
+        ]
+        text = jobs_to_swf_text(jobs)
+        again, _ = jobs_from_swf_text(text)
+        assert len(again) == len(jobs)
+        by_id = {j.job_id: j for j in again}
+        for job in jobs:
+            back = by_id[job.job_id]
+            assert back.nodes == job.nodes
+            assert back.mem_per_node == job.mem_per_node
+            assert back.runtime == pytest.approx(job.runtime, abs=1.0)
+
+    def test_read_write_files(self, tmp_path):
+        from repro.workload import read_swf, write_swf
+
+        jobs, _ = jobs_from_swf_text(SWF_SAMPLE)
+        path = tmp_path / "trace.swf"
+        write_swf(jobs, path, header={"Computer": "X"})
+        again, header = read_swf(path)
+        assert header["Computer"] == "X"
+        assert len(again) == len(jobs)
+
+
+class TestReferenceWorkloads:
+    def test_all_mixes_generate(self):
+        for name in ("W-COMP", "W-MIX", "W-DATA"):
+            jobs = generate_reference_jobs(name, seed=1, num_jobs=100,
+                                           cluster_nodes=64)
+            assert len(jobs) == 100
+            assert all(j.nodes <= 64 for j in jobs)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reference_workload("W-NOPE")
+
+    def test_memory_intensity_ordering(self):
+        """W-COMP < W-MIX < W-DATA in mean requested memory."""
+        means = {}
+        for name in ("W-COMP", "W-MIX", "W-DATA"):
+            jobs = generate_reference_jobs(name, seed=7, num_jobs=800,
+                                           cluster_nodes=64)
+            means[name] = np.mean([j.mem_per_node for j in jobs])
+        assert means["W-COMP"] < means["W-MIX"] < means["W-DATA"]
+
+    def test_memory_capped_at_fat_node(self):
+        jobs = generate_reference_jobs(
+            "W-DATA", seed=3, num_jobs=500, cluster_nodes=64,
+            max_mem_per_node=512 * GiB,
+        )
+        assert max(j.mem_per_node for j in jobs) <= 512 * GiB
+
+
+class TestFilters:
+    def make_jobs(self):
+        return [
+            make_job(job_id=1, submit=0.0, mem=10 * GiB),
+            make_job(job_id=2, submit=100.0, mem=20 * GiB),
+            make_job(job_id=3, submit=300.0, mem=30 * GiB),
+        ]
+
+    def test_scale_load_compresses_gaps(self):
+        scaled = scale_load(self.make_jobs(), 2.0)
+        assert [j.submit_time for j in scaled] == [0.0, 50.0, 150.0]
+
+    def test_scale_load_preserves_first_arrival(self):
+        jobs = shift_submit_times(self.make_jobs(), 1000.0)
+        scaled = scale_load(jobs, 2.0)
+        assert scaled[0].submit_time == 1000.0
+
+    def test_scale_load_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            scale_load(self.make_jobs(), 0.0)
+
+    def test_truncate(self):
+        assert [j.job_id for j in truncate_jobs(self.make_jobs(), 2)] == [1, 2]
+
+    def test_filter(self):
+        kept = filter_jobs(self.make_jobs(), lambda j: j.mem_per_node > 15 * GiB)
+        assert [j.job_id for j in kept] == [2, 3]
+
+    def test_shift_clamps_at_zero(self):
+        shifted = shift_submit_times(self.make_jobs(), -50.0)
+        assert [j.submit_time for j in shifted] == [0.0, 50.0, 250.0]
+
+    def test_cap_memory(self):
+        capped = cap_memory(self.make_jobs(), 15 * GiB)
+        assert [j.mem_per_node for j in capped] == [10 * GiB, 15 * GiB, 15 * GiB]
+        assert all(j.mem_used_per_node <= j.mem_per_node for j in capped)
+
+    def test_filters_return_fresh_pending_copies(self):
+        jobs = self.make_jobs()
+        jobs[0].state = JobState.COMPLETED
+        out = truncate_jobs(jobs, 3)
+        assert all(j.state is JobState.PENDING for j in out)
+        assert out[0] is not jobs[0]
