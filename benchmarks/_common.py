@@ -14,6 +14,13 @@ and figure so numbers are comparable between experiments:
 * **Scheduler default**: FCFS + memory-aware EASY + first-fit,
   linear penalty β=0.3, dilation-aware kills.
 
+Grid-shaped experiments go through :mod:`repro.runner` (see
+:func:`grid` / :func:`sweep`); one-off arms still use :func:`run`.
+
+**Quick mode** (``REPRO_BENCH_QUICK=1`` or ``pytest --quick``) scales
+job counts down (:func:`scaled`) so the whole bench suite doubles as a
+CI smoke run; assertions are shape-robust at both sizes.
+
 Benches print paper-style tables to stdout (pytest-benchmark is run
 with ``-s`` via the bench conftest so tables always appear) and make
 only *robust-shape* assertions — who wins, direction of trends — never
@@ -22,13 +29,15 @@ absolute numbers.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis import run_config
 from repro.cluster import ClusterSpec
 from repro.engine.results import SimulationResult
 from repro.metrics.summary import ResultSummary
+from repro.runner import ScenarioGrid, SweepReport, SweepRunner, default_workers
 from repro.sched import Scheduler
 from repro.units import GiB
 from repro.workload import Job
@@ -39,11 +48,33 @@ NODES_PER_RACK = 16
 FAT_LOCAL = 512 * GiB
 THIN_LOCAL = 128 * GiB
 SEED = 42
-NUM_JOBS = 600
 LOAD = 0.9
 BETA = 0.3
 
 DEFAULT_PENALTY = {"kind": "linear", "beta": BETA}
+
+#: Quick mode: CI smoke runs set ``REPRO_BENCH_QUICK=1`` (or pass
+#: ``pytest --quick``) to shrink workloads so the suite finishes in a
+#: couple of minutes while exercising every code path.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip().lower() in {
+    "1", "true", "yes", "on",
+}
+
+
+def scaled(num_jobs: int) -> int:
+    """Scale a bench's job count down in quick mode.
+
+    300 jobs is the smallest size at which the asserted effects (pool
+    binding, backfill wins, knee shapes) still materialize reliably.
+    """
+    return min(num_jobs, 300) if QUICK else num_jobs
+
+
+NUM_JOBS = scaled(600)
+
+#: Worker count for grid sweeps: the shared ``REPRO_SWEEP_WORKERS``
+#: knob, serial by default so pytest-benchmark timings stay comparable.
+SWEEP_WORKERS = default_workers(fallback=1)
 
 
 @lru_cache(maxsize=None)
@@ -99,6 +130,68 @@ def local_only_spec(local_mem: int, name: Optional[str] = None) -> ClusterSpec:
         nodes_per_rack=NODES_PER_RACK,
         name=name or f"LOCAL-{local_mem // GiB}",
     )
+
+
+# ----------------------------------------------------------------------
+# scenario-grid plumbing (canonical defaults as declarative documents)
+# ----------------------------------------------------------------------
+def thin_cluster(
+    fraction: float = 0.5,
+    reach: str = "global",
+    local_mem: int = THIN_LOCAL,
+    name: Optional[str] = None,
+) -> Dict[str, Any]:
+    """A THIN machine as a scenario ``cluster`` document."""
+    doc: Dict[str, Any] = {
+        "kind": "thin",
+        "num_nodes": NODES,
+        "nodes_per_rack": NODES_PER_RACK,
+        "local_mem": local_mem,
+        "fat_local_mem": FAT_LOCAL,
+        "pool_fraction": fraction,
+        "reach": reach,
+    }
+    if name is not None:
+        doc["name"] = name
+    return doc
+
+
+def grid(
+    axes: Mapping[str, List[Any]],
+    name: str = "bench",
+    workload_name: str = "W-MIX",
+    num_jobs: int = NUM_JOBS,
+    seed: int = SEED,
+    load: float = LOAD,
+    cluster: Optional[Dict[str, Any]] = None,
+    scheduler: Optional[Dict[str, Any]] = None,
+) -> ScenarioGrid:
+    """A :class:`ScenarioGrid` over the canonical machine/workload."""
+    sched: Dict[str, Any] = {"penalty": dict(DEFAULT_PENALTY)}
+    sched.update(scheduler or {})
+    return ScenarioGrid(
+        name=name,
+        base={
+            "workload": {
+                "reference": workload_name,
+                "num_jobs": num_jobs,
+                "seed": seed,
+                "load": load,
+                "cluster_nodes": NODES,
+                "max_mem_per_node": FAT_LOCAL,
+            },
+            "cluster": cluster or thin_cluster(),
+            "scheduler": sched,
+            "class_local_mem": THIN_LOCAL,
+        },
+        axes=dict(axes),
+    )
+
+
+def sweep(scenario_grid: ScenarioGrid, workers: Optional[int] = None) -> SweepReport:
+    """Run a grid with the bench defaults (no cache: benches re-measure)."""
+    runner = SweepRunner(workers=workers or SWEEP_WORKERS, cache_dir=None)
+    return runner.run(scenario_grid)
 
 
 def run(

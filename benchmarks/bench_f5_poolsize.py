@@ -3,6 +3,9 @@
 Sweeps the global pool from 12.5% to 100% of the removed DRAM on the
 data-intensive mix (the one that actually stresses the pool) and
 reports wait, bounded slowdown, rejections, and pool utilization.
+The sweep is one :class:`repro.runner.ScenarioGrid` axis; series are
+pulled out of the tidy rows with
+:func:`repro.runner.series_from_rows`.
 
 Reading the shape: undersized pools *shed workload* — the widest
 memory-heavy jobs become infeasible (rejected), which flatters the
@@ -18,25 +21,27 @@ across the no-rejection plateau.
 from __future__ import annotations
 
 from repro.metrics.report import series_table
+from repro.runner import records_to_rows, series_from_rows
 
-from _common import banner, run, thin_spec, workload
+from _common import banner, grid, sweep, thin_cluster
 
 FRACTIONS = (0.125, 0.25, 0.5, 0.75, 1.0)
+AXIS = "cluster.pool_fraction"
 
 
 def poolsize_sweep():
-    jobs = workload("W-DATA")
-    waits, bslds, rejected, pool_utils = [], [], [], []
-    for fraction in FRACTIONS:
-        _, summary = run(
-            thin_spec(fraction=fraction, name=f"THIN-G{int(fraction * 100)}"),
-            jobs,
-        )
-        waits.append(summary.wait["mean"])
-        bslds.append(summary.bsld["mean"])
-        rejected.append(summary.jobs_rejected)
-        pool_utils.append(summary.pool_utilization)
-    return waits, bslds, rejected, pool_utils
+    sweep_grid = grid(
+        axes={AXIS: list(FRACTIONS)},
+        name="f5-poolsize",
+        workload_name="W-DATA",
+        cluster=thin_cluster(),
+    )
+    rows = records_to_rows(sweep(sweep_grid).records)
+    _, waits = series_from_rows(rows, AXIS, "wait_mean")
+    _, bslds = series_from_rows(rows, AXIS, "bsld_mean")
+    _, rejected = series_from_rows(rows, AXIS, "rejected")
+    _, pool_utils = series_from_rows(rows, AXIS, "pool_util")
+    return waits, bslds, [int(r) for r in rejected], pool_utils
 
 
 def test_f5_pool_capacity_sweep(benchmark):

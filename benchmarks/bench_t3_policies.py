@@ -3,6 +3,8 @@
 Queue policies {FCFS, SJF, WFP} × backfill {none, EASY, conservative}
 on THIN-G50 — the table that shows classic scheduling results survive
 disaggregation (backfilling slashes wait under every queue policy).
+The matrix is a genuine cartesian product, so it is expressed as a
+:class:`repro.runner.ScenarioGrid` and executed by the sweep runner.
 
 Below the matrix, the paper's own ablation: memory-aware vs
 memory-blind EASY.  At the generously sized THIN-G50 pool the two
@@ -19,35 +21,51 @@ in budget (real implementations cap reservation depth the same way).
 from __future__ import annotations
 
 from repro.metrics import ascii_table
+from repro.runner import summary_from_record
 
-from _common import banner, run, thin_spec, workload
+from _common import banner, grid, scaled, sweep, thin_cluster
 
-NUM_JOBS_T3 = 400
+NUM_JOBS_T3 = scaled(400)
 TIGHT_FRACTION = 0.10  # the ablation's pool: 10% of removed DRAM
+
+QUEUES = ("fcfs", "sjf", "wfp")
+BACKFILLS = ("none", "easy", "conservative")
 
 
 def policy_matrix():
-    jobs = workload("W-MIX", num_jobs=NUM_JOBS_T3)
-    summaries = {}
-    for queue in ("fcfs", "sjf", "wfp"):
-        for backfill in ("none", "easy", "conservative"):
-            label = f"{queue}/{backfill}"
-            _, summary = run(
-                thin_spec(fraction=0.5, name=label), jobs, label=label,
-                queue=queue, backfill=backfill,
-            )
-            summaries[label] = summary
-    # Memory-awareness ablation on the tight pool.
-    ablation = {}
-    for label, kwargs in (
-        ("aware", {"backfill": "easy"}),
-        ("blind", {"backfill": "easy", "memory_aware": False}),
-    ):
-        _, summary = run(
-            thin_spec(fraction=TIGHT_FRACTION, name=f"G10-{label}"),
-            jobs, label=label, **kwargs,
-        )
-        ablation[label] = summary
+    matrix_grid = grid(
+        axes={
+            "scheduler.queue": list(QUEUES),
+            "scheduler.backfill": list(BACKFILLS),
+        },
+        name="t3-policy-matrix",
+        num_jobs=NUM_JOBS_T3,
+        cluster=thin_cluster(fraction=0.5),
+    )
+    report = sweep(matrix_grid)
+    # Scenario names are "<queue>/<backfill>" by grid construction.
+    summaries = {
+        record["name"]: summary_from_record(record)
+        for record in report.records
+    }
+    # Memory-awareness ablation on the tight pool: a set-point axis,
+    # because "blind" flips a flag rather than moving along one path.
+    ablation_grid = grid(
+        axes={
+            "shadow": [
+                {"label": "aware", "set": {"scheduler.backfill": "easy"}},
+                {"label": "blind", "set": {"scheduler.backfill": "easy",
+                                           "scheduler.memory_aware": False}},
+            ],
+        },
+        name="t3-ablation",
+        num_jobs=NUM_JOBS_T3,
+        cluster=thin_cluster(fraction=TIGHT_FRACTION),
+    )
+    ablation = {
+        record["name"]: summary_from_record(record)
+        for record in sweep(ablation_grid).records
+    }
     return summaries, ablation
 
 
@@ -83,7 +101,7 @@ def test_t3_policy_matrix(benchmark):
         ],
     ))
     # Backfilling's classic win survives disaggregation.
-    for queue in ("fcfs", "sjf", "wfp"):
+    for queue in QUEUES:
         assert summaries[f"{queue}/easy"].wait["mean"] \
             < summaries[f"{queue}/none"].wait["mean"]
     # The paper's point: when the pool binds, memory-aware shadow

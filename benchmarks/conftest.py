@@ -3,12 +3,31 @@
 Tables printed by the benches are part of the deliverable (they are
 the reproduced figures), so output capturing is disabled for this
 directory: ``pytest benchmarks/ --benchmark-only`` always shows them.
+
+``--quick`` puts the suite in smoke mode (equivalent to exporting
+``REPRO_BENCH_QUICK=1``): workloads shrink via ``_common.scaled`` so
+CI can run every bench in a couple of minutes.
 """
+
+import os
 
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="quick mode: scaled-down workloads for CI smoke runs",
+    )
+
+
 def pytest_configure(config):
+    # Must happen before bench modules import _common, i.e. before
+    # collection: _common reads the env var at import time.
+    if config.getoption("--quick"):
+        os.environ["REPRO_BENCH_QUICK"] = "1"
     # Benches print their tables; -s keeps them visible.
     capman = config.pluginmanager.getplugin("capturemanager")
     if capman is not None:

@@ -7,54 +7,71 @@ Compares the full policy stack on the same trace and machine:
 * queue order: FCFS vs WFP (the big-job-friendly utility);
 * the paper's ablation: memory-aware vs memory-blind EASY.
 
+The six arms are one set-point axis of a
+:class:`repro.runner.ScenarioGrid`, executed in parallel by the sweep
+runner; the comparison table is built from the rehydrated summaries.
+
 Prints a comparison table with %-vs-baseline columns.
 
 Run:  python examples/policy_comparison.py
 """
 
-from repro.analysis import ExperimentArm, compare_table, run_arms
-from repro.cluster import ClusterSpec
-from repro.sched import build_scheduler
+from repro.analysis import compare_table
+from repro.runner import ScenarioGrid, SweepRunner, default_workers
 from repro.units import GiB
-from repro.workload.reference import generate_reference_jobs
 
 NODES = 64
+BASELINE = "fcfs (no backfill)"
+
+#: label -> build_scheduler overrides; one scenario per arm.
+POLICY_ARMS = {
+    BASELINE: {"backfill": "none"},
+    "fcfs + EASY": {"backfill": "easy"},
+    "fcfs + EASY (mem-blind)": {"backfill": "easy", "memory_aware": False},
+    "fcfs + conservative": {"backfill": "conservative"},
+    "wfp + EASY": {"queue": "wfp"},
+    "sjf + EASY": {"queue": "sjf"},
+}
+
+
+def build_grid() -> ScenarioGrid:
+    return ScenarioGrid(
+        name="policy-comparison",
+        base={
+            "workload": {"reference": "W-DATA", "num_jobs": 400, "seed": 3,
+                         "load": 1.0, "max_mem_per_node": 512 * GiB},
+            # A deliberately tight pool (15% of the removed DRAM): the
+            # pool is a real bottleneck here, which is what separates
+            # memory-aware from memory-blind backfilling.
+            "cluster": {"kind": "thin", "num_nodes": NODES,
+                        "nodes_per_rack": 16, "local_mem": "128GiB",
+                        "fat_local_mem": "512GiB", "pool_fraction": 0.15,
+                        "reach": "global", "name": "THIN-G15"},
+            "scheduler": {"penalty": {"kind": "linear", "beta": 0.3}},
+            "class_local_mem": 512 * GiB,
+        },
+        axes={
+            "policy": [
+                {"label": label,
+                 "set": {f"scheduler.{key}": value
+                         for key, value in overrides.items()}}
+                for label, overrides in POLICY_ARMS.items()
+            ],
+        },
+    )
 
 
 def main() -> None:
-    jobs = generate_reference_jobs(
-        "W-DATA", seed=3, num_jobs=400, cluster_nodes=NODES,
-        max_mem_per_node=512 * GiB, target_load=1.0,
-    )
-    # A deliberately tight pool (15% of the removed DRAM): the pool is
-    # a real bottleneck here, which is what separates memory-aware
-    # from memory-blind backfilling.
-    spec = ClusterSpec.thin_node(
-        num_nodes=NODES, nodes_per_rack=16, local_mem="128GiB",
-        fat_local_mem="512GiB", pool_fraction=0.15, reach="global",
-        name="THIN-G15",
-    )
-    penalty = {"kind": "linear", "beta": 0.3}
-
-    def sched(**kwargs):
-        merged = {"penalty": penalty}
-        merged.update(kwargs)
-        return lambda: build_scheduler(**merged)
-
-    arms = [
-        ExperimentArm("fcfs (no backfill)", spec, sched(backfill="none")),
-        ExperimentArm("fcfs + EASY", spec, sched(backfill="easy")),
-        ExperimentArm("fcfs + EASY (mem-blind)", spec,
-                      sched(backfill="easy", memory_aware=False)),
-        ExperimentArm("fcfs + conservative", spec,
-                      sched(backfill="conservative")),
-        ExperimentArm("wfp + EASY", spec, sched(queue="wfp")),
-        ExperimentArm("sjf + EASY", spec, sched(queue="sjf")),
-    ]
-    summaries = run_arms(arms, jobs, class_local_mem=512 * GiB)
-    print(f"{len(jobs)} W-DATA jobs on {spec.name} "
-          f"({NODES} nodes, 128 GiB local + global pool)\n")
-    print(compare_table(summaries, baseline_label="fcfs (no backfill)"))
+    grid = build_grid()
+    report = SweepRunner(workers=default_workers(fallback=4)).run(grid)
+    summaries = report.summaries()
+    workload = grid.base["workload"]
+    cluster = grid.base["cluster"]
+    print(f"{workload['num_jobs']} {workload['reference']} jobs on "
+          f"{cluster['name']} ({cluster['num_nodes']} nodes, "
+          f"{cluster['local_mem']} local + {cluster['reach']} pool); "
+          f"{report.executed} scenarios, {report.workers} workers\n")
+    print(compare_table(summaries, baseline_label=BASELINE))
     print()
 
     easy = next(s for s in summaries if s.label == "fcfs + EASY")

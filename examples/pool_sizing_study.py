@@ -7,51 +7,76 @@ pools), replicate the experiment over five workload seeds and report
 mean wait with 95% t-intervals — the level of rigor a real evaluation
 section needs before claiming one reach beats the other.
 
+The whole study is one scenario grid — budget × reach × seed, 40
+cells — run in parallel by :class:`repro.runner.SweepRunner`; the
+seed axis is then collapsed with
+:func:`repro.runner.aggregate_rows` into mean ± CI per (budget,
+reach) group.  Reach is a *set-point* axis because it moves two
+parameters together (pool topology + the matching placement policy).
+
 Run:  python examples/pool_sizing_study.py
 """
 
-from repro.analysis import mean_ci, run_config
-from repro.cluster import ClusterSpec
 from repro.metrics import ascii_table
+from repro.runner import ScenarioGrid, SweepRunner, aggregate_rows, default_workers
 from repro.units import GiB
-from repro.workload.reference import generate_reference_jobs
 
 NODES = 64
 SEEDS = (1, 2, 3, 4, 5)
 FRACTIONS = (0.125, 0.25, 0.5, 1.0)
 
 
-def run_arm(fraction: float, reach: str, seed: int):
-    jobs = generate_reference_jobs(
-        "W-DATA", seed=seed, num_jobs=300, cluster_nodes=NODES,
-        max_mem_per_node=512 * GiB, target_load=0.9,
+def build_grid() -> ScenarioGrid:
+    return ScenarioGrid(
+        name="pool-sizing-study",
+        base={
+            "workload": {"reference": "W-DATA", "num_jobs": 300,
+                         "load": 0.9, "max_mem_per_node": 512 * GiB},
+            "cluster": {"kind": "thin", "num_nodes": NODES,
+                        "nodes_per_rack": 16, "local_mem": "128GiB",
+                        "fat_local_mem": "512GiB"},
+            "scheduler": {"penalty": {"kind": "linear", "beta": 0.3}},
+            "class_local_mem": 512 * GiB,
+        },
+        axes={
+            "cluster.pool_fraction": list(FRACTIONS),
+            "reach": [
+                {"label": "global",
+                 "set": {"cluster.reach": "global",
+                         "scheduler.placement": "first_fit"}},
+                {"label": "rack",
+                 "set": {"cluster.reach": "rack",
+                         "scheduler.placement": "rack_pack"}},
+            ],
+            "workload.seed": list(SEEDS),
+        },
     )
-    spec = ClusterSpec.thin_node(
-        num_nodes=NODES, nodes_per_rack=16, local_mem="128GiB",
-        fat_local_mem="512GiB", pool_fraction=fraction, reach=reach,
-    )
-    _, summary = run_config(
-        spec, jobs, class_local_mem=512 * GiB,
-        placement="rack_pack" if reach == "rack" else "first_fit",
-        penalty={"kind": "linear", "beta": 0.3},
-    )
-    return summary.wait["mean"], summary.jobs_rejected
 
 
 def main() -> None:
+    grid = build_grid()
+    report = SweepRunner(workers=default_workers(fallback=4)).run(grid)
+    aggregated = aggregate_rows(
+        report.rows(),
+        by=["cluster.pool_fraction", "reach"],
+        metrics=["wait_mean"],
+        sums=["rejected"],
+    )
+    by_cell = {
+        (row["cluster.pool_fraction"], row["reach"]): row for row in aggregated
+    }
     print(f"pool sizing × reach on W-DATA, {len(SEEDS)} seeds, "
           f"{NODES} nodes (mean wait ± 95% CI, and jobs shed as "
-          f"infeasible)\n")
+          f"infeasible); {report.total} scenarios, "
+          f"{report.workers} workers\n")
     rows = []
     for fraction in FRACTIONS:
         row = [f"{fraction:.0%}"]
         for reach in ("global", "rack"):
-            outcomes = [run_arm(fraction, reach, seed) for seed in SEEDS]
-            waits = [w for w, _ in outcomes]
-            shed = sum(r for _, r in outcomes)
-            mean, half = mean_ci(waits)
-            row.append(f"{mean:,.0f} ± {half:,.0f}")
-            row.append(shed)
+            cell = by_cell[(fraction, reach)]
+            row.append(f"{cell['wait_mean_mean']:,.0f} ± "
+                       f"{cell['wait_mean_ci95']:,.0f}")
+            row.append(cell["rejected"])
         rows.append(row)
     print(ascii_table(
         ["pool budget", "global wait (s)", "shed", "rack wait (s)", "shed"],

@@ -1,10 +1,15 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     dismem-sched run --config experiment.json [--csv out.csv]
         Run one configured experiment, print the summary table, audit
         the schedule, optionally dump the per-job CSV.
+
+    dismem-sched sweep [--grid grid.json | --demo] [--workers N]
+        Expand a declarative scenario grid and run every cell — in
+        parallel, with on-disk result caching so repeated sweeps skip
+        completed cells.  See :mod:`repro.runner`.
 
     dismem-sched demo [--jobs N] [--seed S]
         A built-in fat-vs-thin comparison on the W-MIX workload — the
@@ -13,12 +18,14 @@ Three subcommands::
     dismem-sched workloads
         List the bundled reference workload mixes.
 
-(Installed as ``dismem-sched``; also runnable as ``python -m repro.cli``.)
+(Installed as ``dismem-sched`` and ``repro``; also runnable as
+``python -m repro.cli``.)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -32,11 +39,10 @@ from .engine.simulation import SchedulerSimulation
 from .errors import ReproError
 from .metrics.report import ascii_table, rows_to_csv
 from .metrics.summary import summarize
-from .sim.rng import RandomStreams
 from .units import GiB
 from .workload.reference import REFERENCE_WORKLOADS, generate_reference_jobs
 
-__all__ = ["main"]
+__all__ = ["main", "demo_grid"]
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -74,6 +80,89 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ]
         Path(args.csv).write_text(rows_to_csv(job_rows))
         print(f"per-job records written to {args.csv}")
+    return 0
+
+
+def demo_grid() -> "ScenarioGrid":
+    """The built-in 12-cell demonstration grid.
+
+    Workload mix × pool budget × remote penalty on a 32-node thin
+    machine — small enough to sweep in seconds, wide enough to exercise
+    every axis type the runner supports.
+    """
+    from .runner import ScenarioGrid
+
+    return ScenarioGrid(
+        name="demo",
+        base={
+            "workload": {"reference": "W-MIX", "num_jobs": 150,
+                         "seed": 42, "load": 0.9},
+            "cluster": {"kind": "thin", "num_nodes": 32, "nodes_per_rack": 16,
+                        "local_mem": "128GiB", "fat_local_mem": "512GiB",
+                        "reach": "global"},
+            "scheduler": {"queue": "fcfs", "backfill": "easy",
+                          "placement": "first_fit",
+                          "penalty": {"kind": "linear", "beta": 0.3}},
+            "class_local_mem": 512 * GiB,
+        },
+        axes={
+            "workload.reference": ["W-MIX", "W-DATA"],
+            "cluster.pool_fraction": [0.25, 0.5, 1.0],
+            "scheduler.penalty.beta": [0.1, 0.3],
+        },
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .runner import ScenarioGrid, SweepRunner, rows_table
+
+    if args.grid:
+        grid = ScenarioGrid.from_file(args.grid)
+    else:
+        grid = demo_grid()
+    cache_dir: Optional[Path] = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir) / grid.name
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    runner = SweepRunner(
+        workers=args.workers, cache_dir=cache_dir, progress=progress
+    )
+    report = runner.run(grid)
+
+    rows = report.rows()
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    if rows:
+        unknown = [m for m in metrics if m not in rows[0]]
+        if unknown:
+            valid = [k for k in rows[0]
+                     if k not in ("scenario", "key", *grid.axes)]
+            print(f"error: unknown metric(s) {', '.join(unknown)}; "
+                  f"choose from: {', '.join(valid)}", file=sys.stderr)
+            return 1
+    columns = ["scenario"] + list(grid.axes) + metrics
+    print(rows_table(rows, columns=columns))
+    if args.baseline:
+        labels = [record["name"] for record in report.records]
+        if args.baseline not in labels:
+            print(f"error: baseline {args.baseline!r} is not a scenario label; "
+                  f"choose one of: {', '.join(labels)}", file=sys.stderr)
+            return 1
+        print()
+        print(compare_table(report.summaries(), baseline_label=args.baseline))
+    if args.out:
+        payload = {
+            "grid": grid.to_dict(),
+            "executed": report.executed,
+            "cached": report.cached,
+            "workers": report.workers,
+            "rows": rows,
+            "records": report.records,
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2, default=str))
+        print(f"sweep results written to {args.out}")
+    print(report.status_line())
     return 0
 
 
@@ -122,6 +211,13 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dismem-sched",
@@ -137,6 +233,30 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="WIDTH",
                        help="print an ASCII gantt chart (optional width)")
     p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a scenario grid (parallel, cached)"
+    )
+    p_sweep.add_argument(
+        "--grid", help="scenario grid JSON (default: built-in 12-cell demo)"
+    )
+    p_sweep.add_argument("--workers", type=_positive_int, default=1,
+                         help="process count (default 1 = serial)")
+    p_sweep.add_argument("--cache-dir", default=".sweep-cache",
+                         help="result cache root (default .sweep-cache)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk result cache")
+    p_sweep.add_argument("--out", help="write rows + records JSON here")
+    p_sweep.add_argument(
+        "--metrics",
+        default="wait_mean,bsld_mean,node_util,pool_util,rejected,killed",
+        help="comma-separated metric columns for the table",
+    )
+    p_sweep.add_argument("--baseline",
+                         help="also print a compare table vs this scenario label")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress lines")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_demo = sub.add_parser("demo", help="built-in fat-vs-thin comparison")
     p_demo.add_argument("--jobs", type=int, default=400)

@@ -1,0 +1,45 @@
+"""Scenario-sweep runner: declarative grids, parallel execution, caching.
+
+The paper's results are grids — pool sizes × penalties × policies ×
+workloads.  This subsystem makes those grids first-class:
+
+* :class:`ScenarioGrid` / :class:`Scenario` — declarative cartesian
+  products over a base scenario document (JSON round-trippable);
+* :class:`SweepRunner` — cached, parallel (``multiprocessing``) or
+  serial execution with deterministic per-scenario seeding; identical
+  records regardless of worker count;
+* :mod:`~repro.runner.aggregate` — collapse records into tidy rows,
+  rehydrated summaries for ``compare_table``, series for crossover
+  analysis, and replicate aggregation with confidence intervals.
+
+Exposed on the CLI as ``repro sweep`` / ``dismem-sched sweep``.
+"""
+
+from .aggregate import (
+    aggregate_rows,
+    records_to_rows,
+    rows_table,
+    series_from_rows,
+    summary_from_record,
+)
+from .cache import CACHE_VERSION, ResultCache
+from .scenario import Scenario, ScenarioGrid, build_cluster_spec, scenario_key
+from .sweep import SweepReport, SweepRunner, default_workers, run_scenario
+
+__all__ = [
+    "Scenario",
+    "ScenarioGrid",
+    "build_cluster_spec",
+    "scenario_key",
+    "SweepRunner",
+    "SweepReport",
+    "run_scenario",
+    "default_workers",
+    "ResultCache",
+    "CACHE_VERSION",
+    "summary_from_record",
+    "records_to_rows",
+    "rows_table",
+    "series_from_rows",
+    "aggregate_rows",
+]

@@ -1,0 +1,120 @@
+"""Collapsing sweep records into tidy tables and comparison inputs.
+
+Sweep records are plain dicts (JSON round-trippable); this module turns
+them back into the shapes the rest of the analysis stack consumes:
+
+* :func:`summary_from_record` — rehydrate a :class:`ResultSummary`, so
+  :func:`repro.analysis.compare.compare_table` works on sweep output;
+* :func:`records_to_rows` — tidy rows (one per scenario: axis
+  coordinates + flat metrics) for CSV export and pivoting;
+* :func:`series_from_rows` — (x, y) series along one axis for
+  :func:`repro.analysis.compare.crossover_point` and trend assertions;
+* :func:`aggregate_rows` — collapse replicate axes (e.g. seeds) into
+  mean / 95% CI per group, the replication pattern of the pool-sizing
+  study.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.stats import mean_ci
+from ..metrics.report import ascii_table
+from ..metrics.summary import ResultSummary
+
+__all__ = [
+    "summary_from_record",
+    "records_to_rows",
+    "rows_table",
+    "series_from_rows",
+    "aggregate_rows",
+]
+
+
+def summary_from_record(record: Mapping[str, Any]) -> ResultSummary:
+    """Rebuild the :class:`ResultSummary` stored in a sweep record."""
+    return ResultSummary(**record["summary"])
+
+
+def records_to_rows(records: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """One tidy row per record: coords, then the flat summary metrics."""
+    rows: List[Dict[str, Any]] = []
+    for record in records:
+        summary = summary_from_record(record)
+        row: Dict[str, Any] = {"scenario": record["name"]}
+        row.update(record.get("coords", {}))
+        metrics = summary.row()
+        metrics.pop("label", None)
+        row.update(metrics)
+        row["key"] = record["key"]
+        rows.append(row)
+    return rows
+
+
+def rows_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """ASCII table over tidy rows (all columns by default)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = [key for key in rows[0] if key != "key"]
+    body = [[row.get(col, "") for col in columns] for row in rows]
+    return ascii_table(list(columns), body)
+
+
+def series_from_rows(
+    rows: Sequence[Mapping[str, Any]],
+    x: str,
+    y: str,
+    where: Optional[Mapping[str, Any]] = None,
+) -> Tuple[List[Any], List[float]]:
+    """Extract a ``y``-vs-``x`` series, optionally filtered by coords.
+
+    Rows are sorted by ``x``; duplicated x values (an unaggregated
+    replicate axis, or a forgotten filter) raise, because a series with
+    repeated x coordinates almost always means a bug in the caller.
+    """
+    selected = [
+        row
+        for row in rows
+        if all(row.get(k) == v for k, v in (where or {}).items())
+    ]
+    selected.sort(key=lambda row: row[x])
+    xs = [row[x] for row in selected]
+    if len(set(xs)) != len(xs):
+        raise ValueError(
+            f"duplicate {x!r} values in series; aggregate or filter first"
+        )
+    return xs, [float(row[y]) for row in selected]
+
+
+def aggregate_rows(
+    rows: Sequence[Mapping[str, Any]],
+    by: Sequence[str],
+    metrics: Sequence[str],
+    sums: Sequence[str] = (),
+) -> List[Dict[str, Any]]:
+    """Collapse replicates: group rows by ``by``, reduce the rest.
+
+    Each ``metrics`` column becomes ``<name>_mean`` / ``<name>_ci95``
+    (95% t-interval half-width across the group's replicates); each
+    ``sums`` column becomes a plain total.  Group order follows first
+    appearance, so grid ordering is preserved.
+    """
+    groups: Dict[Tuple[Any, ...], List[Mapping[str, Any]]] = {}
+    for row in rows:
+        groups.setdefault(tuple(row.get(k) for k in by), []).append(row)
+    out: List[Dict[str, Any]] = []
+    for group_key, members in groups.items():
+        aggregated: Dict[str, Any] = dict(zip(by, group_key))
+        aggregated["replicates"] = len(members)
+        for metric in metrics:
+            mean, half = mean_ci([float(m[metric]) for m in members])
+            aggregated[f"{metric}_mean"] = mean
+            aggregated[f"{metric}_ci95"] = half
+        for column in sums:
+            aggregated[column] = sum(m[column] for m in members)
+        out.append(aggregated)
+    return out

@@ -1,0 +1,87 @@
+"""On-disk JSON result cache keyed by scenario hash.
+
+Each completed scenario is stored as ``<cache_dir>/<key>.json`` holding
+the scenario document (for provenance/debugging), the summary record,
+and a cache-format version.  Repeated sweeps skip cells whose key is
+already present; bumping :data:`CACHE_VERSION` invalidates everything
+when the record schema changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["CACHE_VERSION", "ResultCache"]
+
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Directory of per-scenario result records."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record for ``key``, or ``None`` on miss."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("version") != CACHE_VERSION:
+            return None
+        return entry.get("record")
+
+    def put(
+        self,
+        key: str,
+        record: Dict[str, Any],
+        scenario: Optional[Dict[str, Any]] = None,
+        elapsed: Optional[float] = None,
+    ) -> None:
+        """Store a record atomically (write-to-temp + rename)."""
+        entry = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "scenario": scenario,
+            "elapsed": elapsed,
+            "record": record,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, indent=2, default=str)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached record; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,346 @@
+"""Declarative scenarios and scenario grids.
+
+A :class:`Scenario` is one fully-specified simulation cell — workload,
+cluster, scheduler stack, and summarization options — expressed as
+plain JSON-able dictionaries so scenarios can live in files, travel
+across process boundaries, and hash stably for result caching.
+
+A :class:`ScenarioGrid` expands a cartesian product of axes over a
+base scenario.  Axis keys are dotted paths into the scenario document
+(``"scheduler.penalty.beta"``); axis values are either plain values, or
+labelled points ``{"label": ..., "value": ...}``, or labelled
+*set-points* ``{"label": ..., "set": {path: value, ...}}`` that
+override several paths at once (for linked parameters such as pool
+reach + placement policy).
+
+Every scenario carries ``coords`` — its axis coordinates — so the
+aggregation layer can produce tidy tables without re-parsing labels.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..cluster.spec import ClusterSpec
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStreams
+from ..units import GiB, parse_mem
+from ..workload.job import Job
+from ..workload.reference import generate_reference_jobs
+
+__all__ = [
+    "Scenario",
+    "ScenarioGrid",
+    "build_cluster_spec",
+    "scenario_key",
+]
+
+
+# ----------------------------------------------------------------------
+# dotted-path helpers
+# ----------------------------------------------------------------------
+def _set_path(doc: Dict[str, Any], path: str, value: Any) -> None:
+    """Set ``doc[a][b][c] = value`` for ``path == "a.b.c"``.
+
+    Missing intermediates are created; an intermediate that exists but
+    is not a mapping is a conflict between the axis and the base
+    document, and silently overwriting it would make every cell
+    simulate something other than what was declared — so it raises.
+    """
+    parts = path.split(".")
+    node = doc
+    for i, part in enumerate(parts[:-1]):
+        nxt = node.get(part)
+        if nxt is None:
+            nxt = {}
+            node[part] = nxt
+        elif not isinstance(nxt, dict):
+            raise ConfigurationError(
+                f"cannot set {path!r}: {'.'.join(parts[: i + 1])!r} is "
+                f"{nxt!r}, not a mapping"
+            )
+        node = nxt
+    node[parts[-1]] = value
+
+
+def _canonical_json(doc: Any) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def scenario_key(doc: Mapping[str, Any]) -> str:
+    """Stable 16-hex digest of a scenario's physical content."""
+    return hashlib.sha256(_canonical_json(doc).encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# cluster construction from a declarative dict
+# ----------------------------------------------------------------------
+def build_cluster_spec(data: Mapping[str, Any]) -> ClusterSpec:
+    """Build a :class:`ClusterSpec` from a scenario's ``cluster`` section.
+
+    Three forms are accepted:
+
+    * ``{"kind": "fat", "num_nodes": 64, "local_mem": "512GiB", ...}``
+    * ``{"kind": "thin", "pool_fraction": 0.5, "reach": "global", ...}``
+    * ``{"spec": {...}}`` — a raw :meth:`ClusterSpec.from_dict` document.
+    """
+    data = dict(data)
+    if "spec" in data:
+        return ClusterSpec.from_dict(data["spec"])
+    kind = data.pop("kind", "fat")
+    if kind == "fat":
+        return ClusterSpec.fat_node(
+            num_nodes=int(data.get("num_nodes", 128)),
+            local_mem=data.get("local_mem", 512 * GiB),
+            cores=int(data.get("cores", 64)),
+            nodes_per_rack=int(data.get("nodes_per_rack", 16)),
+            name=data.get("name", "FAT"),
+        )
+    if kind == "thin":
+        return ClusterSpec.thin_node(
+            num_nodes=int(data.get("num_nodes", 128)),
+            local_mem=data.get("local_mem", 128 * GiB),
+            fat_local_mem=data.get("fat_local_mem", 512 * GiB),
+            pool_fraction=float(data.get("pool_fraction", 1.0)),
+            reach=data.get("reach", "global"),
+            cores=int(data.get("cores", 64)),
+            nodes_per_rack=int(data.get("nodes_per_rack", 16)),
+            name=data.get("name"),
+            rack_bandwidth=float(data.get("rack_bandwidth", float("inf"))),
+            global_bandwidth=float(data.get("global_bandwidth", float("inf"))),
+        )
+    raise ConfigurationError(f"unknown cluster kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+@dataclass
+class Scenario:
+    """One runnable simulation cell.
+
+    ``workload``, ``cluster`` and ``scheduler`` are plain dicts (the
+    schemas of :func:`generate_reference_jobs`, :func:`build_cluster_spec`
+    and :func:`repro.sched.base.build_scheduler` respectively) so the
+    whole scenario is picklable and JSON round-trippable.
+    """
+
+    name: str = "scenario"
+    workload: Dict[str, Any] = field(default_factory=dict)
+    cluster: Dict[str, Any] = field(default_factory=dict)
+    scheduler: Dict[str, Any] = field(default_factory=dict)
+    sample_interval: Optional[float] = None
+    class_local_mem: Optional[int] = None
+    audit: bool = True
+    coords: Dict[str, Any] = field(default_factory=dict)
+
+    # -- identity -----------------------------------------------------
+    def physics_dict(self) -> Dict[str, Any]:
+        """The content that determines the simulation outcome.
+
+        Excludes ``name`` and ``coords`` (pure presentation), so
+        relabelling a grid does not invalidate cached results.
+        """
+        return {
+            "workload": self.workload,
+            "cluster": self.cluster,
+            "scheduler": self.scheduler,
+            "sample_interval": self.sample_interval,
+            "class_local_mem": self.class_local_mem,
+            "audit": self.audit,
+            "seed": self.effective_seed(),
+        }
+
+    def key(self) -> str:
+        return scenario_key(self.physics_dict())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "cluster": self.cluster,
+            "scheduler": self.scheduler,
+            "sample_interval": self.sample_interval,
+            "class_local_mem": self.class_local_mem,
+            "audit": self.audit,
+            "coords": self.coords,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        class_local_mem = data.get("class_local_mem")
+        if class_local_mem is not None:
+            # Accept the "512GiB" string form like every other memory
+            # field (and normalize it so the scenario hash is stable
+            # across the two spellings).
+            class_local_mem = parse_mem(class_local_mem)
+        return cls(
+            name=str(data.get("name", "scenario")),
+            workload=dict(data.get("workload", {})),
+            cluster=dict(data.get("cluster", {})),
+            scheduler=dict(data.get("scheduler", {})),
+            sample_interval=data.get("sample_interval"),
+            class_local_mem=class_local_mem,
+            audit=bool(data.get("audit", True)),
+            coords=dict(data.get("coords", {})),
+        )
+
+    # -- deterministic seeding ----------------------------------------
+    def effective_seed(self) -> int:
+        """The RNG seed this scenario's workload is generated with.
+
+        ``workload.seed`` may be an integer (used as-is) or the string
+        ``"auto"``: a seed derived from the scenario's non-seed content,
+        so every grid cell gets a distinct but fully reproducible stream
+        regardless of execution order or worker count.
+        """
+        seed = self.workload.get("seed", 0)
+        if seed == "auto":
+            doc = {
+                "workload": {k: v for k, v in self.workload.items() if k != "seed"},
+                "cluster": self.cluster,
+                "scheduler": self.scheduler,
+            }
+            return int(scenario_key(doc)[:8], 16)
+        return int(seed)
+
+    # -- builders -----------------------------------------------------
+    def build_cluster_spec(self) -> ClusterSpec:
+        return build_cluster_spec(self.cluster)
+
+    def build_jobs(self) -> List[Job]:
+        """Materialize the workload section (deterministic per seed)."""
+        spec = dict(self.workload)
+        seed = self.effective_seed()
+        spec.pop("seed", None)
+        if "swf" in spec:
+            from ..workload.swf import SWFFields, read_swf
+
+            fields = SWFFields(cores_per_node=int(spec.get("cores_per_node", 1)))
+            jobs, _header = read_swf(
+                spec["swf"], fields=fields, streams=RandomStreams(seed)
+            )
+            max_jobs = spec.get("num_jobs")
+            if max_jobs is not None:
+                jobs = jobs[: int(max_jobs)]
+            return jobs
+        cluster_spec = self.build_cluster_spec()
+        return generate_reference_jobs(
+            spec.get("reference", "W-MIX"),
+            seed=seed,
+            num_jobs=int(spec.get("num_jobs", 1000)),
+            cluster_nodes=int(spec.get("cluster_nodes", cluster_spec.num_nodes)),
+            max_mem_per_node=parse_mem(spec.get("max_mem_per_node", 512 * GiB)),
+            target_load=spec.get("load", 0.85),
+        )
+
+
+# ----------------------------------------------------------------------
+# axis points
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _AxisPoint:
+    """One normalized value on one axis."""
+
+    label: str
+    value: Any = None
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+
+def _normalize_point(axis: str, raw: Any) -> _AxisPoint:
+    if isinstance(raw, Mapping):
+        if "set" in raw:
+            overrides = tuple(sorted(raw["set"].items()))
+            label = str(raw.get("label", "/".join(str(v) for _, v in overrides)))
+            return _AxisPoint(label=label, overrides=overrides)
+        if "value" in raw:
+            return _AxisPoint(
+                label=str(raw.get("label", raw["value"])),
+                value=raw["value"],
+                overrides=((axis, raw["value"]),),
+            )
+        raise ConfigurationError(
+            f"axis {axis!r}: mapping points need a 'value' or 'set' key"
+        )
+    return _AxisPoint(label=str(raw), value=raw, overrides=((axis, raw),))
+
+
+# ----------------------------------------------------------------------
+# ScenarioGrid
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioGrid:
+    """A cartesian product of axes over a base scenario document."""
+
+    name: str = "grid"
+    base: Dict[str, Any] = field(default_factory=dict)
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for axis, values in self.axes.items():
+            if not values:
+                raise ConfigurationError(f"axis {axis!r} has no values")
+
+    # -- size & expansion ---------------------------------------------
+    @property
+    def size(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def iter_scenarios(self) -> Iterator[Scenario]:
+        axis_names = list(self.axes)
+        normalized = [
+            [_normalize_point(axis, raw) for raw in self.axes[axis]]
+            for axis in axis_names
+        ]
+        for combo in itertools.product(*normalized) if axis_names else iter([()]):
+            doc = copy.deepcopy(self.base)
+            coords: Dict[str, Any] = {}
+            labels: List[str] = []
+            for axis, point in zip(axis_names, combo):
+                # Tidy coordinate: the raw value for value axes, the
+                # label for set-point axes (which have no single value).
+                coords[axis] = point.value if point.value is not None else point.label
+                labels.append(point.label)
+                for path, value in point.overrides:
+                    _set_path(doc, path, value)
+            name = "/".join(labels) if labels else self.name
+            scenario = Scenario.from_dict(doc)
+            scenario.name = name
+            scenario.coords = coords
+            yield scenario
+
+    def scenarios(self) -> List[Scenario]:
+        return list(self.iter_scenarios())
+
+    # -- (de)serialization --------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "base": self.base, "axes": self.axes}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioGrid":
+        return cls(
+            name=str(data.get("name", "grid")),
+            base=dict(data.get("base", {})),
+            axes={k: list(v) for k, v in dict(data.get("axes", {})).items()},
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ScenarioGrid":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read grid file {path}: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid grid JSON in {path}: {exc}") from exc
+        return cls.from_dict(data)

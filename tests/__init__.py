@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Making ``tests/`` a package lets the test modules' relative
+``from .conftest import make_job`` imports resolve under pytest's
+default import mode.
+"""

@@ -1,0 +1,324 @@
+"""Tests for the scenario-sweep runner subsystem (repro.runner)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.runner import (
+    CACHE_VERSION,
+    ResultCache,
+    Scenario,
+    ScenarioGrid,
+    SweepRunner,
+    aggregate_rows,
+    build_cluster_spec,
+    records_to_rows,
+    run_scenario,
+    series_from_rows,
+    summary_from_record,
+)
+from repro.units import GiB
+
+
+def tiny_base(num_jobs: int = 40, seed: int = 7) -> dict:
+    """A scenario document small enough to simulate in milliseconds."""
+    return {
+        "workload": {"reference": "W-MIX", "num_jobs": num_jobs,
+                     "seed": seed, "load": 0.9},
+        "cluster": {"kind": "thin", "num_nodes": 16, "nodes_per_rack": 8,
+                    "local_mem": "128GiB", "fat_local_mem": "512GiB",
+                    "pool_fraction": 0.5},
+        "scheduler": {"backfill": "easy",
+                      "penalty": {"kind": "linear", "beta": 0.3}},
+        "class_local_mem": 512 * GiB,
+    }
+
+
+def tiny_grid(**axes) -> ScenarioGrid:
+    return ScenarioGrid(
+        name="tiny",
+        base=tiny_base(),
+        axes=axes or {"cluster.pool_fraction": [0.25, 0.5],
+                      "scheduler.penalty.beta": [0.1, 0.3]},
+    )
+
+
+# ----------------------------------------------------------------------
+# grid expansion
+# ----------------------------------------------------------------------
+class TestGridExpansion:
+    def test_cartesian_product_count(self):
+        grid = tiny_grid(**{
+            "workload.reference": ["W-MIX", "W-DATA"],
+            "cluster.pool_fraction": [0.25, 0.5, 1.0],
+            "scheduler.penalty.beta": [0.1, 0.3],
+        })
+        assert grid.size == 12
+        scenarios = grid.scenarios()
+        assert len(scenarios) == 12
+        assert len({s.name for s in scenarios}) == 12
+
+    def test_dotted_path_overrides_applied(self):
+        grid = tiny_grid(**{"scheduler.penalty.beta": [0.1, 0.9]})
+        betas = [s.scheduler["penalty"]["beta"] for s in grid.scenarios()]
+        assert betas == [0.1, 0.9]
+        # The base document is never mutated by expansion.
+        assert grid.base["scheduler"]["penalty"]["beta"] == 0.3
+
+    def test_set_point_axis_moves_linked_parameters(self):
+        grid = tiny_grid(reach=[
+            {"label": "global", "set": {"cluster.reach": "global",
+                                        "scheduler.placement": "first_fit"}},
+            {"label": "rack", "set": {"cluster.reach": "rack",
+                                      "scheduler.placement": "rack_pack"}},
+        ])
+        scenarios = grid.scenarios()
+        assert [s.name for s in scenarios] == ["global", "rack"]
+        assert scenarios[1].cluster["reach"] == "rack"
+        assert scenarios[1].scheduler["placement"] == "rack_pack"
+        assert scenarios[1].coords["reach"] == "rack"
+
+    def test_labelled_value_points(self):
+        grid = tiny_grid(**{"cluster.pool_fraction": [
+            {"label": "quarter", "value": 0.25},
+            {"label": "full", "value": 1.0},
+        ]})
+        scenarios = grid.scenarios()
+        assert [s.name for s in scenarios] == ["quarter", "full"]
+        assert scenarios[0].cluster["pool_fraction"] == 0.25
+        # Tidy coordinate keeps the raw value, not the label.
+        assert scenarios[0].coords["cluster.pool_fraction"] == 0.25
+
+    def test_axis_conflicting_with_non_mapping_base_rejected(self):
+        base = tiny_base()
+        base["scheduler"]["penalty"] = "step"  # string form, not a dict
+        grid = ScenarioGrid(base=base,
+                            axes={"scheduler.penalty.beta": [0.1, 0.3]})
+        with pytest.raises(ConfigurationError):
+            grid.scenarios()
+
+    def test_no_axes_yields_single_scenario(self):
+        grid = ScenarioGrid(name="single", base=tiny_base(), axes={})
+        assert grid.size == 1
+        assert len(grid.scenarios()) == 1
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioGrid(base=tiny_base(), axes={"workload.seed": []})
+
+    def test_grid_json_roundtrip(self, tmp_path):
+        grid = tiny_grid()
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(grid.to_dict()))
+        loaded = ScenarioGrid.from_file(path)
+        assert [s.key() for s in loaded.scenarios()] \
+            == [s.key() for s in grid.scenarios()]
+
+
+# ----------------------------------------------------------------------
+# scenario identity & seeding
+# ----------------------------------------------------------------------
+class TestScenarioKey:
+    def test_key_stable_and_name_insensitive(self):
+        a = Scenario.from_dict(tiny_base())
+        b = Scenario.from_dict(tiny_base())
+        b.name = "renamed"
+        b.coords = {"axis": "value"}
+        assert a.key() == b.key()
+
+    def test_key_tracks_physics(self):
+        a = Scenario.from_dict(tiny_base())
+        changed = tiny_base()
+        changed["scheduler"]["penalty"]["beta"] = 0.9
+        b = Scenario.from_dict(changed)
+        assert a.key() != b.key()
+
+    def test_auto_seed_deterministic_and_distinct(self):
+        base = tiny_base()
+        base["workload"]["seed"] = "auto"
+        grid = ScenarioGrid(base=base,
+                            axes={"cluster.pool_fraction": [0.25, 0.5]})
+        first = [s.effective_seed() for s in grid.scenarios()]
+        second = [s.effective_seed() for s in grid.scenarios()]
+        assert first == second
+        assert first[0] != first[1]
+
+    def test_class_local_mem_accepts_string_form(self):
+        doc = tiny_base()
+        doc["class_local_mem"] = "512GiB"
+        scenario = Scenario.from_dict(doc)
+        assert scenario.class_local_mem == 512 * GiB
+        # Both spellings hash identically, so neither busts the cache.
+        assert scenario.key() == Scenario.from_dict(tiny_base()).key()
+        record = run_scenario(scenario)
+        assert record["summary"]["by_class"]
+
+    def test_build_cluster_spec_forms(self):
+        fat = build_cluster_spec({"kind": "fat", "num_nodes": 8,
+                                  "local_mem": "64GiB"})
+        assert fat.num_nodes == 8 and fat.pool.disaggregated is False
+        thin = build_cluster_spec(tiny_base()["cluster"])
+        assert thin.pool.global_pool > 0
+        raw = build_cluster_spec({"spec": {"num_nodes": 4,
+                                           "nodes_per_rack": 2}})
+        assert raw.num_nodes == 4
+        with pytest.raises(ConfigurationError):
+            build_cluster_spec({"kind": "mystery"})
+
+
+# ----------------------------------------------------------------------
+# sweep execution: cache + parallel determinism
+# ----------------------------------------------------------------------
+class TestSweepRunner:
+    def test_cache_misses_then_hits(self, tmp_path):
+        grid = tiny_grid()
+        runner = SweepRunner(workers=1, cache_dir=tmp_path / "cache")
+        first = runner.run(grid)
+        assert (first.executed, first.cached) == (4, 0)
+        second = SweepRunner(workers=1, cache_dir=tmp_path / "cache").run(grid)
+        assert (second.executed, second.cached) == (0, 4)
+        assert json.dumps(first.records, sort_keys=True) \
+            == json.dumps(second.records, sort_keys=True)
+
+    def test_physics_change_invalidates_only_changed_cells(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        SweepRunner(workers=1, cache_dir=cache_dir).run(
+            tiny_grid(**{"cluster.pool_fraction": [0.25, 0.5]})
+        )
+        report = SweepRunner(workers=1, cache_dir=cache_dir).run(
+            tiny_grid(**{"cluster.pool_fraction": [0.25, 1.0]})
+        )
+        assert (report.executed, report.cached) == (1, 1)
+
+    def test_relabelled_cache_hit_refreshes_summary_label(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        axis = {"cluster.pool_fraction": [{"label": "old", "value": 0.25}]}
+        SweepRunner(workers=1, cache_dir=cache_dir).run(tiny_grid(**axis))
+        renamed = tiny_grid(**{
+            "cluster.pool_fraction": [{"label": "new", "value": 0.25}],
+        })
+        report = SweepRunner(workers=1, cache_dir=cache_dir).run(renamed)
+        assert (report.executed, report.cached) == (0, 1)
+        assert report.records[0]["name"] == "new"
+        assert report.summaries()[0].label == "new"
+
+    def test_parallel_equals_serial(self, tmp_path):
+        grid = tiny_grid()
+        serial = SweepRunner(workers=1).run(grid)
+        parallel = SweepRunner(workers=2).run(grid)
+        assert serial.records == parallel.records
+        assert parallel.executed == 4
+
+    def test_records_in_grid_order(self):
+        grid = tiny_grid()
+        names = [s.name for s in grid.scenarios()]
+        report = SweepRunner(workers=2).run(grid)
+        assert [r["name"] for r in report.records] == names
+
+    def test_progress_reported_per_cell(self):
+        lines = []
+        SweepRunner(workers=1, progress=lines.append).run(
+            tiny_grid(**{"cluster.pool_fraction": [0.25, 0.5]})
+        )
+        assert len(lines) == 2
+        assert lines[0].startswith("[1/2]")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+
+    def test_cache_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("abc", {"name": "x"})
+        assert cache.get("abc") == {"name": "x"}
+        entry = json.loads((tmp_path / "abc.json").read_text())
+        entry["version"] = CACHE_VERSION + 1
+        (tmp_path / "abc.json").write_text(json.dumps(entry))
+        assert cache.get("abc") is None
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return SweepRunner(workers=1).run(tiny_grid())
+
+    def test_rows_carry_coords_and_metrics(self, report):
+        rows = records_to_rows(report.records)
+        assert len(rows) == 4
+        for row in rows:
+            assert {"scenario", "cluster.pool_fraction",
+                    "scheduler.penalty.beta", "wait_mean",
+                    "node_util"} <= set(row)
+
+    def test_summary_rehydration_matches_direct_run(self, report):
+        scenario = tiny_grid().scenarios()[0]
+        direct = run_scenario(scenario)
+        rehydrated = summary_from_record(report.records[0])
+        assert rehydrated.wait == direct["summary"]["wait"]
+        assert rehydrated.label == scenario.name
+
+    def test_series_extraction_filters_and_sorts(self, report):
+        rows = records_to_rows(report.records)
+        xs, ys = series_from_rows(
+            rows, "cluster.pool_fraction", "wait_mean",
+            where={"scheduler.penalty.beta": 0.3},
+        )
+        assert xs == [0.25, 0.5]
+        assert all(isinstance(y, float) for y in ys)
+
+    def test_series_rejects_duplicate_x(self, report):
+        rows = records_to_rows(report.records)
+        with pytest.raises(ValueError):
+            series_from_rows(rows, "cluster.pool_fraction", "wait_mean")
+
+    def test_aggregate_rows_collapses_replicates(self, report):
+        rows = records_to_rows(report.records)
+        aggregated = aggregate_rows(
+            rows, by=["cluster.pool_fraction"],
+            metrics=["wait_mean"], sums=["rejected"],
+        )
+        assert [row["cluster.pool_fraction"] for row in aggregated] \
+            == [0.25, 0.5]
+        for row in aggregated:
+            assert row["replicates"] == 2
+            assert row["wait_mean_ci95"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestSweepCLI:
+    def test_sweep_cli_grid_file(self, tmp_path, capsys):
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps(tiny_grid().to_dict()))
+        out_path = tmp_path / "results.json"
+        code = cli_main([
+            "sweep", "--grid", str(grid_path),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_path), "--quiet",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "4 executed / 0 cached" in printed
+        payload = json.loads(out_path.read_text())
+        assert len(payload["records"]) == 4
+        assert payload["executed"] == 4
+        # Second invocation: everything served from the cache.
+        code = cli_main([
+            "sweep", "--grid", str(grid_path),
+            "--cache-dir", str(tmp_path / "cache"), "--quiet",
+        ])
+        assert code == 0
+        assert "0 executed / 4 cached" in capsys.readouterr().out
+
+    def test_demo_grid_has_at_least_12_cells(self):
+        from repro.cli import demo_grid
+
+        assert demo_grid().size >= 12
