@@ -18,6 +18,11 @@ Four subcommands::
     dismem-sched workloads
         List the bundled reference workload mixes.
 
+    dismem-sched perf [--quick] [--out BENCH_PERF.json]
+        Wall-clock performance harness: profile micro-benchmarks,
+        single scheduling passes, end-to-end 10k-job simulations.
+        ``--baseline`` turns it into a regression gate (CI uses it).
+
 (Installed as ``dismem-sched`` and ``repro``; also runnable as
 ``python -m repro.cli``.)
 """
@@ -196,6 +201,68 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .perf import build_cases, case_names, compare_reports, render_report, run_perf
+
+    if args.list:
+        for name in case_names():
+            print(name)
+        return 0
+    try:
+        cases = build_cases(quick=args.quick, scale=args.scale, names=args.case)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    mode = "quick" if args.quick else "full"
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    report = run_perf(
+        cases, mode=mode, repeats_override=args.repeats, progress=progress
+    )
+    payload = report.to_payload()
+    print(render_report(payload))
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"perf results written to {args.out}")
+    if args.baseline:
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+        except OSError as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"error: baseline {args.baseline} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 1
+        if baseline.get("mode") != payload["mode"]:
+            print(
+                f"error: baseline mode {baseline.get('mode')!r} does not match "
+                f"this run's mode {payload['mode']!r}; regenerate the baseline",
+                file=sys.stderr,
+            )
+            return 1
+        regressions = compare_reports(
+            payload, baseline, max_regression=args.max_regression
+        )
+        if regressions:
+            print(
+                f"PERF REGRESSION (> {args.max_regression:.0%} vs "
+                f"{args.baseline}, normalized):",
+                file=sys.stderr,
+            )
+            for reg in regressions:
+                print(
+                    f"  {reg['case']}: {reg['baseline_normalized']:.3f} -> "
+                    f"{reg['current_normalized']:.3f}  ({reg['ratio']:.2f}x)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"no regression > {args.max_regression:.0%} vs {args.baseline}")
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(REFERENCE_WORKLOADS):
@@ -265,6 +332,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_wl = sub.add_parser("workloads", help="list reference workload mixes")
     p_wl.set_defaults(func=_cmd_workloads)
+
+    p_perf = sub.add_parser(
+        "perf", help="wall-clock performance harness (micro + end-to-end)"
+    )
+    p_perf.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (1.5k-job e2e instead of 10k)")
+    p_perf.add_argument("--out", default="BENCH_PERF.json",
+                        help="result JSON path (default BENCH_PERF.json; "
+                        "'' disables writing)")
+    p_perf.add_argument("--case", action="append", metavar="NAME",
+                        help="run only this case (repeatable; see --list)")
+    p_perf.add_argument("--repeats", type=_positive_int, default=None,
+                        help="override per-case repeat count")
+    p_perf.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (testing knob)")
+    p_perf.add_argument("--baseline", metavar="JSON",
+                        help="fail (exit 1) on normalized regression vs "
+                        "this checked-in report")
+    p_perf.add_argument("--max-regression", type=float, default=0.25,
+                        help="regression tolerance for --baseline "
+                        "(default 0.25 = 25%%)")
+    p_perf.add_argument("--list", action="store_true",
+                        help="list case names and exit")
+    p_perf.add_argument("--quiet", action="store_true",
+                        help="suppress per-run progress lines")
+    p_perf.set_defaults(func=_cmd_perf)
     return parser
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from ..errors import AllocationError
 from .fabric import Fabric
@@ -49,7 +49,38 @@ class Cluster:
                 "global", spec.pool.global_pool, spec.pool.global_bandwidth
             )
         self.fabric = Fabric(self)
-        self._free_count = len(self.nodes)
+        # Maintained capacity indexes: the scheduler hot path asks
+        # "which nodes are free?" thousands of times per simulated
+        # second, so the free set is kept incrementally instead of
+        # re-scanned, and pool lookups are prebuilt (pool identity
+        # never changes after construction).
+        self._free_ids: set[int] = {node.node_id for node in self.nodes}
+        self._free_frozen: Optional[FrozenSet[int]] = frozenset(self._free_ids)
+        self._free_sorted: Optional[List[int]] = sorted(self._free_ids)
+        #: Monotone state-change counter: bumped by every mutation that
+        #: can affect availability (node ownership, node state, pool
+        #: grants).  Consumers use it to validate availability caches;
+        #: direct mutation of a ``MemoryPool``/``Node`` bypasses it, so
+        #: always go through the cluster methods.
+        self.version: int = 0
+        self._all_ids: FrozenSet[int] = frozenset(n.node_id for n in self.nodes)
+        self._all_sorted: List[int] = sorted(self._all_ids)
+        self._pools: List[MemoryPool] = [
+            rack.pool for rack in self.racks if rack.pool is not None
+        ]
+        if self.global_pool is not None:
+            self._pools.append(self.global_pool)
+        self._pools_by_id: Dict[str, MemoryPool] = {
+            pool.pool_id: pool for pool in self._pools
+        }
+        self._pool_capacities: Dict[str, int] = {
+            pool.pool_id: pool.capacity for pool in self._pools
+        }
+        #: Any pool with finite bandwidth?  When False, bandwidth
+        #: pressure is identically zero and hot paths skip the scan.
+        self.has_metered_pools: bool = any(
+            pool.bandwidth != float("inf") for pool in self._pools
+        )
 
     # ------------------------------------------------------------------
     # lookups
@@ -70,23 +101,52 @@ class Cluster:
 
     @property
     def free_node_count(self) -> int:
-        return self._free_count
+        return len(self._free_ids)
+
+    @property
+    def free_ids(self) -> FrozenSet[int]:
+        """Maintained frozenset of idle node ids (no scan)."""
+        if self._free_frozen is None:
+            self._free_frozen = frozenset(self._free_ids)
+        return self._free_frozen
+
+    @property
+    def all_node_ids(self) -> FrozenSet[int]:
+        """Every node id, regardless of state (empty-machine queries)."""
+        return self._all_ids
+
+    def sorted_all_ids(self) -> List[int]:
+        """Every node id ascending, cached (do not mutate)."""
+        return self._all_sorted
+
+    def sorted_free_ids(self) -> List[int]:
+        """Idle node ids ascending, cached (do not mutate).
+
+        Placement policies ask for the sorted free set on every
+        feasibility probe; the cache turns that into a slice.
+        """
+        if self._free_sorted is None:
+            self._free_sorted = sorted(self._free_ids)
+        return self._free_sorted
 
     def free_nodes(self) -> List[Node]:
         """All idle nodes in node-id order (deterministic)."""
-        return [node for node in self.nodes if node.is_free]
+        return [self.nodes[node_id] for node_id in self.sorted_free_ids()]
 
     def all_pools(self) -> List[MemoryPool]:
-        pools = [rack.pool for rack in self.racks if rack.pool is not None]
-        if self.global_pool is not None:
-            pools.append(self.global_pool)
-        return pools
+        """Every pool, rack pools first then global (do not mutate)."""
+        return self._pools
+
+    def pool_capacities(self) -> Dict[str, int]:
+        """``{pool_id: capacity MiB}`` — immutable after construction
+        (do not mutate the returned dict)."""
+        return self._pool_capacities
 
     def pool_by_id(self, pool_id: str) -> MemoryPool:
-        for pool in self.all_pools():
-            if pool.pool_id == pool_id:
-                return pool
-        raise KeyError(pool_id)
+        try:
+            return self._pools_by_id[pool_id]
+        except KeyError:
+            raise KeyError(pool_id) from None
 
     @property
     def total_pool_free(self) -> int:
@@ -125,13 +185,19 @@ class Cluster:
             for node in taken:
                 node.release(job_id)
             raise
-        self._free_count -= len(node_ids)
+        self._free_ids.difference_update(node_ids)
+        self._free_frozen = None
+        self._free_sorted = None
+        self.version += 1
 
     def release_nodes(self, job_id: int, node_ids: Iterable[int]) -> None:
         node_ids = list(node_ids)
         for node_id in node_ids:
             self.nodes[node_id].release(job_id)
-        self._free_count += len(node_ids)
+        self._free_ids.update(node_ids)
+        self._free_frozen = None
+        self._free_sorted = None
+        self.version += 1
 
     def take_down(self, node_id: int) -> None:
         """Remove an idle node from service (failure injection).
@@ -142,15 +208,21 @@ class Cluster:
         node = self.nodes[node_id]
         was_free = node.is_free
         node.mark_down()
+        self.version += 1
         if was_free:
-            self._free_count -= 1
+            self._free_ids.discard(node_id)
+            self._free_frozen = None
+            self._free_sorted = None
 
     def bring_up(self, node_id: int) -> None:
         """Return a DOWN node to service."""
         node = self.nodes[node_id]
         if node.state is NodeState.DOWN:
             node.mark_up()
-            self._free_count += 1
+            self.version += 1
+            self._free_ids.add(node_id)
+            self._free_frozen = None
+            self._free_sorted = None
 
     def allocate_pool(self, job_id: int, grants: Dict[str, int]) -> None:
         """Apply pool grants ``{pool_id: MiB}`` atomically for ``job_id``."""
@@ -166,12 +238,14 @@ class Cluster:
             for pool in applied:
                 pool.release_if_held(job_id)
             raise
+        self.version += 1
 
     def release_pool(self, job_id: int) -> int:
         """Release every pool grant held by ``job_id``; returns MiB freed."""
         freed = 0
         for pool in self.all_pools():
             freed += pool.release_if_held(job_id)
+        self.version += 1
         return freed
 
     # ------------------------------------------------------------------
@@ -179,9 +253,10 @@ class Cluster:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Cheap state snapshot for metrics sampling."""
+        free_count = len(self._free_ids)
         return {
-            "free_nodes": self._free_count,
-            "busy_nodes": self.num_nodes - self._free_count
+            "free_nodes": free_count,
+            "busy_nodes": self.num_nodes - free_count
             - sum(1 for node in self.nodes if node.state is NodeState.DOWN),
             "local_mem_granted": sum(
                 node.local_grant for node in self.nodes if not node.is_free

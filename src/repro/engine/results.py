@@ -34,9 +34,10 @@ class Promise:
     promised_start: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sample:
-    """One time-series sample of system state."""
+    """One time-series sample of system state (slotted: one instance
+    per sampling tick over long simulations)."""
 
     time: float
     queue_length: int

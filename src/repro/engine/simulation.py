@@ -36,6 +36,20 @@ __all__ = ["SchedulerSimulation"]
 _EPS = 1e-9
 
 
+def _remove_by_identity(items: List[Job], job: Job) -> None:
+    """Remove ``job`` from ``items`` by identity.
+
+    Equivalent to ``items.remove(job)`` — job ids are unique per
+    simulation, so the first equal element *is* the object — but skips
+    the field-by-field dataclass comparison on every scanned element.
+    """
+    for index, item in enumerate(items):
+        if item is job:
+            del items[index]
+            return
+    items.remove(job)  # preserves the original ValueError behavior
+
+
 class SchedulerSimulation:
     """Runs one workload on one cluster under one scheduler stack."""
 
@@ -254,6 +268,11 @@ class SchedulerSimulation:
     def _on_schedule(self, event: Event) -> None:
         self._pass_requested = False
         self._cycles += 1
+        if not self._queue:
+            # Nothing to schedule: every strategy returns before any
+            # observable work on an empty pending list, so the pass is
+            # counted (cycles are part of the result) but not run.
+            return
         ctx = SchedulerContext(
             cluster=self.cluster,
             now=self._sim.now,
@@ -261,6 +280,8 @@ class SchedulerSimulation:
             running=self._running,
             start_job=self._apply_start,
             record_promise=self._record_promise,
+            has_promise=self._promises.__contains__,
+            queue_all_pending=True,
         )
         self.scheduler.schedule(ctx)
 
@@ -288,9 +309,7 @@ class SchedulerSimulation:
     def _request_pass(self) -> None:
         if not self._pass_requested:
             self._pass_requested = True
-            self._sim.schedule_at(
-                self._sim.now, self._on_schedule, priority=EventPriority.SCHEDULE
-            )
+            self._sim.schedule_now(self._on_schedule, priority=EventPriority.SCHEDULE)
 
     def _record_promise(self, job_id: int, promised_start: float) -> None:
         if job_id not in self._promises:
@@ -323,7 +342,7 @@ class SchedulerSimulation:
             pool_grants=decision.plan,
         )
         lifecycle.start_job(job, now, decision, dilation)
-        self._queue.remove(job)
+        _remove_by_identity(self._queue, job)
         self._running.append(job)
 
         bound = lifecycle.kill_bound(job, self.scheduler.kill_policy)
@@ -345,4 +364,4 @@ class SchedulerSimulation:
         self.cluster.release_nodes(job.job_id, job.assigned_nodes)
         self.cluster.release_pool(job.job_id)
         self._ledger.record_release(self._sim.now, job.job_id)
-        self._running.remove(job)
+        _remove_by_identity(self._running, job)

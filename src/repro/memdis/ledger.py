@@ -18,9 +18,9 @@ from ..errors import AllocationError
 __all__ = ["LedgerEntry", "MemoryLedger"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LedgerEntry:
-    """One grant or release event."""
+    """One grant or release event (slotted: two per job per run)."""
 
     time: float
     job_id: int

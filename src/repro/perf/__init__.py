@@ -1,0 +1,35 @@
+"""Wall-clock perf harness: `repro perf` and `benchmarks/perf/`.
+
+The paper's result grids need thousands of simulation cells, so
+scheduler cycle latency is a first-class deliverable.  This package
+measures it: microbenchmarks for profile construction and queries,
+primed single scheduling passes, and end-to-end 10k-job simulations —
+each reported as median wall-clock, events/sec, and a
+calibration-normalized score that survives machine changes (see
+:mod:`repro.perf.core`).
+
+Every PR is expected to keep ``BENCH_PERF.json`` fresh so the repo has
+a perf trajectory, and CI gates on >25 % normalized regression against
+``benchmarks/perf/baseline_quick.json``.
+"""
+
+from .cases import build_cases, case_names
+from .core import (
+    PerfCase,
+    PerfReport,
+    calibrate,
+    compare_reports,
+    render_report,
+    run_perf,
+)
+
+__all__ = [
+    "PerfCase",
+    "PerfReport",
+    "build_cases",
+    "case_names",
+    "calibrate",
+    "compare_reports",
+    "render_report",
+    "run_perf",
+]

@@ -17,21 +17,32 @@ differ in what happens when a job cannot start:
   reservations ahead of it.
 
 EASY's no-delay check is implemented by *hypothesis testing*: add the
-candidate as a reservation on a fresh profile and recompute the head's
-earliest start.  That is more expensive than the textbook "extra
-nodes" arithmetic but remains exact in the presence of the memory
-dimension and placement identity, where the textbook shortcut is not.
+candidate as a trial reservation on the cycle's shared availability
+profile and recompute the head's earliest start.  That is more
+expensive than the textbook "extra nodes" arithmetic but remains exact
+in the presence of the memory dimension and placement identity, where
+the textbook shortcut is not.  The shared profile tracks mid-pass
+starts through :meth:`AvailabilityProfile.apply_start`, so no
+candidate ever pays for a profile rebuild — the trial is a pure
+add-query-remove.
+
+Queue ordering is computed **once per pass**: every policy key is a
+pure function of ``(job, now)`` and ``now`` is fixed for the pass, so
+the policy order of the not-yet-started jobs is the initial order with
+started jobs removed — re-sorting after every start (the old behavior)
+produced byte-identical decisions at O(n log n) per started job.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError
-from ..workload.job import Job, JobState
+from ..memdis.split import MemorySplit
+from ..workload.job import Job
 from .base import Scheduler, SchedulerContext, StartDecision
-from .profile import Reservation
+from .profile import AvailabilityProfile, Reservation
 
 __all__ = [
     "BackfillStrategy",
@@ -57,20 +68,60 @@ class BackfillStrategy(abc.ABC):
     @staticmethod
     def _start_in_order(
         ctx: SchedulerContext, sched: Scheduler
-    ) -> List[StartDecision]:
+    ) -> Tuple[List[StartDecision], List[Job]]:
         """Start queue-order jobs while the next one fits; stop at the
-        first blocked job.  Shared phase 1 of every strategy."""
+        first blocked job.  Shared phase 1 of every strategy.
+
+        Returns ``(started, remaining)`` where ``remaining`` is the
+        rest of the policy order — queue keys are fixed for the pass,
+        so the leftover of one sort *is* the policy order of the
+        survivors and callers never re-sort.
+        """
         started: List[StartDecision] = []
-        while True:
-            pending = ctx.pending()
-            if not pending:
-                return started
-            ordered = sched.queue_policy.order(pending, ctx.now)
-            decision = sched.try_start_now(ctx, ordered[0])
+        pending = ctx.pending()
+        if not pending:
+            return started, []
+        ordered = sched.queue_policy.order(pending, ctx.now)
+        cluster = ctx.cluster
+        index = 0
+        while index < len(ordered):
+            job = ordered[index]
+            if job.nodes > cluster.free_node_count:
+                break  # try_start_now would fail the same check
+            decision = sched.try_start_now(ctx, job)
             if decision is None:
-                return started
+                break
             ctx.start_job(decision)
             started.append(decision)
+            index += 1
+        return started, ordered[index:]
+
+    @staticmethod
+    def _fold_started(
+        profile: AvailabilityProfile, sched: Scheduler, decision: StartDecision
+    ) -> None:
+        """Track a mid-pass start on the shared profile (no rebuild)."""
+        job = decision.job
+        profile.apply_start(
+            decision.node_ids,
+            decision.plan,
+            job.start_time + sched.duration_of_running(job),
+        )
+
+    @staticmethod
+    def _queue_head(ctx: SchedulerContext, sched: Scheduler) -> Optional[Job]:
+        """The policy-order head without sorting the whole queue.
+
+        ``min`` returns the first minimal element, exactly what a
+        stable full sort would put at index 0.  Only valid for
+        stateless policies (no ``order`` bookkeeping is triggered).
+        """
+        pending = ctx.pending()
+        if not pending:
+            return None
+        key = sched.queue_policy.key
+        now = ctx.now
+        return min(pending, key=lambda job: key(job, now))
 
 
 class NoBackfill(BackfillStrategy):
@@ -79,7 +130,10 @@ class NoBackfill(BackfillStrategy):
     name = "none"
 
     def run(self, ctx: SchedulerContext, sched: Scheduler) -> List[StartDecision]:
-        return self._start_in_order(ctx, sched)
+        if ctx.cluster.free_node_count == 0 and sched.queue_policy.stateless:
+            return []  # every try_start_now would fail its node check
+        started, _ = self._start_in_order(ctx, sched)
+        return started
 
 
 class EasyBackfill(BackfillStrategy):
@@ -96,19 +150,139 @@ class EasyBackfill(BackfillStrategy):
             raise ConfigurationError("backfill depth must be >= 1")
         self.depth = depth
         self.memory_aware = memory_aware
+        # Cross-cycle caches.  The profile cache is (cluster, version,
+        # profile): valid exactly when the cluster is untouched since
+        # the stamp and the profile rebases to the new instant — a
+        # mid-pass ``apply_start`` fold is bit-equivalent to a rebuild,
+        # so the cache is re-stamped after a pass's last fold.  The
+        # shadow cache layers on top, keyed by the profile object, its
+        # mutation count, and the head job.
+        self._profile_cache: Optional[tuple] = None
+        self._shadow_cache: Optional[tuple] = None
 
     def run(self, ctx: SchedulerContext, sched: Scheduler) -> List[StartDecision]:
-        started = self._start_in_order(ctx, sched)
-        pending = ctx.pending()
-        if not pending:
+        if ctx.cluster.free_node_count == 0 and sched.queue_policy.stateless:
+            # Saturated machine: nothing can start, so the pass can
+            # only matter through the head's promise — record it once.
+            head = self._queue_head(ctx, sched)
+            if head is not None and not ctx.has_promise(head.job_id):
+                self._shadow_of(ctx, sched, head)
+            return []
+        started, remaining = self._start_in_order(ctx, sched)
+        if not remaining:
             return started
-        ordered = sched.queue_policy.order(pending, ctx.now)
-        head, rest = ordered[0], ordered[1 : 1 + self.depth]
+        head, rest = remaining[0], remaining[1 : 1 + self.depth]
         allocator = sched.resolve_allocator(ctx.cluster)
 
-        head_split = sched.split_for(head, ctx.cluster)
-        head_dur = sched.est_duration(head, ctx.cluster)
-        profile = sched.build_profile(ctx)
+        # The shadow is computed lazily: nothing between here and the
+        # first feasible candidate mutates cluster state, so deferring
+        # it is observable only through its cost.  On a busy machine
+        # most cycles have a blocked head, an already-recorded promise,
+        # and no startable candidate — those cycles now skip the
+        # profile build and head scan entirely.
+        profile: Optional[AvailabilityProfile] = None
+        head_split = None
+        head_dur = 0.0
+        shadow: Optional[float] = None
+        shadow_known = False
+
+        def compute_shadow() -> None:
+            nonlocal profile, head_split, head_dur, shadow, shadow_known
+            profile, head_split, head_dur, shadow = self._shadow_of(
+                ctx, sched, head
+            )
+            shadow_known = True
+
+        if not ctx.has_promise(head.job_id):
+            compute_shadow()
+
+        free_count = ctx.cluster.free_node_count
+        for job in rest:
+            if job.nodes > free_count:
+                continue  # try_start_now would fail the same check
+            decision = sched.try_start_now(ctx, job)
+            if decision is None:
+                continue
+            if not shadow_known:
+                compute_shadow()
+            dur = sched.est_duration(job, ctx.cluster, split=decision.split)
+            if shadow is None or ctx.now + dur <= shadow + _EPS:
+                # Finishes before the shadow: cannot delay the head.
+                ctx.start_job(decision)
+                started.append(decision)
+                self._fold_started(profile, sched, decision)
+                free_count = ctx.cluster.free_node_count
+                continue
+            # Long candidate: start it hypothetically and see whether
+            # the head could still make its shadow time.  The trial is
+            # an add-query-remove on the shared profile; apply_start
+            # has kept it equivalent to a fresh rebuild.
+            trial = Reservation(
+                job_id=job.job_id,
+                start=ctx.now,
+                end=ctx.now + dur,
+                node_ids=decision.node_ids,
+                pool_grants=tuple(sorted(decision.plan.items())),
+            )
+            profile.add_reservation(trial)
+            # Bounded scan: only "can the head still start by the
+            # shadow?" matters, so stop at the shadow instead of
+            # walking the whole timeline on a rejection.
+            head_retry = profile.earliest_start(
+                head,
+                head_dur,
+                head_split.remote,
+                sched.placement,
+                allocator,
+                memory_aware=self.memory_aware,
+                not_after=shadow + _EPS,
+            )
+            profile.remove_reservation(trial)
+            if head_retry is not None and head_retry.start <= shadow + _EPS:
+                ctx.start_job(decision)
+                started.append(decision)
+                self._fold_started(profile, sched, decision)
+                free_count = ctx.cluster.free_node_count
+        if profile is not None:
+            # Folds kept the profile bit-equivalent to a fresh build at
+            # the now-current cluster state; re-stamp so the next pass
+            # can reuse it even though this pass mutated the cluster.
+            self._profile_cache = (ctx.cluster, ctx.cluster.version, profile)
+        return started
+
+    def _shadow_of(
+        self, ctx: SchedulerContext, sched: Scheduler, head: Job
+    ) -> Tuple[AvailabilityProfile, "MemorySplit", float, Optional[float]]:
+        """The cycle profile plus the head's shadow, cached across
+        cycles.  Returns (profile, split, duration, shadow); shadow is
+        None when the head cannot fit even an empty machine.
+
+        Cache validity argument: if the cluster version is unchanged,
+        no start/finish/failure/pool mutation happened, so base
+        availability and the running set are identical; availability is
+        constant between the old and new instant (the first release
+        lies beyond it, checked by ``rebase``), so the head stays
+        infeasible up to its cached shadow — a fresh scan would return
+        the same reservation start.  A shadow equal to the compute
+        instant (possible under a gate veto) is never reused, because
+        a fresh scan would move it to the new instant.
+        """
+        profile = self._cycle_profile(ctx, sched)
+        cache = self._shadow_cache
+        if cache is not None:
+            (c_profile, c_mutations, c_head_id, c_split,
+             c_dur, c_shadow, c_now) = cache
+            if (
+                c_profile is profile
+                and c_mutations == profile.mutation_count
+                and c_head_id == head.job_id
+                and (c_shadow is None or c_shadow > c_now)
+            ):
+                return profile, c_split, c_dur, c_shadow
+        cluster = ctx.cluster
+        allocator = sched.resolve_allocator(cluster)
+        head_split = sched.split_for(head, cluster)
+        head_dur = sched.est_duration(head, cluster, split=head_split)
         head_res = profile.earliest_start(
             head,
             head_dur,
@@ -121,41 +295,30 @@ class EasyBackfill(BackfillStrategy):
         if head_res is not None:
             shadow = head_res.start
             ctx.record_promise(head.job_id, shadow)
+        self._shadow_cache = (
+            profile, profile.mutation_count, head.job_id,
+            head_split, head_dur, shadow, ctx.now,
+        )
+        return profile, head_split, head_dur, shadow
 
-        for job in rest:
-            decision = sched.try_start_now(ctx, job)
-            if decision is None:
-                continue
-            dur = sched.est_duration(job, ctx.cluster)
-            if shadow is None or ctx.now + dur <= shadow + _EPS:
-                # Finishes before the shadow: cannot delay the head.
-                ctx.start_job(decision)
-                started.append(decision)
-                continue
-            # Long candidate: start it hypothetically and see whether
-            # the head could still make its shadow time.
-            trial = sched.build_profile(ctx)
-            trial.add_reservation(
-                Reservation(
-                    job_id=job.job_id,
-                    start=ctx.now,
-                    end=ctx.now + dur,
-                    node_ids=decision.node_ids,
-                    pool_grants=tuple(sorted(decision.plan.items())),
-                )
-            )
-            head_retry = trial.earliest_start(
-                head,
-                head_dur,
-                head_split.remote,
-                sched.placement,
-                allocator,
-                memory_aware=self.memory_aware,
-            )
-            if head_retry is not None and head_retry.start <= shadow + _EPS:
-                ctx.start_job(decision)
-                started.append(decision)
-        return started
+    def _cycle_profile(
+        self, ctx: SchedulerContext, sched: Scheduler
+    ) -> AvailabilityProfile:
+        """This cycle's availability profile, reusing the cached one
+        when the cluster is provably unchanged since its stamp."""
+        cluster = ctx.cluster
+        cache = self._profile_cache
+        if cache is not None:
+            c_cluster, c_version, c_profile = cache
+            if (
+                c_cluster is cluster
+                and c_version == cluster.version
+                and c_profile.rebase(ctx.now)
+            ):
+                return c_profile
+        profile = sched.build_profile(ctx)
+        self._profile_cache = (cluster, cluster.version, profile)
+        return profile
 
 
 class ConservativeBackfill(BackfillStrategy):
@@ -188,7 +351,7 @@ class ConservativeBackfill(BackfillStrategy):
 
         for job in ordered[: self.depth]:
             split = sched.split_for(job, ctx.cluster)
-            dur = sched.est_duration(job, ctx.cluster)
+            dur = sched.est_duration(job, ctx.cluster, split=split)
             res = profile.earliest_start(
                 job, dur, split.remote, sched.placement, allocator
             )

@@ -13,7 +13,7 @@ pass, so strategies always observe live state.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..cluster.cluster import Cluster
@@ -71,6 +71,8 @@ def pool_pressure(cluster: Cluster, plan: Optional[Dict[str, int]] = None) -> fl
     maximum across pools is the figure the contention penalty and the
     start gates consume.
     """
+    if not cluster.has_metered_pools:
+        return 0.0  # every pool has infinite bandwidth: zero pressure
     worst = 0.0
     for pool in cluster.all_pools():
         if pool.bandwidth == float("inf"):
@@ -97,19 +99,73 @@ class StartDecision:
             )
 
 
-@dataclass
 class SchedulerContext:
-    """Everything a strategy may consult or invoke during one cycle."""
+    """Everything a strategy may consult or invoke during one cycle.
 
-    cluster: Cluster
-    now: float
-    queue: List[Job]  # live reference: engine removes started jobs
-    running: List[Job]  # live reference
-    start_job: Callable[[StartDecision], None]
-    record_promise: Callable[[int, float], None] = lambda job_id, start: None
+    ``pending()`` is maintained incrementally within the pass: the
+    first call snapshots the queue, and every ``start_job`` removes the
+    started job from the snapshot — strategies that consult the pending
+    list once per started job no longer rescan the whole queue.  The
+    context lives for exactly one scheduling pass (a new one is built
+    per cycle, hence ``__slots__``), so the snapshot can never go stale
+    across simulation events.
+    """
+
+    __slots__ = (
+        "cluster", "now", "queue", "running",
+        "_apply_start", "record_promise", "has_promise", "_pending",
+        "_queue_all_pending",
+    )
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        now: float,
+        queue: List[Job],  # live reference: engine removes started jobs
+        running: List[Job],  # live reference
+        start_job: Callable[[StartDecision], None],
+        record_promise: Callable[[int, float], None] = lambda job_id, start: None,
+        # Whether a promise was already recorded for a job.  The engine
+        # keeps only the first promise per job, so strategies may skip
+        # recomputing one that exists; the default (always False) makes
+        # hand-built contexts recompute every time — the safe behavior.
+        has_promise: Callable[[int], bool] = lambda job_id: False,
+        # The engine's queue holds only PENDING jobs by construction;
+        # it sets this to skip the per-job state filter in pending().
+        queue_all_pending: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.now = now
+        self.queue = queue
+        self.running = running
+        self._apply_start = start_job
+        self.record_promise = record_promise
+        self.has_promise = has_promise
+        self._pending: Optional[List[Job]] = None
+        self._queue_all_pending = queue_all_pending
+
+    def start_job(self, decision: StartDecision) -> None:
+        """Apply a start through the engine callback and keep the
+        pending snapshot current."""
+        self._apply_start(decision)
+        pending = self._pending
+        if pending is not None:
+            job = decision.job
+            for index, item in enumerate(pending):
+                if item is job:
+                    del pending[index]
+                    break
 
     def pending(self) -> List[Job]:
-        return [job for job in self.queue if job.state is JobState.PENDING]
+        """PENDING jobs in queue order (live view; do not mutate)."""
+        if self._pending is None:
+            if self._queue_all_pending:
+                self._pending = list(self.queue)
+            else:
+                self._pending = [
+                    job for job in self.queue if job.state is JobState.PENDING
+                ]
+        return self._pending
 
 
 class Scheduler:
@@ -137,6 +193,16 @@ class Scheduler:
         self.penalty = penalty or LinearPenalty()
         self.gate = gate or AlwaysStart()
         self.kill_policy = KillPolicy(kill_policy)
+        # Splits are pure functions of (mem_per_node, local_mem) for a
+        # fixed split policy; workloads reuse a handful of memory
+        # shapes, so memoizing kills a hot-path recomputation.
+        self._split_cache: Dict[Tuple[int, int], MemorySplit] = {}
+        # fits_machine depends only on the request shape and *static*
+        # cluster capacity (empty-machine hypothetical), so it is
+        # memoized per (nodes, mem_per_node); the entry pins the
+        # cluster it was computed against (identity-checked on read,
+        # so switching clusters just recomputes).
+        self._fits_cache: Dict[Tuple[int, int], Tuple[Cluster, bool]] = {}
 
     # ------------------------------------------------------------------
     # entry point
@@ -168,18 +234,34 @@ class Scheduler:
         return self._allocator
 
     def split_for(self, job: Job, cluster: Cluster) -> MemorySplit:
-        return self.split_policy.split(job.mem_per_node, cluster.spec.node.local_mem)
+        key = (job.mem_per_node, cluster.spec.node.local_mem)
+        split = self._split_cache.get(key)
+        if split is None:
+            split = self.split_policy.split(key[0], key[1])
+            self._split_cache[key] = split
+        return split
 
     def est_dilation(self, job: Job, cluster: Cluster, split: Optional[MemorySplit] = None) -> float:
         """Dilation estimate for a *pending* job at current pressure."""
         split = split or self.split_for(job, cluster)
+        if split.remote == 0:
+            # Every penalty model maps a zero remote fraction to
+            # exactly 0.0 dilation (remote memory is the only source
+            # of dilation); skip the pressure computation.
+            return 0.0
         return self.penalty.dilation(split.remote_fraction, pool_pressure(cluster))
 
-    def est_duration(self, job: Job, cluster: Cluster) -> float:
-        """Occupancy bound used for reservations of pending jobs."""
+    def est_duration(
+        self, job: Job, cluster: Cluster, split: Optional[MemorySplit] = None
+    ) -> float:
+        """Occupancy bound used for reservations of pending jobs.
+
+        Pass ``split`` when the caller already derived it (it is a
+        memoized pure function, but the lookup is on the hot path).
+        """
         if self.kill_policy is KillPolicy.STRICT:
             return job.walltime
-        return job.walltime * (1.0 + self.est_dilation(job, cluster))
+        return job.walltime * (1.0 + self.est_dilation(job, cluster, split))
 
     def duration_of_running(self, job: Job) -> float:
         """Occupancy bound for an already-running job (dilation known)."""
@@ -188,21 +270,39 @@ class Scheduler:
         return job.walltime * (1.0 + job.dilation)
 
     def fits_machine(self, job: Job, cluster: Cluster) -> bool:
-        """Could the job run on an *empty* machine? Submission check."""
+        """Could the job run on an *empty* machine? Submission check.
+
+        The hypothetical is evaluated entirely against static capacity:
+        the placement hint and the allocator override are both the pool
+        *capacities*, never live state.  (Historically the placement
+        ordered by live ``pool.free``, which let ``min_remote`` admit a
+        job during a favorable transient that a fully drained machine
+        could never start — a liveness hole: the job sat in the queue
+        forever.)  Pure in (request shape, static capacity), hence
+        memoized — submission storms reuse a handful of shapes.
+        """
+        key = (job.nodes, job.mem_per_node)
+        cached = self._fits_cache.get(key)
+        if cached is not None and cached[0] is cluster:
+            return cached[1]
+        result = self._fits_machine_uncached(job, cluster)
+        self._fits_cache[key] = (cluster, result)
+        return result
+
+    def _fits_machine_uncached(self, job: Job, cluster: Cluster) -> bool:
         if job.nodes > cluster.num_nodes:
             return False
         split = self.split_for(job, cluster)
         if split.remote == 0:
             return True
-        free_all = frozenset(range(cluster.num_nodes))
-        node_ids = self.placement.select(cluster, free_all, job.nodes, split.remote)
+        capacities = cluster.pool_capacities()
+        node_ids = self.placement.select(
+            cluster, cluster.all_node_ids, job.nodes, split.remote, capacities
+        )
         if node_ids is None:
             return False
-        capacity_override = {
-            pool.pool_id: pool.capacity for pool in cluster.all_pools()
-        }
         plan = self.resolve_allocator(cluster).plan(
-            cluster, node_ids, split.remote, free_override=capacity_override
+            cluster, node_ids, split.remote, free_override=capacities
         )
         return plan is not None
 
@@ -214,10 +314,11 @@ class Scheduler:
         if job.nodes > cluster.free_node_count:
             return None
         split = self.split_for(job, cluster)
-        free = frozenset(node.node_id for node in cluster.free_nodes())
-        pool_free = {pool.pool_id: pool.free for pool in cluster.all_pools()}
+        free = cluster.free_ids  # maintained set: no per-call node scan
+        # No pool_free hint: policies fall back to live ``pool.free``,
+        # which is exactly what the hint dict would have contained.
         node_ids = self.placement.select(
-            cluster, free, job.nodes, split.remote, pool_free
+            cluster, free, job.nodes, split.remote, None
         )
         if node_ids is None:
             return None
@@ -229,7 +330,11 @@ class Scheduler:
         decision = StartDecision(
             job=job, node_ids=tuple(node_ids), plan=plan, split=split
         )
-        if check_gate and not self.gate.permit(ctx, self, decision):
+        if (
+            check_gate
+            and not self.gate.trivially_permits
+            and not self.gate.permit(ctx, self, decision)
+        ):
             return None
         return decision
 

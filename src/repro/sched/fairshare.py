@@ -81,6 +81,7 @@ class FairSharePolicy(QueuePolicy):
     """
 
     name = "fairshare"
+    stateless = False  # order() settles usage; must see every cycle
 
     def __init__(
         self,

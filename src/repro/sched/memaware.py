@@ -31,6 +31,10 @@ class StartGate(abc.ABC):
 
     name: str = "abstract"
 
+    #: True when ``permit`` unconditionally returns True; hot paths
+    #: skip the call entirely (AlwaysStart is the default gate).
+    trivially_permits: bool = False
+
     @abc.abstractmethod
     def permit(
         self, ctx: SchedulerContext, sched: Scheduler, decision: StartDecision
@@ -56,6 +60,7 @@ class AlwaysStart(StartGate):
     classic scheduler does)."""
 
     name = "always"
+    trivially_permits = True
 
     def permit(self, ctx, sched, decision):
         return True

@@ -52,10 +52,22 @@ class PlacementPolicy(abc.ABC):
         """
 
     @staticmethod
-    def _by_rack(cluster: Cluster, free_nodes: FrozenSet[int]) -> Dict[int, List[int]]:
+    def _sorted_ids(cluster: Cluster, free_nodes: FrozenSet[int]) -> List[int]:
+        """``sorted(free_nodes)``, served from the cluster's cache when
+        the caller passed the live free set (identity check — the
+        values are the same either way)."""
+        if free_nodes is cluster.free_ids:
+            return cluster.sorted_free_ids()
+        if free_nodes is cluster.all_node_ids:
+            return cluster.sorted_all_ids()
+        return sorted(free_nodes)
+
+    @classmethod
+    def _by_rack(cls, cluster: Cluster, free_nodes: FrozenSet[int]) -> Dict[int, List[int]]:
         racks: Dict[int, List[int]] = {}
-        for node_id in sorted(free_nodes):
-            racks.setdefault(cluster.node(node_id).rack_id, []).append(node_id)
+        nodes = cluster.nodes
+        for node_id in cls._sorted_ids(cluster, free_nodes):
+            racks.setdefault(nodes[node_id].rack_id, []).append(node_id)
         return racks
 
 
@@ -67,7 +79,7 @@ class FirstFitPlacement(PlacementPolicy):
     def select(self, cluster, free_nodes, count, remote_per_node, pool_free=None):
         if len(free_nodes) < count:
             return None
-        return sorted(free_nodes)[:count]
+        return self._sorted_ids(cluster, free_nodes)[:count]
 
 
 class RackPackPlacement(PlacementPolicy):

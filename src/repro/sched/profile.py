@@ -15,6 +15,28 @@ node ids, not just counts — because rack-local pools make placement
 identity matter: 16 free nodes spread over 4 racks cannot use a single
 rack's pool the way 16 nodes in one rack can.
 
+Implementation: a sorted release timeline with a cumulative sweep —
+free-node set, pool levels, and released-node counts per breakpoint —
+materialized lazily as queries reach deeper into the future and cached
+thereafter.  Queries bisect into the cached sweep instead of replaying
+all releases (the old implementation rescanned every release and
+reservation per query, making ``earliest_start`` quadratic in the
+running set).  Incremental mutation never invalidates the cache:
+
+* :meth:`add_reservation` / :meth:`remove_reservation` are O(log n)
+  locate + insert into sorted boundary arrays — the release sweep is
+  untouched because reservations are layered on top of it at query
+  time (there are few of them: one trial under EASY, ``depth`` under
+  conservative);
+* :meth:`apply_start` folds a job started *mid-pass* into the profile
+  by patching the affected prefix of the cached sweep in place —
+  bit-for-bit equivalent to rebuilding from the post-start cluster,
+  which is what EASY's hypothesis test previously did per candidate.
+
+All query results are bitwise identical to the reference
+implementation (kept as ``tests/_reference_profile.py``); the
+equivalence suite enforces this on randomized workloads.
+
 Overrun clamp: a running job whose estimate has already expired (only
 possible under the ``none`` kill policy) is treated as ending shortly
 after *now*; the classic "expected to end any moment" convention.
@@ -22,7 +44,9 @@ after *now*; the classic "expected to end any moment" convention.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass
+from itertools import accumulate
 from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..workload.job import Job
@@ -38,7 +62,19 @@ _OVERRUN_GRACE = 1.0  # seconds: expected end for already-overrun jobs
 _EPS = 1e-9
 
 
-@dataclass(frozen=True)
+def _release_time(release: tuple) -> float:
+    return release[0]
+
+
+def _event_order(event: tuple) -> tuple:
+    """Window-event sort key: time, then the reference tie order
+    (reservation events in insertion order, start before end, then
+    releases in timeline order).  The grants payload (index 4) never
+    participates in comparisons."""
+    return event[:4]
+
+
+@dataclass(frozen=True, slots=True)
 class Reservation:
     """A promised window of resources for one job."""
 
@@ -58,7 +94,9 @@ class AvailabilityProfile:
 
     Built from a snapshot of the cluster plus the running set; callers
     then add (and remove) reservations.  All queries are pure — the
-    profile never touches live cluster state.
+    profile never touches live cluster state.  :meth:`apply_start` is
+    the one mutator, used when a scheduling pass starts a job and wants
+    the profile to track the new cluster state without a rebuild.
     """
 
     def __init__(
@@ -73,25 +111,73 @@ class AvailabilityProfile:
         the remaining time from ``job.start_time``."""
         self._cluster = cluster
         self._now = now
-        self._base_free: FrozenSet[int] = frozenset(
-            node.node_id for node in cluster.free_nodes()
-        )
+        self._base_free: FrozenSet[int] = cluster.free_ids
         self._base_pool_free: Dict[str, int] = {
             pool.pool_id: pool.free for pool in cluster.all_pools()
         }
-        # (time, node_ids returned, {pool: MiB returned})
-        self._releases: List[Tuple[float, Tuple[int, ...], Dict[str, int]]] = []
+        # Node lists and grant dicts are referenced, not copied: both
+        # are written once at job start and never mutated afterwards,
+        # and the profile is ephemeral (one scheduling pass).
+        releases: List[Tuple[float, Iterable[int], Dict[str, int]]] = []
+        #: Any release clamped by the overrun convention?  A clamped
+        #: time is a function of *this* build's ``now``, so such a
+        #: profile can never be rebased to a different instant (a
+        #: fresh build there would clamp differently).
+        self._has_clamped_release = False
         for job in running:
             if job.start_time is None:
                 continue
             est_end = job.start_time + duration_of(job)
             if est_end <= now:
                 est_end = now + _OVERRUN_GRACE
-            self._releases.append(
-                (est_end, tuple(job.assigned_nodes), dict(job.pool_grants))
-            )
-        self._releases.sort(key=lambda item: item[0])
+                self._has_clamped_release = True
+            releases.append((est_end, job.assigned_nodes, job.pool_grants))
+        releases.sort(key=_release_time)  # stable: running order ties
+
+        # The raw timeline plus a *lazily* materialized cumulative
+        # sweep: most cycles only probe the first few breakpoints, so
+        # cumulative states are built on demand and cached.
+        self._releases = releases  # sorted (time, node_ids, grants)
+        self._rel_times: List[float] = [item[0] for item in releases]
+        self._rel_cum_count: List[int] = list(
+            accumulate(len(item[1]) for item in releases)
+        )
+        self._rel_cum_free: List[FrozenSet[int]] = []  # lazy prefix
+        self._rel_cum_pool: List[Dict[str, int]] = []  # lazy prefix
+        # Subsequence of releases that return pool memory (window scans).
+        self._grant_times: List[float] = [
+            item[0] for item in releases if item[2]
+        ]
+        self._grant_maps: List[Dict[str, int]] = [
+            item[2] for item in releases if item[2]
+        ]
+
         self._reservations: List[Reservation] = []
+        self._res_bounds: List[float] = []  # sorted starts+ends (duplicates ok)
+        #: Bumped by :meth:`apply_start`; external caches key derived
+        #: results (e.g. a head shadow) on it.
+        self.mutation_count = 0
+
+    def _ensure_swept(self, k: int) -> None:
+        """Materialize cumulative sweep entries up to index ``k``."""
+        cum_free = self._rel_cum_free
+        cum_pool = self._rel_cum_pool
+        i = len(cum_free)
+        if i > k:
+            return
+        releases = self._releases
+        cur_free = cum_free[i - 1] if i else self._base_free
+        prev_pool = cum_pool[i - 1] if i else self._base_pool_free
+        while i <= k:
+            _, node_ids, grants = releases[i]
+            cur_free = cur_free.union(node_ids)
+            prev_pool = dict(prev_pool)
+            if grants:
+                for pool_id, amount in grants.items():
+                    prev_pool[pool_id] = prev_pool.get(pool_id, 0) + amount
+            cum_free.append(cur_free)
+            cum_pool.append(prev_pool)
+            i += 1
 
     # ------------------------------------------------------------------
     @property
@@ -102,86 +188,282 @@ class AvailabilityProfile:
     def reservations(self) -> List[Reservation]:
         return list(self._reservations)
 
+    def rebase(self, now: float) -> bool:
+        """Advance the profile clock to a later instant, in place.
+
+        Valid — i.e., afterwards the profile is bit-identical to a
+        fresh build at ``now`` — only when nothing happened in between:
+        no cluster mutation, no reservations held, no release at or
+        before the new instant (a fresh build would clamp an overrun),
+        and no release already clamped at build time (a clamped time
+        embeds the old ``now``; a fresh build at the new instant would
+        clamp to a different time).  The profile checks the conditions
+        it can see and returns False (leaving itself untouched) when
+        they fail; the *cluster unchanged* part is the caller's
+        contract (version counters).
+        """
+        if now < self._now:
+            return False
+        if self._reservations:
+            return False
+        if self._has_clamped_release:
+            return False
+        if self._rel_times and self._rel_times[0] <= now:
+            return False
+        self._now = now
+        return True
+
     def add_reservation(self, reservation: Reservation) -> Reservation:
         self._reservations.append(reservation)
+        insort(self._res_bounds, reservation.start)
+        insort(self._res_bounds, reservation.end)
         return reservation
 
     def remove_reservation(self, reservation: Reservation) -> None:
-        self._reservations.remove(reservation)
+        # Identity-first: the common case removes the exact object just
+        # added (EASY's trial), skipping field-wise dataclass equality.
+        # Equal reservations are interchangeable for every query, so
+        # falling back to equality preserves the original semantics.
+        reservations = self._reservations
+        for index, existing in enumerate(reservations):
+            if existing is reservation:
+                del reservations[index]
+                break
+        else:
+            reservations.remove(reservation)
+        for bound in (reservation.start, reservation.end):
+            del self._res_bounds[bisect_left(self._res_bounds, bound)]
 
     # ------------------------------------------------------------------
-    def breakpoints(self, after: Optional[float] = None) -> List[float]:
+    def apply_start(
+        self,
+        node_ids: Iterable[int],
+        pool_grants: Dict[str, int],
+        est_end: float,
+    ) -> None:
+        """Fold a job started at *now* into the profile, in place.
+
+        Equivalent to rebuilding the profile from the post-start
+        cluster state: the nodes and grants leave the base availability
+        and come back as a release at ``est_end``.  The cached sweep is
+        patched, not rebuilt — entries strictly after the insertion
+        point are unchanged (the subtraction and the new release cancel
+        exactly), so only the prefix is rewritten.
+        """
+        if est_end <= self._now:
+            est_end = self._now + _OVERRUN_GRACE
+            self._has_clamped_release = True
+        node_ids = tuple(node_ids)  # materialize once: consumed twice below
+        node_set = frozenset(node_ids)
+        grants = dict(pool_grants)
+        pos = bisect_right(self._rel_times, est_end)
+        swept = len(self._rel_cum_free)
+        # Patch the materialized prefix: those states lose the nodes
+        # and grants (the job holds them until est_end).  Entries at or
+        # after the insertion point are untouched — the subtraction and
+        # the new release cancel exactly — and unmaterialized entries
+        # need nothing: the lazy sweep will see the updated raw arrays.
+        for i in range(min(pos, swept)):
+            self._rel_cum_free[i] = self._rel_cum_free[i] - node_set
+            if grants:
+                pool_entry = self._rel_cum_pool[i]
+                for pool_id, amount in grants.items():
+                    pool_entry[pool_id] = pool_entry.get(pool_id, 0) - amount
+        if pos <= swept:
+            # State *at* the new release equals the pre-patch state
+            # after the releases preceding it (resources were free).
+            # A patched prefix entry must be un-patched to recover it;
+            # the base (pos == 0) has not been shrunk yet.
+            if pos:
+                entry_free = self._rel_cum_free[pos - 1].union(node_set)
+                entry_pool = dict(self._rel_cum_pool[pos - 1])
+                for pool_id, amount in grants.items():
+                    entry_pool[pool_id] = entry_pool.get(pool_id, 0) + amount
+            else:
+                entry_free = self._base_free
+                entry_pool = dict(self._base_pool_free)
+            self._rel_cum_free.insert(pos, entry_free)
+            self._rel_cum_pool.insert(pos, entry_pool)
+        self._base_free = self._base_free - node_set
+        for pool_id, amount in grants.items():
+            self._base_pool_free[pool_id] = (
+                self._base_pool_free.get(pool_id, 0) - amount
+            )
+        self._rel_times.insert(pos, est_end)
+        self._releases.insert(pos, (est_end, node_ids, grants))
+        released = self._rel_cum_count[pos - 1] if pos else 0
+        self._rel_cum_count.insert(pos, released + len(node_set))
+        for i in range(pos + 1, len(self._rel_cum_count)):
+            self._rel_cum_count[i] += len(node_set)
+        if grants:
+            gpos = bisect_right(self._grant_times, est_end)
+            self._grant_times.insert(gpos, est_end)
+            self._grant_maps.insert(gpos, grants)
+        self.mutation_count += 1
+
+    # ------------------------------------------------------------------
+    def breakpoints(
+        self, after: Optional[float] = None, not_after: Optional[float] = None
+    ) -> List[float]:
         """Times at which availability can change, ascending.
 
         Candidate start instants for any job: *now* (or ``after``) plus
-        every future release/reservation boundary.
+        every future release/reservation boundary.  ``not_after``
+        truncates the list to boundaries at or before that time (plus
+        the start instant) — callers that stop scanning there anyway
+        skip the set/sort work for the excluded tail.
         """
         start = self._now if after is None else max(after, self._now)
-        times = {start}
-        for time, _, _ in self._releases:
-            if time > start:
-                times.add(time)
-        for res in self._reservations:
-            if res.start > start:
-                times.add(res.start)
-            if res.end > start:
-                times.add(res.end)
-        return sorted(times)
+        rel = self._rel_times
+        bounds = self._res_bounds
+        lo = bisect_right(rel, start)
+        blo = bisect_right(bounds, start)
+        hi = len(rel) if not_after is None else bisect_right(rel, not_after)
+        bhi = len(bounds) if not_after is None else bisect_right(bounds, not_after)
+        # Two-pointer merge with dedup of the (already sorted) release
+        # and reservation-boundary tails — same list sorted(set(...))
+        # would produce, without hashing every float.
+        out = [start]
+        last = start
+        i, j = lo, blo
+        while i < hi and j < bhi:
+            a, b = rel[i], bounds[j]
+            if a <= b:
+                if a != last:
+                    out.append(a)
+                    last = a
+                i += 1
+            else:
+                if b != last:
+                    out.append(b)
+                    last = b
+                j += 1
+        while i < hi:
+            a = rel[i]
+            if a != last:
+                out.append(a)
+                last = a
+            i += 1
+        while j < bhi:
+            b = bounds[j]
+            if b != last:
+                out.append(b)
+                last = b
+            j += 1
+        return out
 
     # ------------------------------------------------------------------
-    def free_at(self, time: float) -> Tuple[FrozenSet[int], Dict[str, int]]:
-        """Free node set and pool free MiB at instant ``time``."""
-        free = set(self._base_free)
-        pool = dict(self._base_pool_free)
-        for rel_time, node_ids, grants in self._releases:
-            if rel_time <= time + _EPS:
-                free.update(node_ids)
-                for pool_id, amount in grants.items():
-                    pool[pool_id] = pool.get(pool_id, 0) + amount
+    def _nodes_at(self, time: float) -> FrozenSet[int]:
+        """Free node set at instant ``time`` (cached-sweep bisect)."""
+        k = bisect_right(self._rel_times, time + _EPS)
+        if k:
+            self._ensure_swept(k - 1)
+            base = self._rel_cum_free[k - 1]
+        else:
+            base = self._base_free
+        if not self._reservations:
+            return base
+        free: Optional[set] = None
         for res in self._reservations:
             if res.start <= time + _EPS and time < res.end - _EPS:
+                if free is None:
+                    free = set(base)
                 free.difference_update(res.node_ids)
+        return base if free is None else frozenset(free)
+
+    def _pool_at(self, time: float) -> Dict[str, int]:
+        """Free pool MiB at instant ``time`` (always a fresh dict)."""
+        k = bisect_right(self._rel_times, time + _EPS)
+        if k:
+            self._ensure_swept(k - 1)
+            pool = dict(self._rel_cum_pool[k - 1])
+        else:
+            pool = dict(self._base_pool_free)
+        for res in self._reservations:
+            if res.start <= time + _EPS and time < res.end - _EPS:
                 for pool_id, amount in res.pool_grants:
                     pool[pool_id] = pool.get(pool_id, 0) - amount
-        return frozenset(free), pool
+        return pool
+
+    def free_at(self, time: float) -> Tuple[FrozenSet[int], Dict[str, int]]:
+        """Free node set and pool free MiB at instant ``time``."""
+        return self._nodes_at(time), self._pool_at(time)
+
+    # ------------------------------------------------------------------
+    def _window_nodes(self, start: float, end: float) -> FrozenSet[int]:
+        """Nodes free *throughout* ``[start, end)``: free at ``start``
+        minus any node claimed by a reservation beginning inside the
+        window (releases only add)."""
+        free = self._nodes_at(start)
+        if self._reservations:
+            claimed: Optional[set] = None
+            for res in self._reservations:
+                if start + _EPS < res.start < end - _EPS:
+                    if claimed is None:
+                        claimed = set()
+                    claimed.update(res.node_ids)
+            if claimed:
+                free = frozenset(free - claimed)
+        return free
+
+    @staticmethod
+    def _apply_pool_events(
+        pool: Dict[str, int], pool_min: Dict[str, int], events: List[tuple]
+    ) -> None:
+        """Sweep window events over the level series starting at
+        ``pool``, folding the running per-pool minimum into
+        ``pool_min`` in place.
+
+        Event order at equal times replicates the reference
+        implementation exactly (reservation events in insertion order,
+        start before end, then releases in timeline order) — the
+        running minimum is order-sensitive within an instant.  This is
+        the single home of that tie-order contract; both window_free
+        and earliest_start route through it.
+        """
+        events.sort(key=_event_order)
+        level = dict(pool)
+        for _, _, _, _, grants, sign in events:
+            pairs = (
+                grants.items() if isinstance(grants, dict) else dict(grants).items()
+            )
+            for pool_id, amount in pairs:
+                level[pool_id] = level.get(pool_id, 0) + sign * amount
+                if level[pool_id] < pool_min.get(pool_id, 0):
+                    pool_min[pool_id] = level[pool_id]
+
+    def _window_pool_min(self, start: float, end: float) -> Dict[str, int]:
+        """Per-pool minimum free capacity over ``[start, end)``: a
+        reservation starting mid-window dips availability, so the
+        level series inside the window is swept tracking the minimum.
+        """
+        pool = self._pool_at(start)
+        pool_min = dict(pool)
+        if not self._reservations:
+            return pool_min
+        events: List[tuple] = []
+        for j, res in enumerate(self._reservations):
+            if start + _EPS < res.start < end - _EPS:
+                events.append((res.start, 0, j, 0, res.pool_grants, -1))
+            if start + _EPS < res.end < end - _EPS:
+                events.append((res.end, 0, j, 1, res.pool_grants, +1))
+        lo = bisect_right(self._grant_times, start + _EPS)
+        hi = bisect_left(self._grant_times, end - _EPS)
+        for k in range(lo, hi):
+            events.append(
+                (self._grant_times[k], 1, k, 0, self._grant_maps[k], +1)
+            )
+        if events:
+            self._apply_pool_events(pool, pool_min, events)
+        return pool_min
 
     def window_free(
         self, start: float, duration: float
     ) -> Tuple[FrozenSet[int], Dict[str, int]]:
         """Nodes free *throughout* ``[start, start+duration)`` and the
-        per-pool minimum free capacity over the window.
-
-        Nodes: free at ``start`` minus any node claimed by a
-        reservation beginning inside the window (releases only add).
-        Pools: minimum of the step series over the window, because a
-        reservation starting mid-window dips availability.
-        """
+        per-pool minimum free capacity over the window."""
         end = start + duration
-        free, pool = self.free_at(start)
-        pool_min = dict(pool)
-        if self._reservations:
-            claimed: set[int] = set()
-            # Track pool level changes inside the window.
-            events: List[Tuple[float, Dict[str, int], int]] = []
-            for res in self._reservations:
-                if start + _EPS < res.start < end - _EPS:
-                    claimed.update(res.node_ids)
-                    events.append((res.start, dict(res.pool_grants), -1))
-                if start + _EPS < res.end < end - _EPS:
-                    events.append((res.end, dict(res.pool_grants), +1))
-            for rel_time, _, grants in self._releases:
-                if start + _EPS < rel_time < end - _EPS and grants:
-                    events.append((rel_time, grants, +1))
-            if claimed:
-                free = frozenset(free - claimed)
-            if events:
-                level = dict(pool)
-                for _, grants, sign in sorted(events, key=lambda ev: ev[0]):
-                    for pool_id, amount in grants.items():
-                        level[pool_id] = level.get(pool_id, 0) + sign * amount
-                        if level[pool_id] < pool_min.get(pool_id, 0):
-                            pool_min[pool_id] = level[pool_id]
-        return free, pool_min
+        return self._window_nodes(start, end), self._window_pool_min(start, end)
 
     # ------------------------------------------------------------------
     def earliest_start(
@@ -193,20 +475,118 @@ class AvailabilityProfile:
         allocator: "PoolAllocator",
         after: Optional[float] = None,
         memory_aware: bool = True,
+        not_after: Optional[float] = None,
     ) -> Optional[Reservation]:
         """Earliest reservation satisfying nodes (and, when
         ``memory_aware``, pool memory) for the job's whole window.
 
-        Returns ``None`` only when the job cannot run even on an empty
-        machine (too many nodes, or remote demand exceeding total pool
-        reach) — callers treat that as "reject".
+        Without ``not_after``, returns ``None`` only when the job
+        cannot run even on an empty machine (too many nodes, or remote
+        demand exceeding total pool reach) — callers treat that as
+        "reject".  With ``not_after``, the scan stops once breakpoints
+        exceed that bound and returns ``None`` — for callers that only
+        need "can it start by T?" (EASY's no-delay check), which makes
+        a negative answer cost a handful of breakpoints instead of a
+        walk to the end of the timeline.
+
+        The scan walks the breakpoint sweep in time order.  Two
+        prunings keep it cheap without changing any answer: the
+        released-node prefix sum bounds the free count from above (so
+        hopeless breakpoints are skipped without materializing a set —
+        release node sets are disjoint on a real cluster, and an
+        overcount can only *fail* to prune), and the pool minimum (the
+        expensive half of a window query) is only computed once the
+        node-count check passes.
         """
-        for t in self.breakpoints(after=after):
-            free, pool_min = self.window_free(t, duration)
-            if len(free) < job.nodes:
+        nodes_needed = job.nodes
+        rel_times = self._rel_times
+        cum_count = self._rel_cum_count
+        base_count = len(self._base_free)
+        reservations = self._reservations
+        grant_times = self._grant_times
+        grant_maps = self._grant_maps
+        # Tighten the count bound for EASY's trial shape: a single
+        # reservation that is active from `now` past the scan cap and
+        # whose nodes are base-free subtracts exactly its node count
+        # from every window in the scan (base and releases are
+        # disjoint, so the arithmetic is exact, and an upper bound can
+        # only fail to prune — never prune a feasible breakpoint).
+        tighten = 0
+        if len(reservations) == 1 and not_after is not None:
+            only = reservations[0]
+            claimed = frozenset(only.node_ids)
+            if (
+                only.start <= self._now + _EPS
+                and only.end - _EPS > not_after
+                and self._base_free.issuperset(claimed)
+            ):
+                tighten = len(claimed)
+        for t in self.breakpoints(after=after, not_after=not_after):
+            if not_after is not None and t > not_after:
+                return None  # only the start instant can exceed the cap
+            t_eps = t + _EPS
+            k = bisect_right(rel_times, t_eps)
+            if base_count + (cum_count[k - 1] if k else 0) - tighten < nodes_needed:
                 continue
+            end = t + duration
+            end_eps = end - _EPS
+            if k:
+                self._ensure_swept(k - 1)
+                base = self._rel_cum_free[k - 1]
+            else:
+                base = self._base_free
+            # One pass over the reservations collects everything a
+            # window query needs: nodes to remove (active at t, or
+            # claimed by a start inside the window) and pool events.
+            removal: Optional[set] = None
+            active_grants: Optional[list] = None
+            events: Optional[list] = None
+            for j, res in enumerate(reservations):
+                res_start = res.start
+                res_end = res.end
+                if res_start <= t_eps and t < res_end - _EPS:
+                    if removal is None:
+                        removal = set()
+                    removal.update(res.node_ids)
+                    if res.pool_grants:
+                        if active_grants is None:
+                            active_grants = []
+                        active_grants.append(res.pool_grants)
+                elif t_eps < res_start < end_eps:
+                    if removal is None:
+                        removal = set()
+                    removal.update(res.node_ids)
+                if t_eps < res_start < end_eps:
+                    if events is None:
+                        events = []
+                    events.append((res_start, 0, j, 0, res.pool_grants, -1))
+                if t_eps < res_end < end_eps:
+                    if events is None:
+                        events = []
+                    events.append((res_end, 0, j, 1, res.pool_grants, +1))
+            free = base.difference(removal) if removal else base
+            if len(free) < nodes_needed:
+                continue
+            # Pool state at t, then the windowed minimum — computed
+            # only now that the node count passed.
+            pool = dict(self._rel_cum_pool[k - 1]) if k else dict(self._base_pool_free)
+            if active_grants:
+                for grant_pairs in active_grants:
+                    for pool_id, amount in grant_pairs:
+                        pool[pool_id] = pool.get(pool_id, 0) - amount
+            pool_min = dict(pool)
+            if reservations:
+                lo = bisect_right(grant_times, t_eps)
+                hi = bisect_left(grant_times, end_eps)
+                if lo < hi:
+                    if events is None:
+                        events = []
+                    for g in range(lo, hi):
+                        events.append((grant_times[g], 1, g, 0, grant_maps[g], +1))
+                if events:
+                    self._apply_pool_events(pool, pool_min, events)
             node_ids = placement.select(
-                self._cluster, free, job.nodes, remote_per_node, pool_min
+                self._cluster, free, nodes_needed, remote_per_node, pool_min
             )
             if node_ids is None:
                 continue
@@ -221,7 +601,7 @@ class AvailabilityProfile:
             return Reservation(
                 job_id=job.job_id,
                 start=t,
-                end=t + duration,
+                end=end,
                 node_ids=tuple(node_ids),
                 pool_grants=tuple(sorted((plan or {}).items())),
             )

@@ -8,12 +8,23 @@ and large-job favoritism, as run at leadership facilities.
 
 All keys end with ``(submit_time, job_id)`` so ordering is total and
 deterministic regardless of policy.
+
+**Pass-stability contract:** a key may depend only on ``(job, now)``
+and on policy state that does not change while a scheduling pass runs
+(job starts mutate cluster state, never queue keys; usage accounting
+in fair-share settles only on job *termination*, which cannot happen
+mid-pass).  The backfill strategies rely on this to sort the queue
+once per pass and walk the leftover instead of re-sorting after every
+start — any new policy whose key would shift mid-pass breaks that
+optimization and must not be added without revisiting
+``BackfillStrategy._start_in_order``.
 """
 
 from __future__ import annotations
 
 import abc
 import math
+from operator import attrgetter
 from typing import List, Sequence
 
 from ..errors import ConfigurationError
@@ -35,18 +46,37 @@ class QueuePolicy(abc.ABC):
 
     name: str = "abstract"
 
+    #: True when :meth:`order` is a pure function — no bookkeeping side
+    #: effects.  Strategies use this to skip ordering entirely on
+    #: cycles that provably cannot start anything; a policy that keeps
+    #: state in ``order`` (fair-share usage settlement) must set it to
+    #: False so it still observes every cycle.
+    stateless: bool = True
+
+    #: Optional C-level sort key (an ``attrgetter``) that must induce
+    #: the same total order as :meth:`key` — set it on policies whose
+    #: key ignores ``now`` to skip the per-job Python callback.
+    _sort_key = None
+
     @abc.abstractmethod
     def key(self, job: Job, now: float) -> tuple:
         """Sort key; lower runs first."""
 
     def order(self, queue: Sequence[Job], now: float) -> List[Job]:
-        return sorted(queue, key=lambda job: self.key(job, now))
+        if len(queue) <= 1:
+            return list(queue)
+        fast_key = self._sort_key
+        if fast_key is not None:
+            return sorted(queue, key=fast_key)
+        key = self.key
+        return sorted(queue, key=lambda job: key(job, now))
 
 
 class FCFSPolicy(QueuePolicy):
     """First-come-first-served — the production default."""
 
     name = "fcfs"
+    _sort_key = attrgetter("submit_time", "job_id")  # C-level fast path
 
     def key(self, job: Job, now: float) -> tuple:
         return (job.submit_time, job.job_id)
@@ -57,6 +87,7 @@ class SJFPolicy(QueuePolicy):
     long jobs without backfill reservations."""
 
     name = "sjf"
+    _sort_key = attrgetter("walltime", "submit_time", "job_id")
 
     def key(self, job: Job, now: float) -> tuple:
         return (job.walltime, job.submit_time, job.job_id)

@@ -10,7 +10,6 @@ everything happens at job submission and completion instants.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
@@ -63,7 +62,7 @@ class Simulator:
         instant is allowed (the event fires after the current callback
         returns, ordered by priority/sequence).
         """
-        if math.isnan(time):
+        if time != time:  # NaN check without a math-module call
             raise SimulationError("cannot schedule event at NaN time")
         if time < self._now:
             raise SimulationError(
@@ -71,6 +70,31 @@ class Simulator:
             )
         event = Event(
             time=float(time),
+            priority=int(priority),
+            seq=self._seq,
+            callback=callback,
+            payload=payload,
+        )
+        self._seq += 1
+        self._queue.push(event)
+        return event
+
+    def schedule_now(
+        self,
+        callback: Callable[[Event], None],
+        *,
+        priority: int = EventPriority.GENERIC,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at the current instant (fast path).
+
+        Equivalent to ``schedule_at(self.now, ...)`` without the
+        past/NaN validation — the current clock is always a legal
+        time.  Hot callers (the per-event scheduling-pass request) use
+        this to skip per-call checks.
+        """
+        event = Event(
+            time=self._now,
             priority=int(priority),
             seq=self._seq,
             callback=callback,
@@ -117,11 +141,17 @@ class Simulator:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         try:
-            while self._queue:
-                event = self._queue.peek()
-                if until is not None and event.time > until:
-                    break
-                self._queue.pop()
+            unbounded = until is None and max_events is None
+            queue = self._queue
+            while queue:
+                if unbounded:
+                    # Fast path: no stop conditions, pop directly.
+                    event = queue.pop()
+                else:
+                    event = queue.peek()
+                    if until is not None and event.time > until:
+                        break
+                    queue.pop()
                 self._now = event.time
                 self._events_processed += 1
                 event.callback(event)

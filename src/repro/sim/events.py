@@ -38,7 +38,7 @@ class EventPriority(enum.IntEnum):
     GENERIC = 5
 
 
-@dataclass(order=False)
+@dataclass(order=False, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -46,6 +46,11 @@ class Event:
     callback never participate in ordering.  ``cancelled`` events stay
     in the calendar but are skipped when popped (lazy deletion), which
     keeps cancellation O(1).
+
+    ``__slots__`` because a simulation allocates one per event.  The
+    comparison operators exist for explicit ordering of event lists
+    (tests, debugging); the hot-path calendar (:class:`EventQueue`)
+    stores tuple keys and never compares Event objects directly.
     """
 
     time: float
@@ -59,10 +64,18 @@ class Event:
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __le__(self, other: "Event") -> bool:
-        return self.sort_key() <= other.sort_key()
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq <= other.seq
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it; idempotent."""

@@ -13,12 +13,15 @@ __all__ = ["EventQueue"]
 class EventQueue:
     """Min-heap of :class:`Event` ordered by ``(time, priority, seq)``.
 
-    Cancelled events are dropped lazily at pop time; ``__len__`` counts
-    only live events so emptiness checks remain meaningful.
+    Entries are stored as ``(time, priority, seq, event)`` tuples so
+    sift comparisons stay entirely in C — ``seq`` is unique, so the
+    event object itself never participates in a comparison.  Cancelled
+    events are dropped lazily at pop time; ``__len__`` counts only live
+    events so emptiness checks remain meaningful.
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._live = 0
 
     def __len__(self) -> int:
@@ -28,7 +31,9 @@ class EventQueue:
         return self._live > 0
 
     def push(self, event: Event) -> None:
-        heapq.heappush(self._heap, event)
+        heapq.heappush(
+            self._heap, (event.time, event.priority, event.seq, event)
+        )
         self._live += 1
 
     def pop(self) -> Event:
@@ -38,7 +43,7 @@ class EventQueue:
         list/heapq conventions.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -48,7 +53,7 @@ class EventQueue:
     def peek(self) -> Event:
         """Return (without removing) the earliest live event."""
         while self._heap:
-            event = self._heap[0]
+            event = self._heap[0][3]
             if event.cancelled:
                 heapq.heappop(self._heap)
                 continue

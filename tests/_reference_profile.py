@@ -1,0 +1,304 @@
+"""The pre-optimization availability profile and EASY pass, verbatim.
+
+This module preserves the original (pre-sweep-rewrite) implementations
+as the *reference semantics* for the equivalence suite
+(``test_profile_equivalence.py``): the optimized
+:class:`repro.sched.profile.AvailabilityProfile` and the optimized
+backfill strategies must produce bit-identical queries, reservations,
+and end-to-end schedules.  It lives under ``tests/`` on purpose — it
+is not part of the library and will be deleted once the equivalence
+suite has survived a few releases.
+
+Nothing here is optimized; that is the point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.sched.backfill import BackfillStrategy, ConservativeBackfill
+from repro.sched.base import Scheduler, SchedulerContext, StartDecision, build_scheduler
+from repro.sched.profile import Reservation
+from repro.workload.job import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.memdis.allocator import PoolAllocator
+    from repro.sched.placement import PlacementPolicy
+
+_OVERRUN_GRACE = 1.0
+_EPS = 1e-9
+_BF_EPS = 1e-6  # backfill.py's epsilon
+
+
+class _ReferenceProfile:
+    """The original AvailabilityProfile: full rescans per query."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        running: Iterable[Job],
+        now: float,
+        duration_of: Callable[[Job], float],
+    ) -> None:
+        self._cluster = cluster
+        self._now = now
+        self._base_free: FrozenSet[int] = frozenset(
+            node.node_id for node in cluster.free_nodes()
+        )
+        self._base_pool_free: Dict[str, int] = {
+            pool.pool_id: pool.free for pool in cluster.all_pools()
+        }
+        self._releases: List[Tuple[float, Tuple[int, ...], Dict[str, int]]] = []
+        for job in running:
+            if job.start_time is None:
+                continue
+            est_end = job.start_time + duration_of(job)
+            if est_end <= now:
+                est_end = now + _OVERRUN_GRACE
+            self._releases.append(
+                (est_end, tuple(job.assigned_nodes), dict(job.pool_grants))
+            )
+        self._releases.sort(key=lambda item: item[0])
+        self._reservations: List[Reservation] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def reservations(self) -> List[Reservation]:
+        return list(self._reservations)
+
+    def add_reservation(self, reservation: Reservation) -> Reservation:
+        self._reservations.append(reservation)
+        return reservation
+
+    def remove_reservation(self, reservation: Reservation) -> None:
+        self._reservations.remove(reservation)
+
+    def breakpoints(self, after: Optional[float] = None) -> List[float]:
+        start = self._now if after is None else max(after, self._now)
+        times = {start}
+        for time, _, _ in self._releases:
+            if time > start:
+                times.add(time)
+        for res in self._reservations:
+            if res.start > start:
+                times.add(res.start)
+            if res.end > start:
+                times.add(res.end)
+        return sorted(times)
+
+    def free_at(self, time: float) -> Tuple[FrozenSet[int], Dict[str, int]]:
+        free = set(self._base_free)
+        pool = dict(self._base_pool_free)
+        for rel_time, node_ids, grants in self._releases:
+            if rel_time <= time + _EPS:
+                free.update(node_ids)
+                for pool_id, amount in grants.items():
+                    pool[pool_id] = pool.get(pool_id, 0) + amount
+        for res in self._reservations:
+            if res.start <= time + _EPS and time < res.end - _EPS:
+                free.difference_update(res.node_ids)
+                for pool_id, amount in res.pool_grants:
+                    pool[pool_id] = pool.get(pool_id, 0) - amount
+        return frozenset(free), pool
+
+    def window_free(
+        self, start: float, duration: float
+    ) -> Tuple[FrozenSet[int], Dict[str, int]]:
+        end = start + duration
+        free, pool = self.free_at(start)
+        pool_min = dict(pool)
+        if self._reservations:
+            claimed: set[int] = set()
+            events: List[Tuple[float, Dict[str, int], int]] = []
+            for res in self._reservations:
+                if start + _EPS < res.start < end - _EPS:
+                    claimed.update(res.node_ids)
+                    events.append((res.start, dict(res.pool_grants), -1))
+                if start + _EPS < res.end < end - _EPS:
+                    events.append((res.end, dict(res.pool_grants), +1))
+            for rel_time, _, grants in self._releases:
+                if start + _EPS < rel_time < end - _EPS and grants:
+                    events.append((rel_time, grants, +1))
+            if claimed:
+                free = frozenset(free - claimed)
+            if events:
+                level = dict(pool)
+                for _, grants, sign in sorted(events, key=lambda ev: ev[0]):
+                    for pool_id, amount in grants.items():
+                        level[pool_id] = level.get(pool_id, 0) + sign * amount
+                        if level[pool_id] < pool_min.get(pool_id, 0):
+                            pool_min[pool_id] = level[pool_id]
+        return free, pool_min
+
+    def earliest_start(
+        self,
+        job: Job,
+        duration: float,
+        remote_per_node: int,
+        placement: "PlacementPolicy",
+        allocator: "PoolAllocator",
+        after: Optional[float] = None,
+        memory_aware: bool = True,
+    ) -> Optional[Reservation]:
+        for t in self.breakpoints(after=after):
+            free, pool_min = self.window_free(t, duration)
+            if len(free) < job.nodes:
+                continue
+            node_ids = placement.select(
+                self._cluster, free, job.nodes, remote_per_node, pool_min
+            )
+            if node_ids is None:
+                continue
+            if not memory_aware or remote_per_node == 0:
+                plan: Optional[Dict[str, int]] = {}
+            else:
+                plan = allocator.plan(
+                    self._cluster, node_ids, remote_per_node, free_override=pool_min
+                )
+                if plan is None:
+                    continue
+            return Reservation(
+                job_id=job.job_id,
+                start=t,
+                end=t + duration,
+                node_ids=tuple(node_ids),
+                pool_grants=tuple(sorted((plan or {}).items())),
+            )
+        return None
+
+
+# ----------------------------------------------------------------------
+# reference strategies: the original queue-walking loops
+# ----------------------------------------------------------------------
+def _reference_start_in_order(
+    ctx: SchedulerContext, sched: Scheduler
+) -> List[StartDecision]:
+    """Original phase 1: re-sort the whole pending queue per start."""
+    started: List[StartDecision] = []
+    while True:
+        pending = [job for job in ctx.queue if job.state is JobState.PENDING]
+        if not pending:
+            return started
+        ordered = sched.queue_policy.order(pending, ctx.now)
+        decision = sched.try_start_now(ctx, ordered[0])
+        if decision is None:
+            return started
+        ctx.start_job(decision)
+        started.append(decision)
+
+
+class _ReferenceNoBackfill(BackfillStrategy):
+    name = "none"
+
+    def run(self, ctx: SchedulerContext, sched: Scheduler) -> List[StartDecision]:
+        return _reference_start_in_order(ctx, sched)
+
+
+class _ReferenceEasyBackfill(BackfillStrategy):
+    """Original EASY: fresh trial profile per long candidate."""
+
+    name = "easy"
+
+    def __init__(self, depth: int = 128, memory_aware: bool = True) -> None:
+        self.depth = depth
+        self.memory_aware = memory_aware
+
+    def run(self, ctx: SchedulerContext, sched: Scheduler) -> List[StartDecision]:
+        started = _reference_start_in_order(ctx, sched)
+        pending = [job for job in ctx.queue if job.state is JobState.PENDING]
+        if not pending:
+            return started
+        ordered = sched.queue_policy.order(pending, ctx.now)
+        head, rest = ordered[0], ordered[1 : 1 + self.depth]
+        allocator = sched.resolve_allocator(ctx.cluster)
+
+        head_split = sched.split_for(head, ctx.cluster)
+        head_dur = sched.est_duration(head, ctx.cluster)
+        profile = sched.build_profile(ctx)
+        head_res = profile.earliest_start(
+            head,
+            head_dur,
+            head_split.remote,
+            sched.placement,
+            allocator,
+            memory_aware=self.memory_aware,
+        )
+        shadow: Optional[float] = None
+        if head_res is not None:
+            shadow = head_res.start
+            ctx.record_promise(head.job_id, shadow)
+
+        for job in rest:
+            decision = sched.try_start_now(ctx, job)
+            if decision is None:
+                continue
+            dur = sched.est_duration(job, ctx.cluster)
+            if shadow is None or ctx.now + dur <= shadow + _BF_EPS:
+                ctx.start_job(decision)
+                started.append(decision)
+                continue
+            trial = sched.build_profile(ctx)
+            trial.add_reservation(
+                Reservation(
+                    job_id=job.job_id,
+                    start=ctx.now,
+                    end=ctx.now + dur,
+                    node_ids=decision.node_ids,
+                    pool_grants=tuple(sorted(decision.plan.items())),
+                )
+            )
+            head_retry = trial.earliest_start(
+                head,
+                head_dur,
+                head_split.remote,
+                sched.placement,
+                allocator,
+                memory_aware=self.memory_aware,
+            )
+            if head_retry is not None and head_retry.start <= shadow + _BF_EPS:
+                ctx.start_job(decision)
+                started.append(decision)
+        return started
+
+
+class _ReferenceScheduler(Scheduler):
+    """A Scheduler whose profiles are reference profiles."""
+
+    def build_profile(self, ctx: SchedulerContext) -> _ReferenceProfile:
+        return _ReferenceProfile(
+            ctx.cluster, ctx.running, ctx.now, self.duration_of_running
+        )
+
+
+def reference_scheduler(**kwargs) -> Scheduler:
+    """``build_scheduler(**kwargs)`` with reference profile + strategies.
+
+    Conservative backfill's pass logic never changed (only the profile
+    internals did), so the stock strategy against the reference profile
+    *is* the reference behavior.
+    """
+    stock = build_scheduler(**kwargs)
+    sched = _ReferenceScheduler(
+        queue_policy=stock.queue_policy,
+        backfill=stock.backfill,
+        placement=stock.placement,
+        split_policy=stock.split_policy,
+        allocator=stock._allocator,
+        penalty=stock.penalty,
+        gate=stock.gate,
+        kill_policy=stock.kill_policy,
+    )
+    name = kwargs.get("backfill", "easy")
+    if name in ("none", "nobackfill", "fcfs"):
+        sched.backfill = _ReferenceNoBackfill()
+    elif name == "easy":
+        sched.backfill = _ReferenceEasyBackfill(
+            memory_aware=kwargs.get("memory_aware", True)
+        )
+    else:
+        sched.backfill = ConservativeBackfill()
+    return sched

@@ -1,0 +1,190 @@
+"""Tests for the wall-clock perf harness (`repro perf`).
+
+Real measurements are exercised at tiny scale (``--scale``), so the
+suite verifies plumbing — schema, determinism of case construction,
+regression arithmetic, CLI exit codes — without long timings.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import build_cases, case_names, compare_reports, run_perf
+from repro.perf.core import PerfCase, render_report
+
+TINY = dict(quick=True, scale=0.01)
+
+
+def _tiny_cases(names=None):
+    return build_cases(names=names, **TINY)
+
+
+class TestCaseRegistry:
+    def test_case_names_stable(self):
+        assert case_names() == [
+            "profile_build",
+            "profile_queries",
+            "easy_pass",
+            "conservative_pass",
+            "e2e_easy",
+            "e2e_conservative",
+        ]
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            build_cases(names=["nope"], **TINY)
+
+    def test_subset_selection(self):
+        cases = _tiny_cases(names=["e2e_easy"])
+        assert [case.name for case in cases] == ["e2e_easy"]
+
+    def test_cases_return_elapsed_and_events(self):
+        for case in _tiny_cases(names=["profile_build", "easy_pass"]):
+            elapsed, events = case.run_once()
+            assert elapsed >= 0.0
+            assert events > 0
+
+
+class TestRunPerf:
+    def test_report_schema(self):
+        report = run_perf(
+            _tiny_cases(names=["profile_queries"]),
+            mode="quick",
+            repeats_override=1,
+        )
+        payload = report.to_payload()
+        assert payload["schema"] == 1
+        assert payload["mode"] == "quick"
+        assert payload["calibration_ms"] > 0
+        case = payload["cases"]["profile_queries"]
+        assert case["repeats"] == 1
+        assert len(case["runs_ms"]) == 1
+        assert case["median_ms"] >= 0
+        assert case["events"] > 0
+        assert case["normalized"] is not None
+        # Render must not crash and must mention every case.
+        table = render_report(payload)
+        assert "profile_queries" in table
+
+    def test_events_deterministic_across_runs(self):
+        (case,) = _tiny_cases(names=["e2e_easy"])
+        _, events_a = case.run_once()
+        _, events_b = case.run_once()
+        assert events_a == events_b  # same seeded workload every time
+
+
+def _fake_report(normalized: dict) -> dict:
+    return {
+        "schema": 1,
+        "mode": "quick",
+        "calibration_ms": 50.0,
+        "cases": {
+            name: {"median_ms": 1.0, "normalized": value}
+            for name, value in normalized.items()
+        },
+    }
+
+
+class TestRegressionGate:
+    def test_no_regression_within_tolerance(self):
+        base = _fake_report({"a": 1.0, "b": 2.0})
+        cur = _fake_report({"a": 1.2, "b": 2.1})
+        assert compare_reports(cur, base, max_regression=0.25) == []
+
+    def test_regression_detected(self):
+        base = _fake_report({"a": 1.0})
+        cur = _fake_report({"a": 1.4})
+        regs = compare_reports(cur, base, max_regression=0.25)
+        assert len(regs) == 1
+        assert regs[0]["case"] == "a"
+        assert regs[0]["ratio"] == pytest.approx(1.4)
+
+    def test_new_and_removed_cases_ignored(self):
+        base = _fake_report({"gone": 1.0, "kept": 1.0})
+        cur = _fake_report({"kept": 1.0, "added": 99.0})
+        assert compare_reports(cur, base, max_regression=0.25) == []
+
+    def test_improvement_never_flags(self):
+        base = _fake_report({"a": 10.0})
+        cur = _fake_report({"a": 1.0})
+        assert compare_reports(cur, base, max_regression=0.25) == []
+
+
+class TestPerfCLI:
+    def test_list(self, capsys):
+        assert main(["perf", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e2e_easy" in out
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "perf.json"
+        code = main([
+            "perf", "--quick", "--quiet", "--scale", "0.01",
+            "--repeats", "1", "--case", "profile_build",
+            "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "profile_build" in payload["cases"]
+
+    def test_baseline_gate_passes_and_fails(self, tmp_path, capsys):
+        out = tmp_path / "now.json"
+        args = [
+            "perf", "--quick", "--quiet", "--scale", "0.01",
+            "--repeats", "1", "--case", "profile_build", "--out", str(out),
+        ]
+        assert main(args) == 0
+        payload = json.loads(out.read_text())
+        capsys.readouterr()
+
+        # Baseline much slower than reality -> no regression.
+        slow = json.loads(json.dumps(payload))
+        slow["cases"]["profile_build"]["normalized"] *= 100
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slow))
+        assert main(args + ["--baseline", str(slow_path)]) == 0
+
+        # Baseline much faster than reality -> regression, exit 1.
+        fast = json.loads(json.dumps(payload))
+        fast["cases"]["profile_build"]["normalized"] /= 100
+        fast_path = tmp_path / "fast.json"
+        fast_path.write_text(json.dumps(fast))
+        assert main(args + ["--baseline", str(fast_path)]) == 1
+
+    def test_baseline_mode_mismatch_errors(self, tmp_path, capsys):
+        out = tmp_path / "now.json"
+        args = [
+            "perf", "--quick", "--quiet", "--scale", "0.01",
+            "--repeats", "1", "--case", "profile_build", "--out", str(out),
+        ]
+        assert main(args) == 0
+        payload = json.loads(out.read_text())
+        payload["mode"] = "full"
+        other = tmp_path / "full.json"
+        other.write_text(json.dumps(payload))
+        assert main(args + ["--baseline", str(other)]) == 1
+
+    def test_unknown_case_errors(self, capsys):
+        assert main(["perf", "--case", "bogus", "--quiet"]) == 1
+
+    def test_baseline_missing_or_corrupt_clean_error(self, tmp_path, capsys):
+        args = [
+            "perf", "--quick", "--quiet", "--scale", "0.01",
+            "--repeats", "1", "--case", "profile_build", "--out", "",
+        ]
+        assert main(args + ["--baseline", str(tmp_path / "nope.json")]) == 1
+        assert "error: cannot read baseline" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(args + ["--baseline", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_perfcase_dataclass_shape():
+    case = PerfCase(
+        name="x", description="d", run_once=lambda: (0.0, 1), repeats=2
+    )
+    assert case.repeats == 2 and case.tags == ()

@@ -15,7 +15,7 @@ from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
 from repro.engine import FailureEvent, SchedulerSimulation, audit_result
 from repro.sched import build_scheduler
 from repro.units import GiB
-from repro.workload import Job
+from repro.workload import Job, JobState
 
 # ---------------------------------------------------------------------
 # strategies
@@ -114,6 +114,48 @@ def test_random_scenarios_audit_clean(spec, data, kwargs):
     assert cluster.free_node_count == cluster.num_nodes
     assert cluster.total_pool_used == 0
     assert result.ledger.outstanding_remote() == 0
+
+
+def test_min_remote_admission_liveness_regression():
+    """Regression (hypothesis-found): with min_remote placement and
+    hybrid pools, ``fits_machine`` used to order racks by *live* pool
+    free at submission — a transient state could admit a 5-node
+    23-GiB/node job whose selection on the fully drained machine
+    spanned racks infeasibly, leaving it PENDING forever and the
+    simulation stuck.  The empty-machine check now orders by capacity,
+    so the verdict matches drained-machine startability.
+    """
+    spec = ClusterSpec(
+        name="prop", num_nodes=10, nodes_per_rack=3,
+        node=NodeSpec(cores=8, local_mem=13312),
+        pool=PoolSpec(rack_pool=15360, global_pool=15360),
+    )
+    rows = (
+        [(0.0, 1, 10.0, 1.0, 1.0, 1.0)] * 7
+        + [(0.0, 1, 10.0, 1.0, 14.0, 1.0)] * 2
+        + [(0.0, 2, 10.0, 1.0, 1.0, 1.0)]
+        + [(0.0, 1, 10.0, 1.0, 1.0, 1.0)] * 2
+        + [(0.0, 2, 10.0, 1.0, 1.0, 1.0)]
+        + [(1.0, 5, 10.0, 1.0, 23.0, 1.0)]
+    )
+    jobs = []
+    for i, (submit, nodes, runtime, inflate, mem_gib, used_frac) in enumerate(rows):
+        mem = max(1, int(mem_gib * GiB))
+        jobs.append(Job(
+            job_id=i + 1, submit_time=float(submit), nodes=nodes,
+            walltime=float(runtime * inflate), runtime=float(runtime),
+            mem_per_node=mem, mem_used_per_node=max(1, int(mem * used_frac)),
+        ))
+    scheduler = build_scheduler(
+        queue="fcfs", backfill="none", placement="min_remote",
+        penalty={"kind": "none"}, kill_policy="strict", gate="always",
+    )
+    cluster = Cluster(spec)
+    result = SchedulerSimulation(cluster, scheduler, jobs).run()
+    audit_result(result)
+    assert all(job.state.terminal for job in result.jobs)
+    # The over-wide job is rejected up front, not stranded in the queue.
+    assert result.job(14).state is JobState.REJECTED
 
 
 @given(spec=cluster_specs, data=st.data())
