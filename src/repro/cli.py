@@ -202,7 +202,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
-    from .perf import build_cases, case_names, compare_reports, render_report, run_perf
+    from .perf import (
+        build_cases,
+        case_names,
+        compare_reports,
+        measure_sweep_throughput,
+        render_report,
+        render_throughput,
+        run_perf,
+    )
 
     if args.list:
         for name in case_names():
@@ -221,7 +229,21 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         cases, mode=mode, repeats_override=args.repeats, progress=progress
     )
     payload = report.to_payload()
+    if args.workers:
+        # Sweep-throughput ladder through repro.runner: cells/sec vs
+        # worker count.  Rides along in the payload but never gates —
+        # multiprocess scaling is too host-dependent for CI to judge.
+        jobs_per_cell = max(30, int((60 if args.quick else 120) * args.scale))
+        payload["sweep_throughput"] = measure_sweep_throughput(
+            args.workers,
+            cells=args.sweep_cells,
+            jobs_per_cell=jobs_per_cell,
+            progress=progress,
+        )
     print(render_report(payload))
+    if args.workers:
+        print()
+        print(render_throughput(payload["sweep_throughput"]))
     if args.out:
         Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"perf results written to {args.out}")
@@ -353,6 +375,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--max-regression", type=float, default=0.25,
                         help="regression tolerance for --baseline "
                         "(default 0.25 = 25%%)")
+    p_perf.add_argument("--workers", type=_positive_int, default=0,
+                        metavar="N",
+                        help="also measure sweep throughput (cells/sec) "
+                        "through repro.runner at 1..N workers")
+    p_perf.add_argument("--sweep-cells", type=_positive_int, default=8,
+                        help="grid cells for the --workers throughput "
+                        "ladder (default 8)")
     p_perf.add_argument("--list", action="store_true",
                         help="list case names and exit")
     p_perf.add_argument("--quiet", action="store_true",

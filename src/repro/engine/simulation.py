@@ -361,7 +361,14 @@ class SchedulerSimulation:
         self._end_events[job.job_id] = end_event
 
     def _release(self, job: Job) -> None:
+        version_before = self.cluster.version
         self.cluster.release_nodes(job.job_id, job.assigned_nodes)
         self.cluster.release_pool(job.job_id)
         self._ledger.record_release(self._sim.now, job.job_id)
         _remove_by_identity(self._running, job)
+        # Let the scheduler fold the release into any cached
+        # availability profile in place (the version stamp proves
+        # nothing else touched the cluster since the cache was taken).
+        self.scheduler.notify_release(
+            self.cluster, job, self._sim.now, version_before
+        )

@@ -22,6 +22,7 @@ from .core import (
     render_report,
     run_perf,
 )
+from .sweep_scaling import measure_sweep_throughput, render_throughput, worker_ladder
 
 __all__ = [
     "PerfCase",
@@ -30,6 +31,9 @@ __all__ = [
     "case_names",
     "calibrate",
     "compare_reports",
+    "measure_sweep_throughput",
     "render_report",
+    "render_throughput",
     "run_perf",
+    "worker_ladder",
 ]

@@ -1,0 +1,142 @@
+"""Sweep-throughput scaling: cells/sec vs worker count.
+
+`repro perf` measures single-process latency; the paper's result grids
+are executed by :mod:`repro.runner`, whose wall-clock is governed by
+*sweep throughput* — how many scenario cells the machine completes per
+second as workers are added.  ``measure_sweep_throughput`` runs the
+same seeded grid through :class:`~repro.runner.sweep.SweepRunner` at a
+ladder of worker counts (1, 2, 4, … up to the requested N) with the
+result cache disabled, and reports cells/sec plus speedup and parallel
+efficiency relative to the serial run.
+
+The records produced by every rung are identical (the runner's
+determinism contract), so the ladder measures pure execution scaling,
+not workload drift.  Throughput numbers are *not* part of the CI
+regression gate — multiprocess scaling on shared CI runners is far too
+noisy to gate on — but the payload rides along in ``BENCH_PERF.json``
+for trend inspection.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from ..units import GiB
+
+__all__ = ["measure_sweep_throughput", "worker_ladder", "render_throughput"]
+
+
+def worker_ladder(max_workers: int) -> List[int]:
+    """Powers of two up to ``max_workers``, always ending at it.
+
+    ``worker_ladder(6) == [1, 2, 4, 6]`` — enough rungs to see the
+    scaling shape without rerunning the grid per worker count.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    ladder = []
+    rung = 1
+    while rung < max_workers:
+        ladder.append(rung)
+        rung *= 2
+    ladder.append(max_workers)
+    return ladder
+
+
+def _scaling_grid(cells: int, jobs_per_cell: int, seed: int):
+    """A seeded one-axis grid of ``cells`` scenarios.
+
+    The axis is the workload seed, so every cell does comparable work
+    (same mix, same machine) and the cell count is a free parameter —
+    exactly what a throughput ladder wants.
+    """
+    from ..runner import ScenarioGrid
+
+    return ScenarioGrid(
+        name="perf-sweep-scaling",
+        base={
+            "workload": {"reference": "W-MIX", "num_jobs": jobs_per_cell,
+                         "seed": seed, "load": 0.9},
+            "cluster": {"kind": "thin", "num_nodes": 32, "nodes_per_rack": 16,
+                        "local_mem": "128GiB", "fat_local_mem": "512GiB",
+                        "pool_fraction": 0.5, "reach": "global"},
+            "scheduler": {"queue": "fcfs", "backfill": "easy",
+                          "placement": "first_fit",
+                          "penalty": {"kind": "linear", "beta": 0.3}},
+            "class_local_mem": 512 * GiB,
+        },
+        axes={"workload.seed": [seed + i for i in range(cells)]},
+    )
+
+
+def measure_sweep_throughput(
+    max_workers: int,
+    cells: int = 8,
+    jobs_per_cell: int = 120,
+    seed: int = 42,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the scaling ladder; returns the JSON-able payload section.
+
+    Each rung executes the identical grid (no cache) and records
+    elapsed wall-clock, cells/sec, speedup vs the serial rung, and
+    parallel efficiency (speedup / workers).
+    """
+    from ..runner import SweepRunner
+
+    grid = _scaling_grid(cells, jobs_per_cell, seed)
+    rungs = []
+    serial_elapsed: Optional[float] = None
+    for workers in worker_ladder(max_workers):
+        runner = SweepRunner(workers=workers, cache_dir=None)
+        t0 = time.perf_counter()
+        report = runner.run(grid)
+        elapsed = time.perf_counter() - t0
+        if serial_elapsed is None:
+            serial_elapsed = elapsed
+        speedup = serial_elapsed / elapsed if elapsed > 0 else None
+        rung = {
+            "workers": workers,
+            "elapsed_s": round(elapsed, 3),
+            "cells": report.total,
+            "cells_per_sec": round(report.total / elapsed, 3)
+            if elapsed > 0 else None,
+            "speedup": round(speedup, 3) if speedup is not None else None,
+            "efficiency": round(speedup / workers, 3)
+            if speedup is not None else None,
+        }
+        rungs.append(rung)
+        if progress is not None:
+            progress(
+                f"  sweep x{report.total} cells @ {workers} worker"
+                f"{'s' if workers != 1 else ''}: {elapsed:.2f}s "
+                f"({rung['cells_per_sec']:.2f} cells/s)"
+            )
+    return {
+        "cells": cells,
+        "jobs_per_cell": jobs_per_cell,
+        "seed": seed,
+        "rungs": rungs,
+    }
+
+
+def render_throughput(payload: dict) -> str:
+    """ASCII table of a sweep-throughput payload (CLI output)."""
+    from ..metrics.report import ascii_table
+
+    headers = ["workers", "elapsed s", "cells/sec", "speedup", "efficiency"]
+    rows = []
+    for rung in payload.get("rungs", []):
+        rows.append([
+            str(rung["workers"]),
+            f"{rung['elapsed_s']:.2f}",
+            f"{rung['cells_per_sec']:.2f}" if rung["cells_per_sec"] else "-",
+            f"{rung['speedup']:.2f}x" if rung["speedup"] else "-",
+            f"{rung['efficiency']:.0%}" if rung["efficiency"] else "-",
+        ])
+    title = (
+        f"sweep throughput: {payload['cells']} cells x "
+        f"{payload['jobs_per_cell']} jobs (runner, cache disabled)"
+    )
+    return title + "\n" + ascii_table(headers, rows)

@@ -60,9 +60,74 @@ class BackfillStrategy(abc.ABC):
 
     name: str = "abstract"
 
+    #: Cross-cycle profile cache: ``(cluster, version, profile)`` or
+    #: None.  Valid exactly when the cluster is untouched since the
+    #: stamp and the profile rebases to the new instant.  Strategies
+    #: that maintain one (EASY, conservative) assign an instance
+    #: attribute; the class default keeps cache-less strategies inert.
+    _profile_cache: Optional[tuple] = None
+
     @abc.abstractmethod
     def run(self, ctx: SchedulerContext, sched: Scheduler) -> List[StartDecision]:
         ...
+
+    # ------------------------------------------------------------------
+    def on_release(
+        self,
+        sched: Scheduler,
+        cluster,
+        job: Job,
+        now: float,
+        version_before: int,
+    ) -> Optional[float]:
+        """Fold a job completion into the cached profile, in place.
+
+        Called by the engine immediately after the cluster released the
+        job's nodes and grants (``version_before`` is the cluster
+        version just before those mutations).  When the cache was
+        valid at that stamp, :meth:`AvailabilityProfile.apply_release`
+        patches the profile to the post-completion state — bit-
+        equivalent to a fresh rebuild — and the cache is re-stamped, so
+        the next pass skips the rebuild that completions used to
+        force.  Any mismatch simply drops the cache (the next pass
+        rebuilds, the pre-folding behavior).
+
+        Returns the folded release's estimated-end time on success
+        (``None`` otherwise) — the *fold horizon* subclasses with a
+        reservation plan cache use: profile evaluation at breakpoints
+        at or beyond that time is unchanged by the fold.
+        """
+        cache = self._profile_cache
+        if cache is None:
+            return None
+        c_cluster, c_version, c_profile = cache
+        if c_cluster is not cluster or c_version != version_before:
+            return None
+        est_end = job.start_time + sched.duration_of_running(job)
+        if c_profile.apply_release(job.assigned_nodes, job.pool_grants, est_end):
+            self._profile_cache = (cluster, cluster.version, c_profile)
+            return est_end
+        self._profile_cache = None
+        return None
+
+    def _cycle_profile(
+        self, ctx: SchedulerContext, sched: Scheduler
+    ) -> AvailabilityProfile:
+        """This cycle's availability profile, reusing the cached one
+        when the cluster is provably unchanged since its stamp."""
+        cluster = ctx.cluster
+        cache = self._profile_cache
+        if cache is not None:
+            c_cluster, c_version, c_profile = cache
+            if (
+                c_cluster is cluster
+                and c_version == cluster.version
+                and c_profile.rebase(ctx.now)
+            ):
+                return c_profile
+        profile = sched.build_profile(ctx)
+        self._profile_cache = (cluster, cluster.version, profile)
+        return profile
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -301,25 +366,6 @@ class EasyBackfill(BackfillStrategy):
         )
         return profile, head_split, head_dur, shadow
 
-    def _cycle_profile(
-        self, ctx: SchedulerContext, sched: Scheduler
-    ) -> AvailabilityProfile:
-        """This cycle's availability profile, reusing the cached one
-        when the cluster is provably unchanged since its stamp."""
-        cluster = ctx.cluster
-        cache = self._profile_cache
-        if cache is not None:
-            c_cluster, c_version, c_profile = cache
-            if (
-                c_cluster is cluster
-                and c_version == cluster.version
-                and c_profile.rebase(ctx.now)
-            ):
-                return c_profile
-        profile = sched.build_profile(ctx)
-        self._profile_cache = (cluster, cluster.version, profile)
-        return profile
-
 
 class ConservativeBackfill(BackfillStrategy):
     """Reservation for everyone (up to ``depth``).
@@ -331,6 +377,29 @@ class ConservativeBackfill(BackfillStrategy):
     started mid-pass are folded back in as reservations so later queue
     entries see them.  Conservative backfill is always memory-aware
     here; the memory-blind ablation is specific to EASY (T3).
+
+    The profile, however, is *not* rebuilt from scratch each cycle: at
+    pass end the pass's reservations are dropped and every job started
+    mid-pass is folded in via ``apply_start`` (with its realized
+    dilation, exactly what a fresh build would see), leaving the
+    profile bit-equivalent to a rebuild at the post-pass cluster state
+    — so the next cycle reuses it through the shared cache, and
+    ``on_release`` keeps it valid across job completions.
+
+    On top of the profile cache sits a **reservation plan cache** (the
+    per-job resume points): when a pass runs against a provably
+    unchanged profile — same object, zero folds since the stamp, which
+    the teardown only grants when the previous pass started nothing —
+    each queued job's reservation from the previous pass is replayed
+    after a bounded ``earliest_start(..., not_after=now)`` probe
+    proves the job still cannot start at the new instant.  The probe
+    is the exact scan the full pass would run, truncated to its first
+    breakpoint; when it finds a feasible start (or meets an at-now
+    reservation, or the queue order diverges) the replay stops and the
+    stock loop takes over from that position.  Submission-triggered
+    cycles — the bulk of a busy simulation — thus walk the merged
+    availability+reservation sweep once for the new arrivals instead
+    of re-deriving every standing reservation from scratch.
     """
 
     name = "conservative"
@@ -339,25 +408,141 @@ class ConservativeBackfill(BackfillStrategy):
         if depth < 1:
             raise ConfigurationError("reservation depth must be >= 1")
         self.depth = depth
+        self._profile_cache = None
+        # (profile, mutation_count, fold_horizon, entries): the
+        # previous pass's processed prefix as (job, reservation|None,
+        # duration, remote) tuples.  ``fold_horizon`` is the largest
+        # release time removed by completion folds since the entries
+        # were derived: evaluation at breakpoints beyond it is
+        # untouched by those folds, so entries starting strictly after
+        # it stay replayable behind a probe bounded at the horizon.
+        self._plan_cache: Optional[tuple] = None
+
+    def on_release(
+        self,
+        sched: Scheduler,
+        cluster,
+        job: Job,
+        now: float,
+        version_before: int,
+    ) -> Optional[float]:
+        folded_end = super().on_release(sched, cluster, job, now, version_before)
+        plan = self._plan_cache
+        if folded_end is not None and plan is not None:
+            profile = plan[0]
+            # The plan stays coherent only if it was stamped against
+            # the state just before this fold (the fold bumped the
+            # mutation count by one); anything else is already stale
+            # and will fail the replay check on its own.
+            if (
+                self._profile_cache is not None
+                and self._profile_cache[2] is profile
+                and plan[1] == profile.mutation_count - 1
+            ):
+                self._plan_cache = (
+                    profile,
+                    profile.mutation_count,
+                    max(plan[2], folded_end),
+                    plan[3],
+                )
+        return folded_end
 
     def run(self, ctx: SchedulerContext, sched: Scheduler) -> List[StartDecision]:
         started: List[StartDecision] = []
         pending = ctx.pending()
         if not pending:
             return started
-        ordered = sched.queue_policy.order(pending, ctx.now)
+        now = ctx.now
+        ordered = sched.queue_policy.order(pending, now)
         allocator = sched.resolve_allocator(ctx.cluster)
-        profile = sched.build_profile(ctx)
+        profile = self._cycle_profile(ctx, sched)
+        window = ordered[: self.depth]
+        entries: List[tuple] = []
+        # Largest breakpoint this pass's own starts can perturb: a
+        # start is claimed as a reservation ending at the *estimated*
+        # end during the pass and folded as a release at the
+        # *realized* end afterwards; beyond the later of the two, both
+        # representations evaluate identically, so the plan survives
+        # the pass behind that horizon.
+        pass_horizon = float("-inf")
 
-        for job in ordered[: self.depth]:
+        # Resume points: while the queue prefix and the profile are
+        # provably unchanged, each cached reservation is exact iff a
+        # fresh scan would reject every breakpoint before its start —
+        # breakpoints at or beyond the fold horizon were rejected by
+        # the pass that derived the entry, and the ones below it (plus
+        # the new *now*) are re-evaluated by a bounded probe through
+        # the very same scan code.  A recompute that reproduces the
+        # cached entry exactly leaves the pass state where the cache
+        # assumed it, so replay resumes behind it.
+        cache = self._plan_cache
+        cached_entries: Optional[list] = None
+        cap = now
+        if (
+            cache is not None
+            and cache[0] is profile
+            and cache[1] == profile.mutation_count
+        ):
+            cached_entries = cache[3]
+            if cache[2] > cap:
+                cap = cache[2]
+        tracking = cached_entries is not None
+
+        for index, job in enumerate(window):
             split = sched.split_for(job, ctx.cluster)
             dur = sched.est_duration(job, ctx.cluster, split=split)
+            entry = None
+            if tracking:
+                if index < len(cached_entries):
+                    entry = cached_entries[index]
+                    if entry[0] is not job:
+                        # Queue order diverged: positions no longer
+                        # correspond, so the remaining cached claims
+                        # cannot be bounded — stop consulting them.
+                        tracking = False
+                        entry = None
+                else:
+                    tracking = False
+            # Durations are pressure-dependent on metered machines, so
+            # a cached entry is only usable while the job's estimate
+            # is byte-identical to a fresh one.
+            if entry is not None and entry[2] == dur:
+                cached_res = entry[1]
+                if cached_res is None:
+                    # Static verdict (cannot fit the machine at all);
+                    # replaying it skips the scan the stock loop would
+                    # burn re-deriving None.
+                    entries.append(entry)
+                    continue
+                if cached_res.start > cap + _EPS:
+                    probe = profile.earliest_start(
+                        job, dur, split.remote, sched.placement, allocator,
+                        not_after=cap,
+                    )
+                    if probe is None:
+                        profile.add_reservation(cached_res)
+                        ctx.record_promise(job.job_id, cached_res.start)
+                        entries.append(entry)
+                        continue
+                    # Startable at or before the cap: fall through to
+                    # the fresh scan (which will find that start).
             res = profile.earliest_start(
                 job, dur, split.remote, sched.placement, allocator
             )
+            if entry is None or entry[2] != dur or res != entry[1]:
+                # This position diverged from the cached plan.  The
+                # divergence perturbs evaluation only below the later
+                # of the two reservations' ends, so later cached
+                # entries stay usable behind an escalated probe cap.
+                if entry is not None and entry[1] is not None:
+                    if entry[1].end > cap:
+                        cap = entry[1].end
+                if res is not None and res.end > cap:
+                    cap = res.end
+            entries.append((job, res, dur, split.remote))
             if res is None:
                 continue  # cannot run even empty; engine rejects at submit
-            if res.start <= ctx.now + _EPS:
+            if res.start <= now + _EPS:
                 decision = StartDecision(
                     job=job,
                     node_ids=res.node_ids,
@@ -367,11 +552,16 @@ class ConservativeBackfill(BackfillStrategy):
                 if sched.gate.permit(ctx, sched, decision):
                     ctx.start_job(decision)
                     started.append(decision)
+                    entries.pop()  # started jobs leave the queue
+                    if now + dur > pass_horizon:
+                        pass_horizon = now + dur
+                    if now + dur > cap:
+                        cap = now + dur  # the trial below perturbs to here
                     profile.add_reservation(
                         Reservation(
                             job.job_id,
-                            ctx.now,
-                            ctx.now + dur,
+                            now,
+                            now + dur,
                             res.node_ids,
                             res.pool_grants,
                         )
@@ -380,8 +570,25 @@ class ConservativeBackfill(BackfillStrategy):
                 # Gate said wait: fall through to reserving its slot so
                 # lower-priority jobs cannot squat on it.
             profile.add_reservation(res)
-            if res.start > ctx.now + _EPS:
+            if res.start > now + _EPS:
                 ctx.record_promise(job.job_id, res.start)
+
+        # Teardown: reservations are per-pass scratch state, but the
+        # release sweep underneath is durable.  Folding the pass's
+        # starts (with realized dilations) restores the "fresh build
+        # at current cluster state" invariant, so the cache survives
+        # the pass's own mutations.
+        profile.clear_reservations()
+        for decision in started:
+            job = decision.job
+            est_end = job.start_time + sched.duration_of_running(job)
+            profile.apply_start(decision.node_ids, decision.plan, est_end)
+            if est_end > pass_horizon:
+                pass_horizon = est_end
+        self._profile_cache = (ctx.cluster, ctx.cluster.version, profile)
+        self._plan_cache = (
+            profile, profile.mutation_count, pass_horizon, entries,
+        )
         return started
 
 

@@ -211,6 +211,23 @@ class Scheduler:
         """Run one scheduling cycle; returns the applied decisions."""
         return self.backfill.run(ctx, self)
 
+    def notify_release(
+        self, cluster: Cluster, job: Job, now: float, version_before: int
+    ) -> None:
+        """Tell the backfill strategy a job's resources were released.
+
+        The engine calls this immediately after the cluster mutations
+        of a completion/kill (``version_before`` is the cluster
+        version just before them), while the job still carries its
+        grant records.  Strategies with a cross-cycle profile cache
+        fold the release in place instead of rebuilding next pass;
+        everything else ignores it.  Guarded by ``getattr`` so duck-
+        typed strategies that predate the hook keep working.
+        """
+        on_release = getattr(self.backfill, "on_release", None)
+        if on_release is not None:
+            on_release(self, cluster, job, now, version_before)
+
     # ------------------------------------------------------------------
     # helpers shared by strategies
     # ------------------------------------------------------------------

@@ -26,12 +26,23 @@ running set).  Incremental mutation never invalidates the cache:
 * :meth:`add_reservation` / :meth:`remove_reservation` are O(log n)
   locate + insert into sorted boundary arrays — the release sweep is
   untouched because reservations are layered on top of it at query
-  time (there are few of them: one trial under EASY, ``depth`` under
-  conservative);
+  time.  Reservations additionally live in a **interval index**: two
+  sorted event timelines (one by start, one by end) that
+  :meth:`earliest_start` walks *incrementally* while scanning
+  breakpoints, maintaining the active reservation set and a claimed-
+  node counter as resume state.  A scan therefore touches each
+  reservation O(1) times instead of rescanning the whole list at
+  every breakpoint — the fix for conservative backfill's
+  O(depth²)-ish cycles, where ``depth`` reservations stand at once;
 * :meth:`apply_start` folds a job started *mid-pass* into the profile
   by patching the affected prefix of the cached sweep in place —
   bit-for-bit equivalent to rebuilding from the post-start cluster,
-  which is what EASY's hypothesis test previously did per candidate.
+  which is what EASY's hypothesis test previously did per candidate;
+* :meth:`apply_release` is the inverse fold for a job *completion*:
+  the job's release entry leaves the timeline and its resources join
+  the base availability, again patching only the affected sweep
+  prefix.  Strategies use it to keep a cached profile valid across
+  job completions — previously the dominant rebuild trigger.
 
 All query results are bitwise identical to the reference
 implementation (kept as ``tests/_reference_profile.py``); the
@@ -154,8 +165,17 @@ class AvailabilityProfile:
 
         self._reservations: List[Reservation] = []
         self._res_bounds: List[float] = []  # sorted starts+ends (duplicates ok)
-        #: Bumped by :meth:`apply_start`; external caches key derived
-        #: results (e.g. a head shadow) on it.
+        # Interval index: the same reservations in two sorted event
+        # timelines, plus each reservation's current position in the
+        # insertion-order list (the tie-order key the pool sweep uses).
+        self._res_start_times: List[float] = []
+        self._res_start_refs: List[Reservation] = []
+        self._res_end_times: List[float] = []
+        self._res_end_refs: List[Reservation] = []
+        self._res_index: Dict[int, int] = {}  # id(res) -> index
+        #: Bumped by :meth:`apply_start` / :meth:`apply_release`;
+        #: external caches key derived results (e.g. a head shadow)
+        #: on it.
         self.mutation_count = 0
 
     def _ensure_swept(self, k: int) -> None:
@@ -214,9 +234,16 @@ class AvailabilityProfile:
         return True
 
     def add_reservation(self, reservation: Reservation) -> Reservation:
+        self._res_index[id(reservation)] = len(self._reservations)
         self._reservations.append(reservation)
         insort(self._res_bounds, reservation.start)
         insort(self._res_bounds, reservation.end)
+        pos = bisect_right(self._res_start_times, reservation.start)
+        self._res_start_times.insert(pos, reservation.start)
+        self._res_start_refs.insert(pos, reservation)
+        pos = bisect_right(self._res_end_times, reservation.end)
+        self._res_end_times.insert(pos, reservation.end)
+        self._res_end_refs.insert(pos, reservation)
         return reservation
 
     def remove_reservation(self, reservation: Reservation) -> None:
@@ -227,12 +254,45 @@ class AvailabilityProfile:
         reservations = self._reservations
         for index, existing in enumerate(reservations):
             if existing is reservation:
-                del reservations[index]
                 break
         else:
-            reservations.remove(reservation)
-        for bound in (reservation.start, reservation.end):
+            index = reservations.index(reservation)  # ValueError as before
+        actual = reservations[index]
+        del reservations[index]
+        res_index = self._res_index
+        del res_index[id(actual)]
+        for later in reservations[index:]:
+            res_index[id(later)] -= 1
+        for bound in (actual.start, actual.end):
             del self._res_bounds[bisect_left(self._res_bounds, bound)]
+        pos = bisect_left(self._res_start_times, actual.start)
+        while self._res_start_refs[pos] is not actual:
+            pos += 1
+        del self._res_start_times[pos]
+        del self._res_start_refs[pos]
+        pos = bisect_left(self._res_end_times, actual.end)
+        while self._res_end_refs[pos] is not actual:
+            pos += 1
+        del self._res_end_times[pos]
+        del self._res_end_refs[pos]
+
+    def clear_reservations(self) -> None:
+        """Drop every reservation at once (pass teardown).
+
+        Equivalent to ``remove_reservation`` over the whole list but
+        O(count): conservative backfill lays down ``depth``
+        reservations per pass and discards them all before caching the
+        profile for the next cycle.
+        """
+        if not self._reservations:
+            return
+        self._reservations.clear()
+        self._res_index.clear()
+        self._res_bounds.clear()
+        self._res_start_times.clear()
+        self._res_start_refs.clear()
+        self._res_end_times.clear()
+        self._res_end_refs.clear()
 
     # ------------------------------------------------------------------
     def apply_start(
@@ -300,6 +360,74 @@ class AvailabilityProfile:
             self._grant_times.insert(gpos, est_end)
             self._grant_maps.insert(gpos, grants)
         self.mutation_count += 1
+
+    def apply_release(
+        self,
+        node_ids: Iterable[int],
+        pool_grants: Dict[str, int],
+        est_end: float,
+    ) -> bool:
+        """Fold a job *completion* into the profile, in place.
+
+        The exact inverse of :meth:`apply_start`: the job's release
+        entry (located by its estimated end plus node set) leaves the
+        timeline, and its nodes and grants join the base availability.
+        Materialized sweep entries strictly before the removed entry
+        gain the resources; entries after it are untouched (they
+        already included the release).  Equivalent to rebuilding the
+        profile from the post-completion cluster state.
+
+        Returns False — leaving the profile untouched — when the fold
+        cannot be represented: a clamped (overrun) release embeds the
+        build instant, and a missing entry means the caller's view of
+        the running set has diverged from the profile's.
+        """
+        if self._has_clamped_release:
+            return False
+        node_tuple = tuple(node_ids)
+        grants = dict(pool_grants)
+        rel_times = self._rel_times
+        pos = bisect_left(rel_times, est_end)
+        total = len(rel_times)
+        while pos < total and rel_times[pos] == est_end:
+            _, entry_nodes, entry_grants = self._releases[pos]
+            if (
+                entry_nodes is node_ids or tuple(entry_nodes) == node_tuple
+            ) and entry_grants == grants:
+                break
+            pos += 1
+        else:
+            return False
+        entry_grants = self._releases[pos][2]
+        node_set = frozenset(node_tuple)
+        if self._rel_cum_free:
+            # Unlike apply_start (mid-pass, hot sweep), releases land
+            # between passes: dropping the materialized sweep is
+            # cheaper than rewriting a long prefix of frozensets, and
+            # the lazy sweep rebuilds on demand from the updated raw
+            # timeline.
+            self._rel_cum_free.clear()
+            self._rel_cum_pool.clear()
+        self._base_free = self._base_free | node_set
+        for pool_id, amount in grants.items():
+            self._base_pool_free[pool_id] = (
+                self._base_pool_free.get(pool_id, 0) + amount
+            )
+        del rel_times[pos]
+        del self._releases[pos]
+        count = len(node_set)
+        cum = self._rel_cum_count
+        del cum[pos]
+        for i in range(pos, len(cum)):
+            cum[i] -= count
+        if entry_grants:
+            gpos = bisect_left(self._grant_times, est_end)
+            while self._grant_maps[gpos] is not entry_grants:
+                gpos += 1
+            del self._grant_times[gpos]
+            del self._grant_maps[gpos]
+        self.mutation_count += 1
+        return True
 
     # ------------------------------------------------------------------
     def breakpoints(
@@ -497,14 +625,52 @@ class AvailabilityProfile:
         overcount can only *fail* to prune), and the pool minimum (the
         expensive half of a window query) is only computed once the
         node-count check passes.
+
+        Reservations are consumed through the interval index: the scan
+        keeps the *active* reservation set (and a claimed-node
+        counter) as resume state, advancing two pointers over the
+        start- and end-sorted event timelines as ``t`` grows, and
+        locates window-crossing events by bisect.  Each standing
+        reservation is therefore touched O(1) times per scan instead
+        of once per breakpoint — with ``depth`` standing reservations
+        (conservative backfill) that is the difference between
+        O(B + R) and O(B·R) per queued job.
         """
         nodes_needed = job.nodes
         rel_times = self._rel_times
         cum_count = self._rel_cum_count
         base_count = len(self._base_free)
         reservations = self._reservations
+        releases = self._releases
         grant_times = self._grant_times
         grant_maps = self._grant_maps
+        res_index = self._res_index
+        start_times = self._res_start_times
+        start_refs = self._res_start_refs
+        end_times = self._res_end_times
+        end_refs = self._res_end_refs
+        num_res = len(reservations)
+        # Sweep resume state, all updated incrementally as t advances:
+        # the reservations active at the current t (by identity), how
+        # many active claims cover each node, the released-so-far node
+        # set (``avail``), and ``cur`` — available minus claimed, the
+        # candidate free set maintained in place so an evaluated
+        # breakpoint costs O(changes) instead of O(cluster).
+        si = ei = hi_s = 0
+        active: Dict[int, Reservation] = {}
+        claimed: Dict[int, int] = {}
+        avail: Optional[set] = None
+        cur: Optional[set] = None
+        last_k = 0
+        # Window-start claims: reservations whose start falls inside
+        # the *current* candidate window (t, t+duration).  Both window
+        # edges move right as t grows, so the member set is maintained
+        # by two more monotone pointers (``si`` doubles as the left
+        # edge), and ``overlap`` — how many claimed-for-the-window
+        # nodes are in ``cur`` — is kept exact at every mutation of
+        # either side, making the rejection test O(1) per breakpoint.
+        ws_claim: Dict[int, int] = {}
+        overlap = 0
         # Tighten the count bound for EASY's trial shape: a single
         # reservation that is active from `now` past the scan cap and
         # whose nodes are base-free subtracts exactly its node count
@@ -514,13 +680,13 @@ class AvailabilityProfile:
         tighten = 0
         if len(reservations) == 1 and not_after is not None:
             only = reservations[0]
-            claimed = frozenset(only.node_ids)
+            trial_nodes = frozenset(only.node_ids)
             if (
                 only.start <= self._now + _EPS
                 and only.end - _EPS > not_after
-                and self._base_free.issuperset(claimed)
+                and self._base_free.issuperset(trial_nodes)
             ):
-                tighten = len(claimed)
+                tighten = len(trial_nodes)
         for t in self.breakpoints(after=after, not_after=not_after):
             if not_after is not None and t > not_after:
                 return None  # only the start instant can exceed the cap
@@ -530,45 +696,108 @@ class AvailabilityProfile:
                 continue
             end = t + duration
             end_eps = end - _EPS
-            if k:
-                self._ensure_swept(k - 1)
-                base = self._rel_cum_free[k - 1]
-            else:
-                base = self._base_free
-            # One pass over the reservations collects everything a
-            # window query needs: nodes to remove (active at t, or
-            # claimed by a start inside the window) and pool events.
-            removal: Optional[set] = None
+            # Catch the sweep state up to t: fold releases into the
+            # available set, then activate/retire reservations and
+            # slide the window-start range.  The candidate free set
+            # ``cur`` and the ``overlap`` counter track every change
+            # in place.
+            if cur is None:
+                avail = set(self._base_free)
+                cur = set(avail)
+            while last_k < k:
+                for node_id in releases[last_k][1]:
+                    avail.add(node_id)
+                    if node_id not in claimed and node_id not in cur:
+                        cur.add(node_id)
+                        if node_id in ws_claim:
+                            overlap += 1
+                last_k += 1
+            if num_res:
+                while si < num_res and start_times[si] <= t_eps:
+                    res = start_refs[si]
+                    if si < hi_s:
+                        # Leaving the window-start range (it may also
+                        # be activating, handled just below).
+                        for node_id in res.node_ids:
+                            left = ws_claim[node_id] - 1
+                            if left:
+                                ws_claim[node_id] = left
+                            else:
+                                del ws_claim[node_id]
+                                if node_id in cur:
+                                    overlap -= 1
+                    si += 1
+                    # Same activity test as the one-shot queries; a
+                    # reservation already over by its own start never
+                    # enters the active set.
+                    if t < res.end - _EPS:
+                        active[id(res)] = res
+                        for node_id in res.node_ids:
+                            held = claimed.get(node_id, 0)
+                            claimed[node_id] = held + 1
+                            if not held and node_id in cur:
+                                cur.discard(node_id)
+                                if node_id in ws_claim:
+                                    overlap -= 1
+                while ei < num_res and end_times[ei] - _EPS <= t:
+                    res = end_refs[ei]
+                    ei += 1
+                    key = id(res)
+                    if key in active:
+                        del active[key]
+                        for node_id in res.node_ids:
+                            left = claimed[node_id] - 1
+                            if left:
+                                claimed[node_id] = left
+                            else:
+                                del claimed[node_id]
+                                if node_id in avail and node_id not in cur:
+                                    cur.add(node_id)
+                                    if node_id in ws_claim:
+                                        overlap += 1
+                if hi_s < si:
+                    hi_s = si  # starts at or before t_eps left the range
+                while hi_s < num_res and start_times[hi_s] < end_eps:
+                    for node_id in start_refs[hi_s].node_ids:
+                        held = ws_claim.get(node_id, 0)
+                        ws_claim[node_id] = held + 1
+                        if not held and node_id in cur:
+                            overlap += 1
+                    hi_s += 1
+            if len(cur) - overlap < nodes_needed:
+                continue
+            free = cur - ws_claim.keys() if ws_claim else cur
+            # Node count passed — this breakpoint almost always wins,
+            # so only here do the pool dicts and event lists get
+            # built.  ``k`` positions the cached pool sweep.
             active_grants: Optional[list] = None
             events: Optional[list] = None
-            for j, res in enumerate(reservations):
-                res_start = res.start
-                res_end = res.end
-                if res_start <= t_eps and t < res_end - _EPS:
-                    if removal is None:
-                        removal = set()
-                    removal.update(res.node_ids)
-                    if res.pool_grants:
-                        if active_grants is None:
-                            active_grants = []
-                        active_grants.append(res.pool_grants)
-                elif t_eps < res_start < end_eps:
-                    if removal is None:
-                        removal = set()
-                    removal.update(res.node_ids)
-                if t_eps < res_start < end_eps:
+            if num_res:
+                if active:
+                    for res in active.values():
+                        if res.pool_grants:
+                            if active_grants is None:
+                                active_grants = []
+                            active_grants.append(res.pool_grants)
+                for w in range(si, hi_s):
+                    res = start_refs[w]
                     if events is None:
                         events = []
-                    events.append((res_start, 0, j, 0, res.pool_grants, -1))
-                if t_eps < res_end < end_eps:
+                    events.append(
+                        (res.start, 0, res_index[id(res)], 0, res.pool_grants, -1)
+                    )
+                lo_e = bisect_right(end_times, t_eps)
+                hi_e = bisect_left(end_times, end_eps, lo_e)
+                for w in range(lo_e, hi_e):
+                    res = end_refs[w]
                     if events is None:
                         events = []
-                    events.append((res_end, 0, j, 1, res.pool_grants, +1))
-            free = base.difference(removal) if removal else base
-            if len(free) < nodes_needed:
-                continue
-            # Pool state at t, then the windowed minimum — computed
-            # only now that the node count passed.
+                    events.append(
+                        (res.end, 0, res_index[id(res)], 1, res.pool_grants, +1)
+                    )
+            if k:
+                self._ensure_swept(k - 1)
+            # Pool state at t, then the windowed minimum.
             pool = dict(self._rel_cum_pool[k - 1]) if k else dict(self._base_pool_free)
             if active_grants:
                 for grant_pairs in active_grants:

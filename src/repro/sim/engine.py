@@ -141,17 +141,19 @@ class Simulator:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         try:
-            unbounded = until is None and max_events is None
+            # Only a time bound needs the peek-then-pop dance;
+            # max_events alone is checked after the callback, so the
+            # direct-pop fast path covers it too.
+            bounded = until is not None
             queue = self._queue
             while queue:
-                if unbounded:
-                    # Fast path: no stop conditions, pop directly.
-                    event = queue.pop()
-                else:
+                if bounded:
                     event = queue.peek()
-                    if until is not None and event.time > until:
+                    if event.time > until:
                         break
                     queue.pop()
+                else:
+                    event = queue.pop()
                 self._now = event.time
                 self._events_processed += 1
                 event.callback(event)

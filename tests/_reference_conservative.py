@@ -1,0 +1,242 @@
+"""The pre-interval-index conservative backfill path, verbatim.
+
+This module preserves, as *reference semantics* for the conservative
+differential suite (``test_conservative_equivalence.py``), the two
+pieces the reservation-aware interval index replaced:
+
+* ``_ScanProfile.earliest_start`` — the availability-profile scan
+  that re-examined **every** standing reservation at **every**
+  breakpoint (the O(depth²)-ish inner loop measured in
+  ``BENCH_PERF.json`` before this rewrite);
+* ``_ReferenceConservativeBackfill`` — the conservative pass that
+  rebuilt the profile from scratch each cycle and never folded
+  completions or pass-local starts back into it.
+
+Both are copied from the last pre-index revision without optimization;
+like ``_reference_profile.py`` they live under ``tests/`` on purpose
+and will be deleted once the differential suite has survived a few
+releases.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sched.backfill import BackfillStrategy
+from repro.sched.base import Scheduler, SchedulerContext, StartDecision, build_scheduler
+from repro.sched.profile import AvailabilityProfile, Reservation
+from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memdis.allocator import PoolAllocator
+    from repro.sched.placement import PlacementPolicy
+
+_EPS = 1e-9
+_BF_EPS = 1e-6  # backfill.py's epsilon
+
+
+class _ScanProfile(AvailabilityProfile):
+    """AvailabilityProfile with the pre-index ``earliest_start``.
+
+    The release-timeline sweep underneath is shared with the live
+    implementation (it is covered by ``test_profile_equivalence.py``);
+    what this class preserves is the *reservation handling*: the full
+    per-breakpoint rescan of the reservation list.
+    """
+
+    def earliest_start(
+        self,
+        job: Job,
+        duration: float,
+        remote_per_node: int,
+        placement: "PlacementPolicy",
+        allocator: "PoolAllocator",
+        after: Optional[float] = None,
+        memory_aware: bool = True,
+        not_after: Optional[float] = None,
+    ) -> Optional[Reservation]:
+        nodes_needed = job.nodes
+        rel_times = self._rel_times
+        cum_count = self._rel_cum_count
+        base_count = len(self._base_free)
+        reservations = self._reservations
+        grant_times = self._grant_times
+        grant_maps = self._grant_maps
+        tighten = 0
+        if len(reservations) == 1 and not_after is not None:
+            only = reservations[0]
+            claimed = frozenset(only.node_ids)
+            if (
+                only.start <= self._now + _EPS
+                and only.end - _EPS > not_after
+                and self._base_free.issuperset(claimed)
+            ):
+                tighten = len(claimed)
+        for t in self.breakpoints(after=after, not_after=not_after):
+            if not_after is not None and t > not_after:
+                return None  # only the start instant can exceed the cap
+            t_eps = t + _EPS
+            k = bisect_right(rel_times, t_eps)
+            if base_count + (cum_count[k - 1] if k else 0) - tighten < nodes_needed:
+                continue
+            end = t + duration
+            end_eps = end - _EPS
+            if k:
+                self._ensure_swept(k - 1)
+                base = self._rel_cum_free[k - 1]
+            else:
+                base = self._base_free
+            # One pass over the reservations collects everything a
+            # window query needs: nodes to remove (active at t, or
+            # claimed by a start inside the window) and pool events.
+            removal: Optional[set] = None
+            active_grants: Optional[list] = None
+            events: Optional[list] = None
+            for j, res in enumerate(reservations):
+                res_start = res.start
+                res_end = res.end
+                if res_start <= t_eps and t < res_end - _EPS:
+                    if removal is None:
+                        removal = set()
+                    removal.update(res.node_ids)
+                    if res.pool_grants:
+                        if active_grants is None:
+                            active_grants = []
+                        active_grants.append(res.pool_grants)
+                elif t_eps < res_start < end_eps:
+                    if removal is None:
+                        removal = set()
+                    removal.update(res.node_ids)
+                if t_eps < res_start < end_eps:
+                    if events is None:
+                        events = []
+                    events.append((res_start, 0, j, 0, res.pool_grants, -1))
+                if t_eps < res_end < end_eps:
+                    if events is None:
+                        events = []
+                    events.append((res_end, 0, j, 1, res.pool_grants, +1))
+            free = base.difference(removal) if removal else base
+            if len(free) < nodes_needed:
+                continue
+            pool = dict(self._rel_cum_pool[k - 1]) if k else dict(self._base_pool_free)
+            if active_grants:
+                for grant_pairs in active_grants:
+                    for pool_id, amount in grant_pairs:
+                        pool[pool_id] = pool.get(pool_id, 0) - amount
+            pool_min = dict(pool)
+            if reservations:
+                lo = bisect_right(grant_times, t_eps)
+                hi = bisect_left(grant_times, end_eps)
+                if lo < hi:
+                    if events is None:
+                        events = []
+                    for g in range(lo, hi):
+                        events.append((grant_times[g], 1, g, 0, grant_maps[g], +1))
+                if events:
+                    self._apply_pool_events(pool, pool_min, events)
+            node_ids = placement.select(
+                self._cluster, free, nodes_needed, remote_per_node, pool_min
+            )
+            if node_ids is None:
+                continue
+            if not memory_aware or remote_per_node == 0:
+                plan: Optional[Dict[str, int]] = {}
+            else:
+                plan = allocator.plan(
+                    self._cluster, node_ids, remote_per_node, free_override=pool_min
+                )
+                if plan is None:
+                    continue
+            return Reservation(
+                job_id=job.job_id,
+                start=t,
+                end=end,
+                node_ids=tuple(node_ids),
+                pool_grants=tuple(sorted((plan or {}).items())),
+            )
+        return None
+
+
+class _ReferenceConservativeBackfill(BackfillStrategy):
+    """The pre-cache conservative pass: fresh profile every cycle."""
+
+    name = "conservative"
+
+    def __init__(self, depth: int = 64) -> None:
+        if depth < 1:
+            raise ConfigurationError("reservation depth must be >= 1")
+        self.depth = depth
+
+    def run(self, ctx: SchedulerContext, sched: Scheduler) -> List[StartDecision]:
+        started: List[StartDecision] = []
+        pending = ctx.pending()
+        if not pending:
+            return started
+        ordered = sched.queue_policy.order(pending, ctx.now)
+        allocator = sched.resolve_allocator(ctx.cluster)
+        profile = sched.build_profile(ctx)
+
+        for job in ordered[: self.depth]:
+            split = sched.split_for(job, ctx.cluster)
+            dur = sched.est_duration(job, ctx.cluster, split=split)
+            res = profile.earliest_start(
+                job, dur, split.remote, sched.placement, allocator
+            )
+            if res is None:
+                continue  # cannot run even empty; engine rejects at submit
+            if res.start <= ctx.now + _BF_EPS:
+                decision = StartDecision(
+                    job=job,
+                    node_ids=res.node_ids,
+                    plan=res.plan,
+                    split=split,
+                )
+                if sched.gate.permit(ctx, sched, decision):
+                    ctx.start_job(decision)
+                    started.append(decision)
+                    profile.add_reservation(
+                        Reservation(
+                            job.job_id,
+                            ctx.now,
+                            ctx.now + dur,
+                            res.node_ids,
+                            res.pool_grants,
+                        )
+                    )
+                    continue
+                # Gate said wait: fall through to reserving its slot so
+                # lower-priority jobs cannot squat on it.
+            profile.add_reservation(res)
+            if res.start > ctx.now + _BF_EPS:
+                ctx.record_promise(job.job_id, res.start)
+        return started
+
+
+class _ReferenceConservativeScheduler(Scheduler):
+    """A Scheduler whose profiles use the pre-index reservation scan."""
+
+    def build_profile(self, ctx: SchedulerContext) -> _ScanProfile:
+        return _ScanProfile(
+            ctx.cluster, ctx.running, ctx.now, self.duration_of_running
+        )
+
+
+def reference_conservative_scheduler(depth: int = 64, **kwargs) -> Scheduler:
+    """``build_scheduler(backfill='conservative', **kwargs)`` pinned to
+    the pre-index reservation-scan path (fresh profile per cycle, full
+    rescan per breakpoint)."""
+    kwargs.setdefault("backfill", "conservative")
+    stock = build_scheduler(**kwargs)
+    sched = _ReferenceConservativeScheduler(
+        queue_policy=stock.queue_policy,
+        backfill=_ReferenceConservativeBackfill(depth=depth),
+        placement=stock.placement,
+        split_policy=stock.split_policy,
+        allocator=stock._allocator,
+        penalty=stock.penalty,
+        gate=stock.gate,
+        kill_policy=stock.kill_policy,
+    )
+    return sched

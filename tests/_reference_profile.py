@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from repro.sched.backfill import BackfillStrategy, ConservativeBackfill
+from repro.sched.backfill import BackfillStrategy
 from repro.sched.base import Scheduler, SchedulerContext, StartDecision, build_scheduler
 from repro.sched.profile import Reservation
 from repro.workload.job import Job, JobState
@@ -277,10 +277,13 @@ class _ReferenceScheduler(Scheduler):
 def reference_scheduler(**kwargs) -> Scheduler:
     """``build_scheduler(**kwargs)`` with reference profile + strategies.
 
-    Conservative backfill's pass logic never changed (only the profile
-    internals did), so the stock strategy against the reference profile
-    *is* the reference behavior.
+    The conservative branch uses the preserved pre-interval-index pass
+    from ``_reference_conservative.py`` (fresh profile per cycle, no
+    release folding) — the stock strategy now assumes profile methods
+    the reference profile deliberately lacks.
     """
+    from ._reference_conservative import _ReferenceConservativeBackfill
+
     stock = build_scheduler(**kwargs)
     sched = _ReferenceScheduler(
         queue_policy=stock.queue_policy,
@@ -300,5 +303,5 @@ def reference_scheduler(**kwargs) -> Scheduler:
             memory_aware=kwargs.get("memory_aware", True)
         )
     else:
-        sched.backfill = ConservativeBackfill()
+        sched.backfill = _ReferenceConservativeBackfill()
     return sched

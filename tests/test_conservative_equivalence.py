@@ -1,0 +1,252 @@
+"""Differential suite: interval-index conservative backfill vs the
+preserved reservation-scan path.
+
+The reservation-aware interval index, the cross-cycle profile cache,
+the release/start folding, and the reservation plan cache (per-job
+resume points) are all required to be **decision-invisible**: every
+simulation must produce bit-identical schedules, reservations
+(promises), and cycle counts to the pre-index conservative pass kept
+verbatim in ``_reference_conservative.py`` (which itself layers on the
+``_reference_profile.py`` sweep equivalence anchor).
+
+Coverage is deliberately adversarial for the caches:
+
+* queue policies that reorder between passes (sjf, wfp) and the
+  stateful fair-share policy — exercising plan-cache order divergence;
+* metered pools with and without start gates — pressure-dependent
+  duration estimates go stale between passes, and gate vetoes plant
+  at-now reservations the replay must refuse;
+* ``kill_policy='none'`` with overrunning jobs — clamped releases make
+  profiles unrebasable and folds refuse;
+* node failure traces (drained machines, repairs, checkpoint
+  restarts) — cluster mutations that bypass the release-fold path;
+* quantized submit/walltime grids — same-instant event collisions;
+* small reservation depth — queue-truncation boundaries.
+
+Over 200 randomized end-to-end simulations run both stacks in total.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
+from repro.engine.failures import FailureEvent
+from repro.engine.simulation import SchedulerSimulation
+from repro.sched.backfill import ConservativeBackfill
+from repro.sched.base import build_scheduler
+from repro.units import GiB, HOUR
+from repro.workload import Job
+
+from ._reference_conservative import reference_conservative_scheduler
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+
+
+def _spec(kind: str) -> ClusterSpec:
+    if kind == "thin-global":
+        return ClusterSpec(
+            name=kind, num_nodes=16, nodes_per_rack=8,
+            node=NodeSpec(cores=8, local_mem=16 * GiB),
+            pool=PoolSpec(global_pool=128 * GiB),
+        )
+    if kind == "thin-hybrid":
+        return ClusterSpec(
+            name=kind, num_nodes=16, nodes_per_rack=4,
+            node=NodeSpec(cores=8, local_mem=16 * GiB),
+            pool=PoolSpec(rack_pool=32 * GiB, global_pool=64 * GiB),
+        )
+    if kind == "metered":
+        return ClusterSpec(
+            name=kind, num_nodes=16, nodes_per_rack=8,
+            node=NodeSpec(cores=8, local_mem=16 * GiB),
+            pool=PoolSpec(global_pool=128 * GiB, global_bandwidth=64 * 1024.0),
+        )
+    raise AssertionError(kind)
+
+
+def _jobs(rng: random.Random, num_jobs: int = 36, max_nodes: int = 12,
+          quantized: bool = False, overrun: bool = False):
+    jobs = []
+    t = 0.0
+    for job_id in range(1, num_jobs + 1):
+        if quantized:
+            # Coarse grids force same-instant submissions and
+            # estimated-end collisions with reservation boundaries.
+            t += rng.choice((0.0, 0.0, 300.0, 600.0, 900.0))
+            walltime = rng.choice((600.0, 1200.0, 1800.0, 3600.0))
+        else:
+            t += rng.expovariate(1.0 / 400.0)
+            walltime = rng.uniform(300.0, 6 * HOUR)
+        high = 2.0 if overrun else 1.0
+        jobs.append(Job(
+            job_id=job_id,
+            submit_time=round(t, 3),
+            nodes=rng.randint(1, max_nodes),
+            walltime=walltime,
+            runtime=walltime * rng.uniform(0.2, high),
+            mem_per_node=rng.choice((4, 8, 16, 24, 32)) * GiB,
+            user=f"user{rng.randint(0, 3)}",
+        ))
+    return jobs
+
+
+def _schedule_record(result):
+    return [
+        (
+            job.job_id,
+            job.state.value,
+            job.start_time,
+            job.end_time,
+            tuple(job.assigned_nodes),
+            tuple(sorted(job.pool_grants.items())),
+            job.dilation,
+        )
+        for job in sorted(result.jobs, key=lambda j: j.job_id)
+    ]
+
+
+def _run_pair(spec, jobs, new_sched, ref_sched, failures=()):
+    new_result = SchedulerSimulation(
+        Cluster(spec), new_sched,
+        [job.copy_request() for job in jobs], failures=list(failures),
+    ).run()
+    ref_result = SchedulerSimulation(
+        Cluster(spec), ref_sched,
+        [job.copy_request() for job in jobs], failures=list(failures),
+    ).run()
+    assert _schedule_record(new_result) == _schedule_record(ref_result)
+    assert new_result.promises == ref_result.promises
+    assert new_result.cycles == ref_result.cycles
+    return new_result
+
+
+def _pair_for(seed_token: str, **kwargs):
+    kwargs.setdefault("backfill", "conservative")
+    kwargs.setdefault("penalty", {"kind": "linear", "beta": 0.3})
+    new_sched = build_scheduler(**kwargs)
+    ref_kwargs = dict(kwargs)
+    ref_sched = reference_conservative_scheduler(**ref_kwargs)
+    return new_sched, ref_sched
+
+
+def _rng(token: str) -> random.Random:
+    return random.Random(zlib.crc32(token.encode()))
+
+
+# ----------------------------------------------------------------------
+# the differential grid
+# ----------------------------------------------------------------------
+
+
+class TestConservativeEquivalence:
+    @pytest.mark.parametrize("seed", range(18))
+    @pytest.mark.parametrize("queue", ["fcfs", "sjf", "wfp"])
+    @pytest.mark.parametrize("cluster_kind", ["thin-global", "thin-hybrid"])
+    def test_schedules_identical(self, seed, queue, cluster_kind):
+        token = f"cons-{seed}-{queue}-{cluster_kind}"
+        rng = _rng(token)
+        jobs = _jobs(rng)
+        new_sched, ref_sched = _pair_for(token, queue=queue)
+        _run_pair(_spec(cluster_kind), jobs, new_sched, ref_sched)
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("gate", ["pressure", "adaptive"])
+    def test_gated_metered_identical(self, seed, gate):
+        """Gate vetoes plant at-now reservations, and metered pools
+        make duration estimates pressure-dependent — both must break
+        the plan replay instead of corrupting it."""
+        token = f"cons-gate-{seed}-{gate}"
+        rng = _rng(token)
+        jobs = _jobs(rng)
+        new_sched, ref_sched = _pair_for(
+            token, gate=gate,
+            penalty={"kind": "contention", "beta": 0.3, "kappa": 2.0},
+        )
+        _run_pair(_spec("metered"), jobs, new_sched, ref_sched)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_metered_ungated_identical(self, seed):
+        token = f"cons-metered-{seed}"
+        rng = _rng(token)
+        jobs = _jobs(rng)
+        new_sched, ref_sched = _pair_for(
+            token, penalty={"kind": "contention", "beta": 0.3, "kappa": 2.0},
+        )
+        _run_pair(_spec("metered"), jobs, new_sched, ref_sched)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fairshare_identical(self, seed):
+        """Fair-share order() keeps state; the plan cache must track
+        the reordering it produces between passes."""
+        token = f"cons-fs-{seed}"
+        rng = _rng(token)
+        jobs = _jobs(rng)
+        new_sched, ref_sched = _pair_for(token, queue="fairshare")
+        _run_pair(_spec("thin-global"), jobs, new_sched, ref_sched)
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("cluster_kind", ["thin-global", "thin-hybrid"])
+    def test_overrun_kill_none_identical(self, seed, cluster_kind):
+        """Overrunning jobs clamp releases; clamped profiles refuse
+        rebase and folds, forcing the rebuild path every cycle."""
+        token = f"cons-overrun-{seed}-{cluster_kind}"
+        rng = _rng(token)
+        jobs = _jobs(rng, overrun=True)
+        new_sched, ref_sched = _pair_for(token, kill_policy="none")
+        _run_pair(_spec(cluster_kind), jobs, new_sched, ref_sched)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_drained_machine_identical(self, seed):
+        """Failures drain and repair nodes mid-run (and kill victims,
+        some of which restart from checkpoints) — cluster mutations
+        that invalidate every cache layer at once."""
+        token = f"cons-fail-{seed}"
+        rng = _rng(token)
+        jobs = _jobs(rng)
+        for job in jobs[:: 5]:
+            job.checkpoint_interval = 600.0
+        failures = [
+            FailureEvent(
+                time=rng.uniform(0.0, 8000.0),
+                node_id=rng.randrange(16),
+                repair_time=rng.uniform(500.0, 4000.0),
+            )
+            for _ in range(rng.randint(1, 4))
+        ]
+        new_sched, ref_sched = _pair_for(token)
+        _run_pair(_spec("thin-global"), jobs, new_sched, ref_sched,
+                  failures=failures)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_collision_grid_identical(self, seed):
+        """Quantized times: same-instant submissions, estimated ends
+        landing exactly on other jobs' reservation boundaries."""
+        token = f"cons-grid-{seed}"
+        rng = _rng(token)
+        jobs = _jobs(rng, quantized=True)
+        new_sched, ref_sched = _pair_for(token, queue=rng.choice(
+            ["fcfs", "sjf"]))
+        _run_pair(_spec("thin-global"), jobs, new_sched, ref_sched)
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("depth", [1, 3])
+    def test_shallow_depth_identical(self, seed, depth):
+        """Depth-truncated passes: the plan cache window must track
+        the same prefix the reference examines."""
+        token = f"cons-depth-{seed}-{depth}"
+        rng = _rng(token)
+        jobs = _jobs(rng)
+        new_sched = build_scheduler(
+            backfill="conservative", penalty={"kind": "linear", "beta": 0.3}
+        )
+        new_sched.backfill = ConservativeBackfill(depth=depth)
+        ref_sched = reference_conservative_scheduler(
+            depth=depth, penalty={"kind": "linear", "beta": 0.3}
+        )
+        _run_pair(_spec("thin-hybrid"), jobs, new_sched, ref_sched)

@@ -12,8 +12,16 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.perf import build_cases, case_names, compare_reports, run_perf
+from repro.perf import (
+    build_cases,
+    case_names,
+    compare_reports,
+    measure_sweep_throughput,
+    run_perf,
+    worker_ladder,
+)
 from repro.perf.core import PerfCase, render_report
+from repro.perf.sweep_scaling import render_throughput
 
 TINY = dict(quick=True, scale=0.01)
 
@@ -188,3 +196,53 @@ def test_perfcase_dataclass_shape():
         name="x", description="d", run_once=lambda: (0.0, 1), repeats=2
     )
     assert case.repeats == 2 and case.tags == ()
+
+
+class TestSweepThroughput:
+    def test_worker_ladder_shape(self):
+        assert worker_ladder(1) == [1]
+        assert worker_ladder(2) == [1, 2]
+        assert worker_ladder(4) == [1, 2, 4]
+        assert worker_ladder(6) == [1, 2, 4, 6]
+        assert worker_ladder(8) == [1, 2, 4, 8]
+        with pytest.raises(ValueError):
+            worker_ladder(0)
+
+    def test_measure_smoke(self):
+        """Tiny ladder through the real runner: schema + full rungs."""
+        lines = []
+        payload = measure_sweep_throughput(
+            2, cells=2, jobs_per_cell=25, progress=lines.append
+        )
+        assert payload["cells"] == 2
+        assert [r["workers"] for r in payload["rungs"]] == [1, 2]
+        for rung in payload["rungs"]:
+            assert rung["cells"] == 2
+            assert rung["cells_per_sec"] > 0
+            assert rung["efficiency"] is not None
+        assert payload["rungs"][0]["speedup"] == pytest.approx(1.0)
+        assert len(lines) == 2
+        table = render_throughput(payload)
+        assert "cells/sec" in table and "workers" in table
+
+    def test_cli_workers_flag(self, tmp_path, capsys):
+        out = tmp_path / "perf.json"
+        code = main([
+            "perf", "--quick", "--quiet", "--scale", "0.01",
+            "--repeats", "1", "--case", "profile_build",
+            "--workers", "2", "--sweep-cells", "2", "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "sweep_throughput" in payload
+        rungs = payload["sweep_throughput"]["rungs"]
+        assert [r["workers"] for r in rungs] == [1, 2]
+        assert "sweep throughput" in capsys.readouterr().out
+
+    def test_throughput_never_gates(self, tmp_path, capsys):
+        """The baseline gate must ignore the sweep_throughput section
+        (it has no 'cases' entry, so compare_reports skips it)."""
+        base = _fake_report({"profile_build": 1.0})
+        cur = _fake_report({"profile_build": 1.0})
+        cur["sweep_throughput"] = {"cells": 2, "rungs": []}
+        assert compare_reports(cur, base, max_regression=0.25) == []

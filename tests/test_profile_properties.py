@@ -5,6 +5,14 @@ its algebra gets its own property suite: window queries must be
 conservative refinements of instant queries, reservations must
 subtract exactly what they claim, and earliest-start must actually be
 feasible at the time it returns.
+
+The second half targets the reservation **interval index** in
+isolation: randomized insert/remove/query sequences are checked
+against the brute-force oracle (``_ReferenceProfile``, the original
+rescan-everything implementation), with time values drawn from coarse
+grids so reservation starts, ends, and release times collide at the
+same instant — the tie-order corners the incremental sweep must
+reproduce exactly.
 """
 
 from __future__ import annotations
@@ -14,8 +22,11 @@ from hypothesis import given, settings, strategies as st
 from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
 from repro.memdis import GlobalPoolAllocator
 from repro.sched import AvailabilityProfile, FirstFitPlacement, Reservation
+from repro.sched.placement import placement_for
 from repro.units import GiB
 from repro.workload import Job, JobState
+
+from ._reference_profile import _ReferenceProfile
 
 
 def make_cluster(num_nodes=6, pool=32):
@@ -141,3 +152,170 @@ class TestProfileAlgebra:
         assert without is not None
         assert with_res is not None  # pool-less demand always fits eventually
         assert without.start <= with_res.start + 1e-9
+
+
+# ----------------------------------------------------------------------
+# interval index vs brute-force oracle
+# ----------------------------------------------------------------------
+
+#: Coarse time grid: draws collide constantly, so reservation starts,
+#: reservation ends, and running-job release times stack on the same
+#: instants — the adversarial corner for the incremental sweep.
+GRID = [float(v) for v in range(0, 660, 60)]
+
+grid_times = st.sampled_from(GRID)
+grid_durations = st.sampled_from([0.0, 60.0, 120.0, 180.0, 300.0])
+
+
+def _oracle_pair(running):
+    cluster = Cluster(ClusterSpec(
+        num_nodes=8, nodes_per_rack=4,
+        node=NodeSpec(cores=8, local_mem=16 * GiB),
+        pool=PoolSpec(rack_pool=24 * GiB, global_pool=32 * GiB),
+    ))
+    dur_of = lambda j: j.walltime * (1.0 + j.dilation)  # noqa: E731
+    jobs = []
+    for i, (start, walltime, first, count, grant) in enumerate(running):
+        node_ids = list(range(first, min(first + count, 8)))
+        if not node_ids:
+            continue
+        job = Job(job_id=900 + i, submit_time=0.0, nodes=len(node_ids),
+                  walltime=walltime, runtime=walltime,
+                  mem_per_node=8 * GiB)
+        job.state = JobState.RUNNING
+        job.start_time = start
+        job.assigned_nodes = node_ids
+        job.pool_grants = {"global": grant * GiB} if grant else {}
+        job.dilation = 0.0
+        jobs.append(job)
+    new = AvailabilityProfile(cluster, jobs, now=0.0, duration_of=dur_of)
+    ref = _ReferenceProfile(cluster, jobs, now=0.0, duration_of=dur_of)
+    return cluster, new, ref
+
+
+running_jobs = st.lists(
+    st.tuples(
+        st.sampled_from([-120.0, -60.0, 0.0]),  # start_time
+        grid_times.filter(lambda v: v > 0),     # walltime (release on grid)
+        st.integers(0, 7), st.integers(1, 3),   # node range
+        st.integers(0, 4),                      # global-pool GiB grant
+    ),
+    max_size=4,
+)
+
+reservation_specs = st.lists(
+    st.tuples(
+        grid_times,                 # start (collides with releases)
+        grid_durations,             # duration (0 => same-instant start/end)
+        st.integers(0, 7), st.integers(1, 4),
+        st.integers(0, 6),          # pool GiB
+        st.booleans(),              # rack vs global pool
+    ),
+    min_size=1, max_size=8,
+)
+
+
+def _make_reservation(i, spec):
+    start, duration, first, count, pool_gib, rack = spec
+    grants = ()
+    if pool_gib:
+        grants = ((("rack0" if rack else "global"), pool_gib * GiB),)
+    return Reservation(
+        job_id=100 + i,
+        start=start,
+        end=start + duration,
+        node_ids=tuple(range(first, min(first + count, 8))),
+        pool_grants=grants,
+    )
+
+
+def _assert_index_matches_oracle(new, ref, probes):
+    assert new.breakpoints() == ref.breakpoints()
+    for t in probes:
+        assert new.free_at(t) == ref.free_at(t), f"free_at({t})"
+        for dur in (1e-9, 60.0, 150.0, 400.0):
+            assert new.window_free(t, dur) == ref.window_free(t, dur), (
+                f"window_free({t}, {dur})"
+            )
+
+
+class TestIntervalIndexVsOracle:
+    @given(running_jobs, reservation_specs, st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_insert_remove_query_matches_oracle(self, running, specs, data):
+        """Randomized add/remove sequences with colliding instants:
+        every query must match the rescan-everything oracle after
+        every mutation."""
+        cluster, new, ref = _oracle_pair(running)
+        held = []
+        for i, spec in enumerate(specs):
+            res = _make_reservation(i, spec)
+            new.add_reservation(res)
+            ref.add_reservation(res)
+            held.append(res)
+            if held and data.draw(st.booleans(), label=f"remove_after_{i}"):
+                victim = held.pop(
+                    data.draw(st.integers(0, len(held) - 1),
+                              label=f"victim_{i}")
+                )
+                new.remove_reservation(victim)
+                ref.remove_reservation(victim)
+            probes = [t for t in GRID]
+            probes += [t + 1e-10 for t in GRID[:4]]
+            probes += [t - 1e-10 for t in GRID[1:4]]
+            _assert_index_matches_oracle(new, ref, probes)
+
+    @given(running_jobs, reservation_specs, st.integers(1, 8),
+           grid_durations.filter(lambda d: d > 0),
+           st.sampled_from(["first_fit", "rack_pack", "min_remote", "spread"]),
+           st.integers(0, 8))
+    @settings(max_examples=120, deadline=None)
+    def test_earliest_start_matches_oracle(
+        self, running, specs, nodes, duration, placement, remote_gib
+    ):
+        """The incremental sweep inside earliest_start must agree with
+        the oracle's full rescan at every breakpoint — including the
+        same-instant activation/retirement collisions the grid
+        forces."""
+        cluster, new, ref = _oracle_pair(running)
+        for i, spec in enumerate(specs):
+            res = _make_reservation(i, spec)
+            new.add_reservation(res)
+            ref.add_reservation(res)
+        job = Job(job_id=1, submit_time=0.0, nodes=nodes,
+                  walltime=duration * 2, runtime=duration,
+                  mem_per_node=16 * GiB + remote_gib * GiB)
+        pol = placement_for(placement)
+        allocator = GlobalPoolAllocator()
+        got = new.earliest_start(job, duration, remote_gib * GiB, pol,
+                                 allocator)
+        want = ref.earliest_start(job, duration, remote_gib * GiB, pol,
+                                  allocator)
+        assert got == want
+
+    @given(running_jobs, reservation_specs, st.integers(1, 8),
+           grid_durations.filter(lambda d: d > 0), grid_times)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_probe_matches_oracle_verdict(
+        self, running, specs, nodes, duration, cap
+    ):
+        """not_after probes (the plan-cache replay primitive) must
+        equal 'scan fully, then compare the start against the cap'."""
+        cluster, new, ref = _oracle_pair(running)
+        for i, spec in enumerate(specs):
+            res = _make_reservation(i, spec)
+            new.add_reservation(res)
+            ref.add_reservation(res)
+        job = Job(job_id=1, submit_time=0.0, nodes=nodes,
+                  walltime=duration * 2, runtime=duration,
+                  mem_per_node=8 * GiB)
+        pol = FirstFitPlacement()
+        allocator = GlobalPoolAllocator()
+        bounded = new.earliest_start(job, duration, 0, pol, allocator,
+                                     not_after=cap)
+        full = ref.earliest_start(job, duration, 0, pol, allocator)
+        if bounded is None:
+            assert full is None or full.start > cap
+        else:
+            assert bounded == full
+            assert bounded.start <= cap

@@ -1,0 +1,319 @@
+"""Release folding: incremental ``apply_release`` == fresh rebuild.
+
+Three layers:
+
+* unit — on randomized clusters, completing running jobs one by one
+  (in arbitrary order, interleaved with ``apply_start`` folds) keeps
+  every profile query bit-identical to a from-scratch rebuild *and*
+  to the reference implementation;
+* refusal — clamped (overrun) profiles and unknown entries must leave
+  the profile untouched and report failure, because a wrong fold
+  would silently corrupt every later pass;
+* engine differential — entire simulations with the release-
+  notification hook disabled (forcing the pre-folding rebuild path)
+  produce schedules identical to the folding fast path, for both EASY
+  and conservative backfill, across kill policies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
+from repro.engine.simulation import SchedulerSimulation
+from repro.sched import AvailabilityProfile
+from repro.sched.base import Scheduler, build_scheduler
+from repro.units import GiB, HOUR
+from repro.workload import Job, JobState
+
+from ._reference_profile import _ReferenceProfile
+
+
+def _duration_of(job: Job) -> float:
+    return job.walltime * (1.0 + job.dilation)
+
+
+def _cluster(rng: random.Random) -> Cluster:
+    kind = rng.choice(("global", "rack", "hybrid", "none"))
+    pool = PoolSpec()
+    if kind == "global":
+        pool = PoolSpec(global_pool=96 * GiB)
+    elif kind == "rack":
+        pool = PoolSpec(rack_pool=48 * GiB)
+    elif kind == "hybrid":
+        pool = PoolSpec(rack_pool=32 * GiB, global_pool=64 * GiB)
+    return Cluster(ClusterSpec(
+        name=f"fold-{kind}", num_nodes=12, nodes_per_rack=4,
+        node=NodeSpec(cores=8, local_mem=16 * GiB), pool=pool,
+    ))
+
+
+def _start_running_job(rng, cluster, job_id, now):
+    free = list(cluster.sorted_free_ids())
+    if not free:
+        return None
+    take = rng.randint(1, min(3, len(free)))
+    node_ids = free[:take]
+    walltime = rng.uniform(600.0, 4 * HOUR)
+    job = Job(job_id=job_id, submit_time=0.0, nodes=take,
+              walltime=walltime, runtime=walltime * rng.uniform(0.3, 0.9),
+              mem_per_node=rng.choice((8, 16, 24)) * GiB)
+    grants = {}
+    pools = cluster.all_pools()
+    if pools and rng.random() < 0.6:
+        pool = rng.choice(pools)
+        amount = min(pool.free, rng.choice((1, 2, 4)) * GiB)
+        if amount > 0:
+            grants[pool.pool_id] = amount
+    cluster.allocate_nodes(job.job_id, node_ids, min(job.mem_per_node, 16 * GiB))
+    if grants:
+        cluster.allocate_pool(job.job_id, grants)
+    job.state = JobState.RUNNING
+    job.start_time = now - rng.uniform(0.0, walltime * 0.4)
+    job.assigned_nodes = list(node_ids)
+    job.pool_grants = grants
+    job.dilation = rng.choice((0.0, 0.1, 0.25))
+    return job
+
+
+def _probe_times(rng, profile, now):
+    times = list(profile.breakpoints())
+    probes = list(times)
+    probes += [t + 1e-10 for t in times[:4]]
+    probes += [t - 1e-10 for t in times[:4] if t > 0]
+    probes += [now + rng.uniform(0.0, 5 * HOUR) for _ in range(6)]
+    return probes
+
+
+def _assert_equals_rebuild(rng, cluster, running, now, profile):
+    fresh = AvailabilityProfile(cluster, running, now, _duration_of)
+    ref = _ReferenceProfile(cluster, running, now, _duration_of)
+    assert profile.breakpoints() == fresh.breakpoints() == ref.breakpoints()
+    for t in _probe_times(rng, ref, now):
+        assert profile.free_at(t) == fresh.free_at(t) == ref.free_at(t)
+        dur = rng.uniform(60.0, 2 * HOUR)
+        assert (
+            profile.window_free(t, dur)
+            == fresh.window_free(t, dur)
+            == ref.window_free(t, dur)
+        )
+
+
+class TestApplyReleaseUnit:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_fold_every_completion_equals_rebuild(self, seed):
+        """Complete running jobs in random order; after every fold the
+        profile must equal a from-scratch rebuild (and the reference)
+        at the same instant."""
+        rng = random.Random(50_000 + seed)
+        cluster = _cluster(rng)
+        now = rng.uniform(0.0, 500.0)
+        running = []
+        for i in range(rng.randint(2, 5)):
+            job = _start_running_job(rng, cluster, 500 + i, now)
+            if job is not None:
+                running.append(job)
+        if not running:
+            pytest.skip("random state started nothing")
+        profile = AvailabilityProfile(cluster, running, now, _duration_of)
+
+        while running:
+            victim = running.pop(rng.randrange(len(running)))
+            cluster.release_nodes(victim.job_id, victim.assigned_nodes)
+            cluster.release_pool(victim.job_id)
+            est_end = victim.start_time + _duration_of(victim)
+            assert profile.apply_release(
+                victim.assigned_nodes, victim.pool_grants, est_end
+            )
+            _assert_equals_rebuild(rng, cluster, running, now, profile)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_folds_interleaved_with_starts(self, seed):
+        """apply_start and apply_release interleave (a busy instant):
+        the profile must track the live cluster exactly throughout."""
+        rng = random.Random(60_000 + seed)
+        cluster = _cluster(rng)
+        now = rng.uniform(0.0, 300.0)
+        running = []
+        next_id = 700
+        for i in range(3):
+            job = _start_running_job(rng, cluster, next_id, now)
+            next_id += 1
+            if job is not None:
+                running.append(job)
+        profile = AvailabilityProfile(cluster, running, now, _duration_of)
+
+        for _ in range(6):
+            if running and rng.random() < 0.5:
+                victim = running.pop(rng.randrange(len(running)))
+                cluster.release_nodes(victim.job_id, victim.assigned_nodes)
+                cluster.release_pool(victim.job_id)
+                est_end = victim.start_time + _duration_of(victim)
+                assert profile.apply_release(
+                    victim.assigned_nodes, victim.pool_grants, est_end
+                )
+            else:
+                job = _start_running_job(rng, cluster, next_id, now)
+                next_id += 1
+                if job is None:
+                    continue
+                job.start_time = now  # a mid-pass start happens *now*
+                running.append(job)
+                profile.apply_start(
+                    job.assigned_nodes, job.pool_grants,
+                    job.start_time + _duration_of(job),
+                )
+            _assert_equals_rebuild(rng, cluster, running, now, profile)
+
+    def test_refuses_clamped_profile(self):
+        """A clamped (overrun) release embeds the build instant; any
+        fold on such a profile must refuse and leave it untouched."""
+        cluster = Cluster(ClusterSpec(
+            num_nodes=4, nodes_per_rack=2,
+            node=NodeSpec(local_mem=16 * GiB), pool=PoolSpec(),
+        ))
+        job = Job(job_id=1, submit_time=0.0, nodes=2, walltime=10.0,
+                  runtime=5.0, mem_per_node=GiB)
+        job.state = JobState.RUNNING
+        job.start_time = -50.0  # overran long ago -> clamped release
+        job.assigned_nodes = [0, 1]
+        job.pool_grants = {}
+        profile = AvailabilityProfile(cluster, [job], 0.0, _duration_of)
+        before = profile.breakpoints()
+        assert not profile.apply_release([0, 1], {}, -40.0)
+        assert not profile.apply_release([0, 1], {}, 1.0)
+        assert profile.breakpoints() == before
+
+    def test_refuses_unknown_entry(self):
+        cluster = Cluster(ClusterSpec(
+            num_nodes=4, nodes_per_rack=2,
+            node=NodeSpec(local_mem=16 * GiB), pool=PoolSpec(),
+        ))
+        job = Job(job_id=1, submit_time=0.0, nodes=2, walltime=100.0,
+                  runtime=50.0, mem_per_node=GiB)
+        job.state = JobState.RUNNING
+        job.start_time = 0.0
+        job.assigned_nodes = [0, 1]
+        job.pool_grants = {}
+        profile = AvailabilityProfile(cluster, [job], 0.0, _duration_of)
+        mutations = profile.mutation_count
+        # Wrong time, wrong nodes, wrong grants: all refused untouched.
+        assert not profile.apply_release([0, 1], {}, 99.0)
+        assert not profile.apply_release([0, 2], {}, 100.0)
+        assert not profile.apply_release([0, 1], {"global": GiB}, 100.0)
+        assert profile.mutation_count == mutations
+        assert profile.breakpoints() == [0.0, 100.0]
+        # The real entry folds fine afterwards.
+        assert profile.apply_release([0, 1], {}, 100.0)
+        assert profile.breakpoints() == [0.0]
+
+
+# ----------------------------------------------------------------------
+# engine differential: folding on vs off
+# ----------------------------------------------------------------------
+
+
+def _random_jobs(rng, num_jobs=40, overrun=False):
+    jobs = []
+    t = 0.0
+    high = 1.6 if overrun else 1.0
+    for job_id in range(1, num_jobs + 1):
+        t += rng.expovariate(1.0 / 350.0)
+        walltime = rng.uniform(300.0, 5 * HOUR)
+        jobs.append(Job(
+            job_id=job_id, submit_time=round(t, 3),
+            nodes=rng.randint(1, 10), walltime=walltime,
+            runtime=walltime * rng.uniform(0.2, high),
+            mem_per_node=rng.choice((4, 8, 16, 24)) * GiB,
+        ))
+    return jobs
+
+
+def _spec():
+    return ClusterSpec(
+        name="fold-e2e", num_nodes=16, nodes_per_rack=8,
+        node=NodeSpec(cores=8, local_mem=16 * GiB),
+        pool=PoolSpec(global_pool=128 * GiB),
+    )
+
+
+def _schedule_record(result):
+    return [
+        (job.job_id, job.state.value, job.start_time, job.end_time,
+         tuple(job.assigned_nodes), tuple(sorted(job.pool_grants.items())),
+         job.dilation)
+        for job in sorted(result.jobs, key=lambda j: j.job_id)
+    ]
+
+
+class _DeafScheduler(Scheduler):
+    """A scheduler that never hears about releases: every completion
+    forces the pre-folding rebuild path."""
+
+    def notify_release(self, cluster, job, now, version_before):
+        return None
+
+
+def _deaf(**kwargs) -> Scheduler:
+    stock = build_scheduler(**kwargs)
+    return _DeafScheduler(
+        queue_policy=stock.queue_policy,
+        backfill=type(stock.backfill)(**_backfill_kwargs(stock.backfill)),
+        placement=stock.placement,
+        split_policy=stock.split_policy,
+        allocator=stock._allocator,
+        penalty=stock.penalty,
+        gate=stock.gate,
+        kill_policy=stock.kill_policy,
+    )
+
+
+def _backfill_kwargs(backfill):
+    if backfill.name == "easy":
+        return {"depth": backfill.depth, "memory_aware": backfill.memory_aware}
+    if backfill.name == "conservative":
+        return {"depth": backfill.depth}
+    return {}
+
+
+class TestEngineFoldingDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("backfill", ["easy", "conservative"])
+    def test_folding_is_pure_optimization(self, seed, backfill):
+        rng = random.Random(70_000 + seed)
+        jobs = _random_jobs(rng)
+        kwargs = dict(backfill=backfill,
+                      penalty={"kind": "linear", "beta": 0.3})
+        fold = SchedulerSimulation(
+            Cluster(_spec()), build_scheduler(**kwargs),
+            [j.copy_request() for j in jobs],
+        ).run()
+        deaf = SchedulerSimulation(
+            Cluster(_spec()), _deaf(**kwargs),
+            [j.copy_request() for j in jobs],
+        ).run()
+        assert _schedule_record(fold) == _schedule_record(deaf)
+        assert fold.promises == deaf.promises
+        assert fold.cycles == deaf.cycles
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("backfill", ["easy", "conservative"])
+    def test_folding_with_overruns(self, seed, backfill):
+        """kill=none overruns clamp releases: folds must refuse and
+        fall back, still matching the rebuild path end to end."""
+        rng = random.Random(80_000 + seed)
+        jobs = _random_jobs(rng, overrun=True)
+        kwargs = dict(backfill=backfill, kill_policy="none",
+                      penalty={"kind": "linear", "beta": 0.3})
+        fold = SchedulerSimulation(
+            Cluster(_spec()), build_scheduler(**kwargs),
+            [j.copy_request() for j in jobs],
+        ).run()
+        deaf = SchedulerSimulation(
+            Cluster(_spec()), _deaf(**kwargs),
+            [j.copy_request() for j in jobs],
+        ).run()
+        assert _schedule_record(fold) == _schedule_record(deaf)
+        assert fold.promises == deaf.promises
