@@ -203,9 +203,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .perf import (
+        append_workers_history,
         build_cases,
         case_names,
         compare_reports,
+        efficiency_regressions,
         measure_sweep_throughput,
         render_report,
         render_throughput,
@@ -244,6 +246,29 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     if args.workers:
         print()
         print(render_throughput(payload["sweep_throughput"]))
+        # Efficiency trend tracking: append this ladder to the
+        # history, then flag (never fail on — multiprocess scaling on
+        # shared machines is too noisy to gate) regressions vs the
+        # recorded baseline, the history's first record.  The
+        # ::warning:: prefix makes CI annotate the run.
+        flags = efficiency_regressions(
+            payload["sweep_throughput"], args.workers_history,
+            max_regression=args.max_regression,
+        )
+        record = append_workers_history(
+            payload["sweep_throughput"], args.workers_history
+        )
+        if record is not None:
+            print(f"ladder appended to {args.workers_history}")
+        for flag in flags:
+            print(
+                f"::warning::sweep parallel efficiency at "
+                f"{flag['workers']} workers regressed "
+                f">{args.max_regression:.0%} vs recorded baseline: "
+                f"{flag['baseline_efficiency']:.0%} -> "
+                f"{flag['current_efficiency']:.0%}",
+                file=sys.stderr,
+            )
     if args.out:
         Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"perf results written to {args.out}")
@@ -382,6 +407,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--sweep-cells", type=_positive_int, default=8,
                         help="grid cells for the --workers throughput "
                         "ladder (default 8)")
+    p_perf.add_argument("--workers-history",
+                        default="benchmarks/perf/workers_history.jsonl",
+                        metavar="PATH",
+                        help="JSONL efficiency-trend history appended by "
+                        "--workers runs; its first record is the baseline "
+                        "that efficiency regressions are flagged against "
+                        "(default %(default)s; skipped when the directory "
+                        "is absent)")
     p_perf.add_argument("--list", action="store_true",
                         help="list case names and exit")
     p_perf.add_argument("--quiet", action="store_true",

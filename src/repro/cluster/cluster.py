@@ -63,6 +63,12 @@ class Cluster:
         #: direct mutation of a ``MemoryPool``/``Node`` bypasses it, so
         #: always go through the cluster methods.
         self.version: int = 0
+        # Version-batch state: within a batch (one scheduling pass)
+        # the first mutation bumps the counter once and the rest are
+        # absorbed — consumers only compare stamps for equality, and
+        # a pass is one atomic decision unit.
+        self._version_hold = False
+        self._version_bumped = False
         self._all_ids: FrozenSet[int] = frozenset(n.node_id for n in self.nodes)
         self._all_sorted: List[int] = sorted(self._all_ids)
         self._pools: List[MemoryPool] = [
@@ -81,6 +87,33 @@ class Cluster:
         self.has_metered_pools: bool = any(
             pool.bandwidth != float("inf") for pool in self._pools
         )
+
+    # ------------------------------------------------------------------
+    # version batching (one bump per scheduling pass)
+    # ------------------------------------------------------------------
+    def begin_version_batch(self) -> None:
+        """Coalesce version bumps until :meth:`end_version_batch`.
+
+        The engine brackets each scheduling pass with a batch: the
+        pass is one atomic decision unit, so its k starts (2k+
+        mutations) advance the availability version once.  Cache
+        consumers only ever compare stamps for equality, and a
+        strategy that stamps its cache at pass teardown observes the
+        final (post-bump) value either way — the coalescing is
+        invisible except through the counter's arithmetic.
+        """
+        self._version_hold = True
+        self._version_bumped = False
+
+    def end_version_batch(self) -> None:
+        self._version_hold = False
+
+    def _bump_version(self) -> None:
+        if self._version_hold:
+            if self._version_bumped:
+                return
+            self._version_bumped = True
+        self.version += 1
 
     # ------------------------------------------------------------------
     # lookups
@@ -188,7 +221,7 @@ class Cluster:
         self._free_ids.difference_update(node_ids)
         self._free_frozen = None
         self._free_sorted = None
-        self.version += 1
+        self._bump_version()
 
     def release_nodes(self, job_id: int, node_ids: Iterable[int]) -> None:
         node_ids = list(node_ids)
@@ -197,7 +230,7 @@ class Cluster:
         self._free_ids.update(node_ids)
         self._free_frozen = None
         self._free_sorted = None
-        self.version += 1
+        self._bump_version()
 
     def take_down(self, node_id: int) -> None:
         """Remove an idle node from service (failure injection).
@@ -208,7 +241,7 @@ class Cluster:
         node = self.nodes[node_id]
         was_free = node.is_free
         node.mark_down()
-        self.version += 1
+        self._bump_version()
         if was_free:
             self._free_ids.discard(node_id)
             self._free_frozen = None
@@ -219,7 +252,7 @@ class Cluster:
         node = self.nodes[node_id]
         if node.state is NodeState.DOWN:
             node.mark_up()
-            self.version += 1
+            self._bump_version()
             self._free_ids.add(node_id)
             self._free_frozen = None
             self._free_sorted = None
@@ -238,14 +271,14 @@ class Cluster:
             for pool in applied:
                 pool.release_if_held(job_id)
             raise
-        self.version += 1
+        self._bump_version()
 
     def release_pool(self, job_id: int) -> int:
         """Release every pool grant held by ``job_id``; returns MiB freed."""
         freed = 0
         for pool in self.all_pools():
             freed += pool.release_if_held(job_id)
-        self.version += 1
+        self._bump_version()
         return freed
 
     # ------------------------------------------------------------------

@@ -7,6 +7,18 @@ intra-instant priority, so one pass sees the net effect of everything
 that happened at that time.  The scheduler's decisions are applied
 *during* the pass through the context callback — decision and
 allocation are atomic with respect to simulation time.
+
+Each pass runs as a **transaction** (:class:`~repro.sched.base.
+PassTransaction`): the strategy-visible effects of a start — cluster
+allocation, job lifecycle, the running list — are applied immediately
+through the context callback (strategies and gates must observe live
+state), while the engine-only side effects are deferred to one commit
+at pass end: one ledger append batch, one completion-group push into
+the event calendar, one queue rebuild, and one cluster-version bump.
+Nothing outside the pass can observe the difference (no event runs
+between the deferral and the commit), so the committed state is
+bit-identical to the historical one-start-at-a-time path — which is
+retained behind ``batch_starts=False`` as the differential anchor.
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ from ..errors import ConfigurationError, SimulationError
 from ..memdis.ledger import MemoryLedger
 from ..sched.base import (
     KillPolicy,
+    PassTransaction,
     Scheduler,
     SchedulerContext,
     StartDecision,
@@ -61,6 +74,11 @@ class SchedulerSimulation:
         sample_interval: Optional[float] = None,
         max_events: Optional[int] = None,
         failures: Iterable["FailureEvent"] = (),
+        # Apply each pass's starts as one transaction commit (the
+        # default).  False restores the historical one-start-at-a-time
+        # application — kept as the anchor for the batch≡sequential
+        # differential suite.
+        batch_starts: bool = True,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
@@ -100,6 +118,8 @@ class SchedulerSimulation:
         self._pass_requested = False
         self._terminal_count = 0
         self._ran = False
+        self._batch_starts = batch_starts
+        self._txn: Optional[PassTransaction] = None
 
     # ------------------------------------------------------------------
     # public API
@@ -273,17 +293,33 @@ class SchedulerSimulation:
             # observable work on an empty pending list, so the pass is
             # counted (cycles are part of the result) but not run.
             return
-        ctx = SchedulerContext(
-            cluster=self.cluster,
-            now=self._sim.now,
-            queue=self._queue,
-            running=self._running,
-            start_job=self._apply_start,
-            record_promise=self._record_promise,
-            has_promise=self._promises.__contains__,
-            queue_all_pending=True,
-        )
-        self.scheduler.schedule(ctx)
+        txn: Optional[PassTransaction] = None
+        if self._batch_starts:
+            txn = PassTransaction()
+            self._txn = txn
+            # One availability-version bump per pass: the pass is one
+            # atomic decision unit, so its starts advance the cluster
+            # version once (caches compare stamps for equality only).
+            self.cluster.begin_version_batch()
+        try:
+            ctx = SchedulerContext(
+                cluster=self.cluster,
+                now=self._sim.now,
+                queue=self._queue,
+                running=self._running,
+                start_job=self._apply_start,
+                record_promise=self._record_promise,
+                has_promise=self._promises.__contains__,
+                queue_all_pending=True,
+                transaction=txn,
+            )
+            self.scheduler.schedule(ctx)
+        finally:
+            if txn is not None:
+                self._txn = None
+                self.cluster.end_version_batch()
+        if txn is not None and txn.decisions:
+            self._commit_pass(txn)
 
     def _on_sample(self, event: Event) -> None:
         snap = self.cluster.snapshot()
@@ -320,6 +356,17 @@ class SchedulerSimulation:
             )
 
     def _apply_start(self, decision: StartDecision) -> None:
+        """Apply a start decision.
+
+        The strategy-visible half — pressure-dependent dilation,
+        cluster allocation, job lifecycle, the running list — is
+        always applied immediately: later decisions of the same pass
+        (and the gates vetting them) must observe it.  Under a pass
+        transaction the engine-only half (ledger entry, completion
+        event, queue removal) is deferred to :meth:`_commit_pass`;
+        without one (``batch_starts=False``, hand-driven contexts) it
+        happens inline, one start at a time.
+        """
         job = decision.job
         now = self._sim.now
         # Pressure is measured with the job's own grant included: the
@@ -335,30 +382,71 @@ class SchedulerSimulation:
         except Exception:
             self.cluster.release_nodes(job.job_id, decision.node_ids)
             raise
-        self._ledger.record_grant(
-            now,
-            job.job_id,
-            local_total=decision.split.local * job.nodes,
-            pool_grants=decision.plan,
-        )
+        if self._txn is None:
+            self._ledger.record_grant(
+                now,
+                job.job_id,
+                local_total=decision.split.local * job.nodes,
+                pool_grants=decision.plan,
+            )
         lifecycle.start_job(job, now, decision, dilation)
-        _remove_by_identity(self._queue, job)
         self._running.append(job)
+        if self._txn is not None:
+            return  # ledger/calendar/queue effects commit at pass end
+        _remove_by_identity(self._queue, job)
+        self._schedule_end_event(job, now)
 
+    def _end_event_spec(self, job: Job, now: float) -> tuple:
+        """(time, callback, priority, payload) for a started job's
+        completion — a kill at the policy bound, or a natural finish."""
         bound = lifecycle.kill_bound(job, self.scheduler.kill_policy)
         dilated_runtime = job.dilated_runtime
         if bound is not None and dilated_runtime > bound + _EPS:
-            end_event = self._sim.schedule_at(
-                now + bound, self._on_kill, priority=EventPriority.KILL, payload=job
-            )
-        else:
-            end_event = self._sim.schedule_at(
-                now + dilated_runtime,
-                self._on_finish,
-                priority=EventPriority.FINISH,
-                payload=job,
-            )
-        self._end_events[job.job_id] = end_event
+            return (now + bound, self._on_kill, EventPriority.KILL, job)
+        return (now + dilated_runtime, self._on_finish, EventPriority.FINISH, job)
+
+    def _schedule_end_event(self, job: Job, now: float) -> None:
+        time, callback, priority, payload = self._end_event_spec(job, now)
+        self._end_events[job.job_id] = self._sim.schedule_at(
+            time, callback, priority=priority, payload=payload
+        )
+
+    def _commit_pass(self, txn: PassTransaction) -> None:
+        """Batch-apply the deferred effects of one pass's starts.
+
+        Runs after the strategy returns and before any other event can
+        fire, so the committed state — ledger entry order, completion
+        event times/priorities/sequence numbers, queue content — is
+        bit-identical to the sequential path's.  What changes is the
+        cost shape: one ledger append batch, one queue rebuild instead
+        of one identity scan per start, and one completion-group push
+        into the calendar instead of k interleaved heap operations.
+        """
+        decisions = txn.decisions
+        now = self._sim.now
+        self._ledger.record_grant_batch(
+            now,
+            (
+                (
+                    decision.job.job_id,
+                    decision.split.local * decision.job.nodes,
+                    decision.plan,
+                )
+                for decision in decisions
+            ),
+        )
+        # Started jobs left PENDING at lifecycle.start_job; one filter
+        # preserves the order of the survivors exactly as repeated
+        # identity removals did.
+        self._queue = [
+            job for job in self._queue if job.state is JobState.PENDING
+        ]
+        events = self._sim.schedule_batch(
+            [self._end_event_spec(decision.job, now) for decision in decisions]
+        )
+        end_events = self._end_events
+        for decision, end_event in zip(decisions, events):
+            end_events[decision.job.job_id] = end_event
 
     def _release(self, job: Job) -> None:
         version_before = self.cluster.version

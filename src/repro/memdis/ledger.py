@@ -11,7 +11,7 @@ it without having sampled during the run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from ..errors import AllocationError
 
@@ -59,6 +59,20 @@ class MemoryLedger:
         )
         self.entries.append(entry)
         self._open[job_id] = entry
+
+    def record_grant_batch(
+        self,
+        time: float,
+        grants: Iterable[Tuple[int, int, Dict[str, int]]],
+    ) -> None:
+        """Append one scheduling pass's grants in decision order.
+
+        ``grants`` yields ``(job_id, local_total, pool_grants)``; the
+        entry sequence and per-entry validation are exactly those of
+        one :meth:`record_grant` call per started job.
+        """
+        for job_id, local_total, pool_grants in grants:
+            self.record_grant(time, job_id, local_total, pool_grants)
 
     def record_release(self, time: float, job_id: int) -> LedgerEntry:
         """Close the job's open grant; returns the matching grant entry."""

@@ -22,15 +22,23 @@ from .core import (
     render_report,
     run_perf,
 )
-from .sweep_scaling import measure_sweep_throughput, render_throughput, worker_ladder
+from .sweep_scaling import (
+    append_workers_history,
+    efficiency_regressions,
+    measure_sweep_throughput,
+    render_throughput,
+    worker_ladder,
+)
 
 __all__ = [
     "PerfCase",
     "PerfReport",
+    "append_workers_history",
     "build_cases",
     "case_names",
     "calibrate",
     "compare_reports",
+    "efficiency_regressions",
     "measure_sweep_throughput",
     "render_report",
     "render_throughput",

@@ -19,12 +19,25 @@ for trend inspection.
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
 import time
+from pathlib import Path
 from typing import Callable, List, Optional
 
 from ..units import GiB
 
-__all__ = ["measure_sweep_throughput", "worker_ladder", "render_throughput"]
+__all__ = [
+    "measure_sweep_throughput",
+    "worker_ladder",
+    "render_throughput",
+    "append_workers_history",
+    "efficiency_regressions",
+]
+
+HISTORY_SCHEMA = 1
+DEFAULT_HISTORY_PATH = "benchmarks/perf/workers_history.jsonl"
 
 
 def worker_ladder(max_workers: int) -> List[int]:
@@ -119,6 +132,113 @@ def measure_sweep_throughput(
         "seed": seed,
         "rungs": rungs,
     }
+
+
+def append_workers_history(
+    payload: dict, path: str | Path = DEFAULT_HISTORY_PATH
+) -> Optional[dict]:
+    """Append one ladder run to the efficiency-trend history.
+
+    The history is a JSON-lines file (one record per ``repro perf
+    --workers`` invocation) so the parallel-efficiency *trajectory* is
+    inspectable over time — a single run on a shared machine proves
+    nothing, a drifting trend does.  Returns the appended record, or
+    None when the parent directory does not exist (running outside a
+    repo checkout must not scatter files).
+    """
+    path = Path(path)
+    if not path.parent.is_dir():
+        return None
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cells": payload.get("cells"),
+        "jobs_per_cell": payload.get("jobs_per_cell"),
+        "rungs": [
+            {
+                "workers": rung["workers"],
+                "cells_per_sec": rung["cells_per_sec"],
+                "speedup": rung["speedup"],
+                "efficiency": rung["efficiency"],
+            }
+            for rung in payload.get("rungs", [])
+        ],
+    }
+    with path.open("a") as handle:
+        handle.write(json.dumps(record) + "\n")
+    return record
+
+
+def _read_history_baseline(path: str | Path) -> Optional[dict]:
+    """The recorded baseline: the history's first record *for this
+    platform*.
+
+    Parallel efficiency is a property of the host (core count, VM
+    neighbors), so a record from a different platform string is not a
+    meaningful floor — a 1-core dev VM's degenerate scaling must not
+    become the bar a multi-core CI runner is judged against.  With no
+    same-platform record the trend check stays silent until one is
+    recorded (and checked in, for CI)."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    here = platform.platform()
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                return None
+            if record.get("platform") == here:
+                return record
+    return None
+
+
+def efficiency_regressions(
+    payload: dict,
+    history_path: str | Path = DEFAULT_HISTORY_PATH,
+    max_regression: float = 0.25,
+) -> List[dict]:
+    """Parallel-efficiency regressions vs the recorded baseline.
+
+    Rungs are matched by worker count; a rung regresses when its
+    efficiency fell more than ``max_regression`` (relative) below the
+    baseline's.  Serial rungs are skipped — efficiency is 1.0 there by
+    construction.  Multiprocess scaling on shared machines is far too
+    noisy to *fail* CI on, so callers surface these as warnings
+    (flags), not gate errors.
+    """
+    baseline = _read_history_baseline(history_path)
+    if baseline is None:
+        return []
+    base_by_workers = {
+        rung["workers"]: rung for rung in baseline.get("rungs", [])
+        if rung.get("efficiency")
+    }
+    flags: List[dict] = []
+    for rung in payload.get("rungs", []):
+        workers = rung["workers"]
+        if workers <= 1 or not rung.get("efficiency"):
+            continue
+        base = base_by_workers.get(workers)
+        if base is None:
+            continue
+        floor = base["efficiency"] * (1.0 - max_regression)
+        if rung["efficiency"] < floor:
+            flags.append(
+                {
+                    "workers": workers,
+                    "baseline_efficiency": base["efficiency"],
+                    "current_efficiency": rung["efficiency"],
+                    "floor": round(floor, 3),
+                }
+            )
+    return flags
 
 
 def render_throughput(payload: dict) -> str:

@@ -16,15 +16,22 @@ differ in what happens when a job cannot start:
   reservation; a job may start now only if doing so respects all
   reservations ahead of it.
 
-EASY's no-delay check is implemented by *hypothesis testing*: add the
-candidate as a trial reservation on the cycle's shared availability
-profile and recompute the head's earliest start.  That is more
-expensive than the textbook "extra nodes" arithmetic but remains exact
-in the presence of the memory dimension and placement identity, where
-the textbook shortcut is not.  The shared profile tracks mid-pass
-starts through :meth:`AvailabilityProfile.apply_start`, so no
-candidate ever pays for a profile rebuild — the trial is a pure
-add-query-remove.
+EASY's no-delay check is implemented by *hypothesis testing*: overlay
+the candidate as a trial reservation on the cycle's shared sweep and
+recompute the head's earliest start.  That is more expensive than the
+textbook "extra nodes" arithmetic but remains exact in the presence
+of the memory dimension and placement identity, where the textbook
+shortcut is not.  The shared profile tracks mid-pass starts through
+:meth:`AvailabilityProfile.apply_start`, so no candidate ever pays
+for a profile rebuild — and the trial itself is a pure overlay on the
+pass's :class:`~repro.sched.profile.SweepCursor` (no
+add-query-remove round-trip on the reservation index).
+
+Every scan of a pass — EASY's shadow and trials, conservative's
+per-job reservation scans and replay probes — goes through the pass
+transaction's shared sweep cursor (``ctx.transaction.sweep``), so the
+release/reservation timeline is walked once per pass instead of once
+per queued job.
 
 Queue ordering is computed **once per pass**: every policy key is a
 pure function of ``(job, now)`` and ``now`` is fixed for the pass, so
@@ -280,8 +287,8 @@ class EasyBackfill(BackfillStrategy):
                 continue
             # Long candidate: start it hypothetically and see whether
             # the head could still make its shadow time.  The trial is
-            # an add-query-remove on the shared profile; apply_start
-            # has kept it equivalent to a fresh rebuild.
+            # a pure overlay on the pass's shared sweep; apply_start
+            # has kept the profile equivalent to a fresh rebuild.
             trial = Reservation(
                 job_id=job.job_id,
                 start=ctx.now,
@@ -289,11 +296,10 @@ class EasyBackfill(BackfillStrategy):
                 node_ids=decision.node_ids,
                 pool_grants=tuple(sorted(decision.plan.items())),
             )
-            profile.add_reservation(trial)
             # Bounded scan: only "can the head still start by the
             # shadow?" matters, so stop at the shadow instead of
             # walking the whole timeline on a rejection.
-            head_retry = profile.earliest_start(
+            head_retry = ctx.transaction.sweep(profile).earliest_start(
                 head,
                 head_dur,
                 head_split.remote,
@@ -301,8 +307,8 @@ class EasyBackfill(BackfillStrategy):
                 allocator,
                 memory_aware=self.memory_aware,
                 not_after=shadow + _EPS,
+                trial=trial,
             )
-            profile.remove_reservation(trial)
             if head_retry is not None and head_retry.start <= shadow + _EPS:
                 ctx.start_job(decision)
                 started.append(decision)
@@ -348,7 +354,7 @@ class EasyBackfill(BackfillStrategy):
         allocator = sched.resolve_allocator(cluster)
         head_split = sched.split_for(head, cluster)
         head_dur = sched.est_duration(head, cluster, split=head_split)
-        head_res = profile.earliest_start(
+        head_res = ctx.transaction.sweep(profile).earliest_start(
             head,
             head_dur,
             head_split.remote,
@@ -400,6 +406,20 @@ class ConservativeBackfill(BackfillStrategy):
     cycles — the bulk of a busy simulation — thus walk the merged
     availability+reservation sweep once for the new arrivals instead
     of re-deriving every standing reservation from scratch.
+
+    The probe cap is a *time* bound; completion folds of jobs that
+    finished far ahead of their walltime push it out to the stale
+    estimated end and used to force full recomputes of every standing
+    reservation.  The **per-node bound** closes that gap: each entry
+    also records the largest achievable free-node count its scan saw
+    at any rejected breakpoint, and folds record how many nodes they
+    freed early.  While the sum stays under a job's node demand, no
+    breakpoint below its cached start can have become feasible (folds
+    only add those nodes; everything else the replay permits only
+    removes availability), so the fresh scan resumes *at* the cached
+    start — bit-identical to the full scan, minus its rejected
+    prefix.  Every scan of the pass runs through the transaction's
+    shared :class:`~repro.sched.profile.SweepCursor`.
     """
 
     name = "conservative"
@@ -409,14 +429,27 @@ class ConservativeBackfill(BackfillStrategy):
             raise ConfigurationError("reservation depth must be >= 1")
         self.depth = depth
         self._profile_cache = None
-        # (profile, mutation_count, fold_horizon, entries): the
-        # previous pass's processed prefix as (job, reservation|None,
-        # duration, remote) tuples.  ``fold_horizon`` is the largest
-        # release time removed by completion folds since the entries
-        # were derived: evaluation at breakpoints beyond it is
-        # untouched by those folds, so entries starting strictly after
-        # it stay replayable behind a probe bounded at the horizon.
+        # (profile, mutation_count, fold_horizon, entries, fold_nodes):
+        # the previous pass's processed prefix as (job,
+        # reservation|None, duration, remote, max_reject) tuples.
+        # ``fold_horizon`` is the largest release time removed by
+        # completion folds since the entries were derived: evaluation
+        # at breakpoints beyond it is untouched by those folds, so
+        # entries starting strictly after it stay replayable behind a
+        # probe bounded at the horizon.  ``fold_nodes`` is the *node
+        # count* those folds freed early — the per-node perturbation
+        # bound: an entry whose scan rejected every breakpoint before
+        # its start with at most ``max_reject`` achievable free nodes
+        # cannot gain a start below it from folds freeing
+        # ``fold_nodes`` nodes while ``max_reject + fold_nodes`` stays
+        # under the job's demand, however far out the time horizon
+        # sits (the early-finish-skew regime that used to force full
+        # recomputes).
         self._plan_cache: Optional[tuple] = None
+        #: Replay-path counters (exposed for tests and audits):
+        #: entries replayed behind the time-horizon probe, behind the
+        #: per-node bound, and fully recomputed.
+        self.replay_stats = {"probe": 0, "per_node": 0, "recompute": 0}
 
     def on_release(
         self,
@@ -444,6 +477,7 @@ class ConservativeBackfill(BackfillStrategy):
                     profile.mutation_count,
                     max(plan[2], folded_end),
                     plan[3],
+                    plan[4] + len(job.assigned_nodes),
                 )
         return folded_end
 
@@ -456,8 +490,14 @@ class ConservativeBackfill(BackfillStrategy):
         ordered = sched.queue_policy.order(pending, now)
         allocator = sched.resolve_allocator(ctx.cluster)
         profile = self._cycle_profile(ctx, sched)
+        # The pass's one merged availability sweep: every scan below —
+        # replay probes, per-node resumes, and full scans alike — runs
+        # through this cursor, sharing the materialized breakpoint
+        # states across all queued jobs.
+        sweep = ctx.transaction.sweep(profile)
         window = ordered[: self.depth]
         entries: List[tuple] = []
+        replay_stats = self.replay_stats
         # Largest breakpoint this pass's own starts can perturb: a
         # start is claimed as a reservation ending at the *estimated*
         # end during the pass and folded as a release at the
@@ -475,9 +515,29 @@ class ConservativeBackfill(BackfillStrategy):
         # the very same scan code.  A recompute that reproduces the
         # cached entry exactly leaves the pass state where the cache
         # assumed it, so replay resumes behind it.
+        #
+        # The per-node bound is the second replay door: since the
+        # entries were derived, availability below a cached start can
+        # only have *risen* through a bounded set of node releases —
+        # completion folds (``fold_nodes`` nodes freed early) and
+        # in-pass result divergences (the superseded reservation's
+        # claims leave the timeline; everything else the replay
+        # permits only removes availability).  An entry whose original
+        # scan rejected every breakpoint before its start with at most
+        # ``max_reject`` achievable free nodes therefore still has no
+        # start below it while ``max_reject`` plus those releases
+        # stays under the job's node demand — so the fresh scan can
+        # resume *at* the cached start instead of walking the whole
+        # prefix, however far out the fold time horizon sits.
+        # (Pool grants released by folds cannot matter here: below the
+        # cached start the node count never passed, so the pool was
+        # never consulted; scans that *did* reject on placement or
+        # pool record the node demand itself as their bound, which
+        # keeps this door shut for them.)
         cache = self._plan_cache
         cached_entries: Optional[list] = None
         cap = now
+        fold_nodes = 0
         if (
             cache is not None
             and cache[0] is profile
@@ -486,11 +546,22 @@ class ConservativeBackfill(BackfillStrategy):
             cached_entries = cache[3]
             if cache[2] > cap:
                 cap = cache[2]
+            fold_nodes = cache[4]
         tracking = cached_entries is not None
+        # Pass-local additions to the per-node perturbation bound from
+        # divergent recomputes (see above).
+        c_extra = 0
+        start_ends: dict = {}  # job_id -> in-pass claim end, per start
+
+        # On a pool-unmetered machine, pool pressure is identically
+        # zero, so a job's duration estimate is a pure function of its
+        # request shape: a cached entry's duration is byte-identical
+        # to a fresh estimate by construction, and the revalidation
+        # below can reuse it without recomputing.
+        unmetered = not ctx.cluster.has_metered_pools
 
         for index, job in enumerate(window):
             split = sched.split_for(job, ctx.cluster)
-            dur = sched.est_duration(job, ctx.cluster, split=split)
             entry = None
             if tracking:
                 if index < len(cached_entries):
@@ -503,9 +574,15 @@ class ConservativeBackfill(BackfillStrategy):
                         entry = None
                 else:
                     tracking = False
+            if entry is not None and unmetered:
+                dur = entry[2]
+            else:
+                dur = sched.est_duration(job, ctx.cluster, split=split)
             # Durations are pressure-dependent on metered machines, so
             # a cached entry is only usable while the job's estimate
             # is byte-identical to a fresh one.
+            res_after: Optional[float] = None
+            m_floor = 0
             if entry is not None and entry[2] == dur:
                 cached_res = entry[1]
                 if cached_res is None:
@@ -515,31 +592,66 @@ class ConservativeBackfill(BackfillStrategy):
                     entries.append(entry)
                     continue
                 if cached_res.start > cap + _EPS:
-                    probe = profile.earliest_start(
-                        job, dur, split.remote, sched.placement, allocator,
-                        not_after=cap,
-                    )
+                    # A probe capped at *now* has one candidate — the
+                    # anchor — so a free-node count below the demand
+                    # decides it without the scan's setup cost.
+                    if cap <= now and sweep.count_at_anchor() < job.nodes:
+                        probe = None
+                    else:
+                        probe = sweep.earliest_start(
+                            job, dur, split.remote, sched.placement,
+                            allocator, not_after=cap,
+                        )
                     if probe is None:
                         profile.add_reservation(cached_res)
                         ctx.record_promise(job.job_id, cached_res.start)
-                        entries.append(entry)
+                        # Age the per-node bound by every node release
+                        # accrued since the entry was derived.
+                        m_bound = entry[4]
+                        if m_bound is not None:
+                            m_bound = m_bound + fold_nodes + c_extra
+                        entries.append((job, cached_res, dur, entry[3], m_bound))
+                        replay_stats["probe"] += 1
                         continue
                     # Startable at or before the cap: fall through to
                     # the fresh scan (which will find that start).
-            res = profile.earliest_start(
-                job, dur, split.remote, sched.placement, allocator
+                elif (
+                    entry[4] is not None
+                    and entry[4] + fold_nodes + c_extra < job.nodes
+                    and cached_res.start > now + _EPS
+                ):
+                    # Per-node bound holds: no breakpoint below the
+                    # cached start can satisfy the job even with every
+                    # early-freed node, so the fresh scan may resume
+                    # at the cached start — bit-identical to a full
+                    # scan, minus its rejected prefix.
+                    res_after = cached_res.start
+                    m_floor = entry[4] + fold_nodes + c_extra
+                    replay_stats["per_node"] += 1
+            if res_after is None:
+                replay_stats["recompute"] += 1
+            res = sweep.earliest_start(
+                job, dur, split.remote, sched.placement, allocator,
+                after=res_after,
             )
+            max_reject = sweep.last_scan_max_reject
+            if max_reject < m_floor:
+                max_reject = m_floor
             if entry is None or entry[2] != dur or res != entry[1]:
                 # This position diverged from the cached plan.  The
                 # divergence perturbs evaluation only below the later
                 # of the two reservations' ends, so later cached
-                # entries stay usable behind an escalated probe cap.
+                # entries stay usable behind an escalated probe cap;
+                # for the per-node bound it acts like a fold freeing
+                # the superseded reservation's nodes (the replacement
+                # only adds claims).
                 if entry is not None and entry[1] is not None:
                     if entry[1].end > cap:
                         cap = entry[1].end
+                    c_extra += len(entry[1].node_ids)
                 if res is not None and res.end > cap:
                     cap = res.end
-            entries.append((job, res, dur, split.remote))
+            entries.append((job, res, dur, split.remote, max_reject))
             if res is None:
                 continue  # cannot run even empty; engine rejects at submit
             if res.start <= now + _EPS:
@@ -552,6 +664,7 @@ class ConservativeBackfill(BackfillStrategy):
                 if sched.gate.permit(ctx, sched, decision):
                     ctx.start_job(decision)
                     started.append(decision)
+                    start_ends[job.job_id] = now + dur
                     entries.pop()  # started jobs leave the queue
                     if now + dur > pass_horizon:
                         pass_horizon = now + dur
@@ -579,15 +692,28 @@ class ConservativeBackfill(BackfillStrategy):
         # at current cluster state" invariant, so the cache survives
         # the pass's own mutations.
         profile.clear_reservations()
+        m_poison = False
         for decision in started:
             job = decision.job
             est_end = job.start_time + sched.duration_of_running(job)
             profile.apply_start(decision.node_ids, decision.plan, est_end)
             if est_end > pass_horizon:
                 pass_horizon = est_end
+            if est_end < start_ends[job.job_id]:
+                # The realized fold ends before the in-pass claim did
+                # (pressure drift on a metered machine): availability
+                # *rose* in between, which the per-node bounds cannot
+                # see — the time cap covers it, the node counts do
+                # not.  Void them; the probe path is unaffected.
+                m_poison = True
+        if m_poison:
+            entries = [
+                (entry[0], entry[1], entry[2], entry[3], None)
+                for entry in entries
+            ]
         self._profile_cache = (ctx.cluster, ctx.cluster.version, profile)
         self._plan_cache = (
-            profile, profile.mutation_count, pass_horizon, entries,
+            profile, profile.mutation_count, pass_horizon, entries, 0,
         )
         return started
 

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "KillPolicy",
     "StartDecision",
+    "PassTransaction",
     "SchedulerContext",
     "Scheduler",
     "build_scheduler",
@@ -99,6 +100,74 @@ class StartDecision:
             )
 
 
+class PassTransaction:
+    """One scheduling pass as an atomic decision unit across layers.
+
+    The sched layer anchors the pass's **single merged availability
+    sweep** here (:meth:`sweep` hands out the profile's shared
+    :class:`~repro.sched.profile.SweepCursor`, so EASY and
+    conservative backfill walk the release/reservation timeline once
+    per pass for all queued jobs); strategies and gates share per-pass
+    derived state (:meth:`next_pool_release`); and the engine reads
+    :attr:`decisions` at pass end to batch-apply the calendar, ledger,
+    and queue side effects in one commit
+    (:meth:`repro.engine.simulation.SchedulerSimulation._commit_pass`).
+
+    A transaction lives for exactly one pass.  Contexts built without
+    one (tests, ad-hoc tooling) create their own, so strategies can
+    rely on it unconditionally.
+    """
+
+    __slots__ = ("decisions", "_pool_rel_len", "_pool_rel_min")
+
+    def __init__(self) -> None:
+        #: Start decisions in application order (read-only for
+        #: strategies; appended by ``SchedulerContext.start_job``).
+        self.decisions: List[StartDecision] = []
+        self._pool_rel_len: Optional[int] = None
+        self._pool_rel_min: Optional[float] = None
+
+    @staticmethod
+    def sweep(profile: AvailabilityProfile):
+        """The pass's shared sweep cursor over ``profile``.
+
+        Delegates to :meth:`AvailabilityProfile.sweep_cursor`; the
+        profile owns the cursor's lifetime (a mid-pass ``apply_start``
+        fold drops and lazily rebuilds it), so the transaction only
+        provides the pass-scoped access point.
+        """
+        return profile.sweep_cursor()
+
+    def next_pool_release(
+        self, ctx: "SchedulerContext", sched: "Scheduler"
+    ) -> Optional[float]:
+        """Estimated end of the earliest-finishing pool-holding job.
+
+        Computed once per pass and folded forward over mid-pass starts
+        (the running list only grows during a pass), replacing the
+        full running-set scan every gate ``permit`` call used to pay.
+        """
+        running = ctx.running
+        count = len(running)
+        known = self._pool_rel_len
+        if known is None:
+            best: Optional[float] = None
+            start = 0
+        else:
+            best = self._pool_rel_min
+            start = known
+        if known is None or count > known:
+            for job in running[start:count]:
+                if not job.pool_grants or job.start_time is None:
+                    continue
+                est_end = job.start_time + sched.duration_of_running(job)
+                if best is None or est_end < best:
+                    best = est_end
+            self._pool_rel_len = count
+            self._pool_rel_min = best
+        return self._pool_rel_min
+
+
 class SchedulerContext:
     """Everything a strategy may consult or invoke during one cycle.
 
@@ -112,7 +181,7 @@ class SchedulerContext:
     """
 
     __slots__ = (
-        "cluster", "now", "queue", "running",
+        "cluster", "now", "queue", "running", "transaction",
         "_apply_start", "record_promise", "has_promise", "_pending",
         "_queue_all_pending",
     )
@@ -133,11 +202,18 @@ class SchedulerContext:
         # The engine's queue holds only PENDING jobs by construction;
         # it sets this to skip the per-job state filter in pending().
         queue_all_pending: bool = False,
+        # The engine hands in the pass transaction it will commit;
+        # hand-built contexts get a private one so strategies can rely
+        # on ``ctx.transaction`` unconditionally.
+        transaction: Optional[PassTransaction] = None,
     ) -> None:
         self.cluster = cluster
         self.now = now
         self.queue = queue
         self.running = running
+        self.transaction = (
+            transaction if transaction is not None else PassTransaction()
+        )
         self._apply_start = start_job
         self.record_promise = record_promise
         self.has_promise = has_promise
@@ -148,6 +224,7 @@ class SchedulerContext:
         """Apply a start through the engine callback and keep the
         pending snapshot current."""
         self._apply_start(decision)
+        self.transaction.decisions.append(decision)
         pending = self._pending
         if pending is not None:
             job = decision.job
@@ -159,7 +236,11 @@ class SchedulerContext:
     def pending(self) -> List[Job]:
         """PENDING jobs in queue order (live view; do not mutate)."""
         if self._pending is None:
-            if self._queue_all_pending:
+            # Under a batch-committing engine, started jobs stay in
+            # the queue list until pass commit; once any start has
+            # been applied this pass, fall back to the state filter so
+            # the snapshot never resurrects them.
+            if self._queue_all_pending and not self.transaction.decisions:
                 self._pending = list(self.queue)
             else:
                 self._pending = [

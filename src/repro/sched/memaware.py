@@ -44,15 +44,14 @@ class StartGate(abc.ABC):
     # ------------------------------------------------------------------
     @staticmethod
     def _next_pool_release(ctx: SchedulerContext, sched: Scheduler) -> Optional[float]:
-        """Estimated end of the earliest-finishing pool-holding job."""
-        candidate: Optional[float] = None
-        for job in ctx.running:
-            if not job.pool_grants or job.start_time is None:
-                continue
-            est_end = job.start_time + sched.duration_of_running(job)
-            if candidate is None or est_end < candidate:
-                candidate = est_end
-        return candidate
+        """Estimated end of the earliest-finishing pool-holding job.
+
+        Served by the pass transaction's shared cache: the running
+        set only grows within a pass, so the minimum is computed once
+        and folded forward over mid-pass starts instead of rescanned
+        on every ``permit`` call.
+        """
+        return ctx.transaction.next_pool_release(ctx, sched)
 
 
 class AlwaysStart(StartGate):

@@ -44,6 +44,20 @@ running set).  Incremental mutation never invalidates the cache:
   prefix.  Strategies use it to keep a cached profile valid across
   job completions — previously the dominant rebuild trigger.
 
+On top of the incremental index sits the **pass-shared sweep cursor**
+(:class:`SweepCursor`, via :meth:`AvailabilityProfile.sweep_cursor`):
+one scheduling pass runs many ``earliest_start`` scans against the
+same profile, all anchored at the same instant, and every scan used to
+rebuild the same sweep state (free-set copies, release folding,
+reservation activation) from scratch.  The cursor materializes the
+per-breakpoint availability states **once per pass** — lazily, as deep
+as the deepest scan reaches — and keeps them exact across
+``add_reservation`` by patching the affected prefix in place, so the
+pass walks the merged release/reservation timeline once instead of
+once per queued job.  Any other mutation (``apply_start``,
+``apply_release``, ``remove_reservation``, ``clear_reservations``,
+``rebase``) simply drops the cursor; the next scan rebuilds it.
+
 All query results are bitwise identical to the reference
 implementation (kept as ``tests/_reference_profile.py``); the
 equivalence suite enforces this on randomized workloads.
@@ -67,7 +81,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..memdis.allocator import PoolAllocator
     from .placement import PlacementPolicy
 
-__all__ = ["Reservation", "AvailabilityProfile"]
+__all__ = ["Reservation", "AvailabilityProfile", "SweepCursor"]
 
 _OVERRUN_GRACE = 1.0  # seconds: expected end for already-overrun jobs
 _EPS = 1e-9
@@ -177,6 +191,9 @@ class AvailabilityProfile:
         #: external caches key derived results (e.g. a head shadow)
         #: on it.
         self.mutation_count = 0
+        #: Pass-shared sweep cursor (see :class:`SweepCursor`); built
+        #: lazily, dropped by any mutation it cannot track in place.
+        self._cursor: Optional["SweepCursor"] = None
 
     def _ensure_swept(self, k: int) -> None:
         """Materialize cumulative sweep entries up to index ``k``."""
@@ -208,6 +225,21 @@ class AvailabilityProfile:
     def reservations(self) -> List[Reservation]:
         return list(self._reservations)
 
+    def sweep_cursor(self) -> "SweepCursor":
+        """The pass-shared resumable sweep over this profile.
+
+        Created on first use and reused until a mutation the cursor
+        cannot track in place (``apply_start`` / ``apply_release`` /
+        ``remove_reservation`` / ``clear_reservations`` / ``rebase``)
+        drops it; ``add_reservation`` keeps it exact incrementally.
+        All cursor queries are bit-identical to the corresponding
+        profile queries — the cursor is pure acceleration.
+        """
+        cursor = self._cursor
+        if cursor is None:
+            cursor = self._cursor = SweepCursor(self)
+        return cursor
+
     def rebase(self, now: float) -> bool:
         """Advance the profile clock to a later instant, in place.
 
@@ -231,6 +263,7 @@ class AvailabilityProfile:
         if self._rel_times and self._rel_times[0] <= now:
             return False
         self._now = now
+        self._cursor = None  # the grid is anchored at the old instant
         return True
 
     def add_reservation(self, reservation: Reservation) -> Reservation:
@@ -244,6 +277,8 @@ class AvailabilityProfile:
         pos = bisect_right(self._res_end_times, reservation.end)
         self._res_end_times.insert(pos, reservation.end)
         self._res_end_refs.insert(pos, reservation)
+        if self._cursor is not None:
+            self._cursor._on_add(reservation)
         return reservation
 
     def remove_reservation(self, reservation: Reservation) -> None:
@@ -275,6 +310,7 @@ class AvailabilityProfile:
             pos += 1
         del self._res_end_times[pos]
         del self._res_end_refs[pos]
+        self._cursor = None  # claims already folded into cursor states
 
     def clear_reservations(self) -> None:
         """Drop every reservation at once (pass teardown).
@@ -293,6 +329,7 @@ class AvailabilityProfile:
         self._res_start_refs.clear()
         self._res_end_times.clear()
         self._res_end_refs.clear()
+        self._cursor = None
 
     # ------------------------------------------------------------------
     def apply_start(
@@ -360,6 +397,7 @@ class AvailabilityProfile:
             self._grant_times.insert(gpos, est_end)
             self._grant_maps.insert(gpos, grants)
         self.mutation_count += 1
+        self._cursor = None
 
     def apply_release(
         self,
@@ -427,6 +465,7 @@ class AvailabilityProfile:
             del self._grant_times[gpos]
             del self._grant_maps[gpos]
         self.mutation_count += 1
+        self._cursor = None
         return True
 
     # ------------------------------------------------------------------
@@ -835,3 +874,445 @@ class AvailabilityProfile:
                 pool_grants=tuple(sorted((plan or {}).items())),
             )
         return None
+
+
+class SweepCursor:
+    """Pass-shared resumable sweep over one profile's merged timeline.
+
+    One scheduling pass runs many ``earliest_start`` scans against the
+    same profile — EASY's shadow plus one hypothesis trial per
+    candidate, conservative backfill's one scan (or replay probe) per
+    queued job — and every scan is anchored at the profile instant.
+    The stock scan rebuilds its sweep state per call: two free-set
+    copies, release folding, and a walk over every standing
+    reservation's start/end events.  The cursor hoists the *point-in-
+    time* half of that state out of the scan: for each breakpoint of
+    the merged grid it materializes (lazily, in grid order, only as
+    deep as scans actually reach) the exact free-node set — releases
+    folded in, active reservation claims folded out — plus its size
+    and the release-timeline position.  Scans then reject a breakpoint
+    with one integer compare, and only the *window* half (reservations
+    whose start falls inside the candidate window, which depends on
+    the queried duration) is computed per scan, by bisect.
+
+    Exactness:
+
+    * materialized states are computed with the profile's own activity
+      tests (``start <= t + eps and t < end - eps``) against the same
+      cached release sweep, so a grid state equals what the stock scan
+      derives at that breakpoint;
+    * :meth:`AvailabilityProfile.add_reservation` keeps the cursor
+      live by inserting the new bounds into the grid (fresh states,
+      computed directly) and subtracting the new claim from the
+      materialized points inside its window — set difference is
+      idempotent, and reservations are never *removed* while a cursor
+      is live (any other mutation drops it), so plain difference is
+      exact without claim counts;
+    * availability between adjacent grid times is constant (every
+      release time and reservation bound ≥ *now* is a grid time), so
+      evaluating a non-grid instant against the directly computed
+      state is exact as well (used by ``after=`` resumes).
+
+    :attr:`last_scan_max_reject` supports the conservative plan
+    cache's per-node replay bound: after a scan that returned a
+    reservation, it holds the largest *achievable free-node count*
+    observed at any rejected breakpoint before the accepted start
+    (count-pruned breakpoints contribute their exact free count,
+    window-rejected ones the windowed count, and placement/pool
+    rejections the job's full node demand — a sentinel that keeps the
+    bound unusable, since those rejections are not count-limited).
+    """
+
+    __slots__ = ("_p", "_times", "_free", "_counts", "_k",
+                 "last_scan_max_reject")
+
+    def __init__(self, profile: AvailabilityProfile) -> None:
+        self._p = profile
+        #: Merged breakpoint grid (deduplicated, ascending, anchored
+        #: at the profile instant) — exactly ``profile.breakpoints()``.
+        self._times: List[float] = profile.breakpoints()
+        # Materialized prefix, aligned with _times: exact free set,
+        # its size, and bisect_right(rel_times, t + eps).
+        self._free: List[FrozenSet[int]] = []
+        self._counts: List[int] = []
+        self._k: List[int] = []
+        self.last_scan_max_reject: int = 0
+
+    # ------------------------------------------------------------------
+    def _state_at(self, t: float) -> Tuple[FrozenSet[int], int]:
+        """Exact (free set, release index) at instant ``t``."""
+        p = self._p
+        t_eps = t + _EPS
+        k = bisect_right(p._rel_times, t_eps)
+        if k:
+            p._ensure_swept(k - 1)
+            base = p._rel_cum_free[k - 1]
+        else:
+            base = p._base_free
+        if p._reservations:
+            cur: Optional[set] = None
+            for res in p._reservations:
+                if res.start <= t_eps and t < res.end - _EPS:
+                    if cur is None:
+                        cur = set(base)
+                    cur.difference_update(res.node_ids)
+            if cur is not None:
+                base = frozenset(cur)
+        return base, k
+
+    def _materialize_to(self, j: int) -> None:
+        """Extend the materialized prefix through grid index ``j``."""
+        free = self._free
+        i = len(free)
+        if i > j:
+            return
+        times = self._times
+        counts = self._counts
+        ks = self._k
+        while i <= j:
+            state, k = self._state_at(times[i])
+            free.append(state)
+            counts.append(len(state))
+            ks.append(k)
+            i += 1
+
+    def _insert_point(self, pos: int) -> None:
+        """Materialize a freshly inserted grid time at ``pos``."""
+        state, k = self._state_at(self._times[pos])
+        self._free.insert(pos, state)
+        self._counts.insert(pos, len(state))
+        self._k.insert(pos, k)
+
+    def _on_add(self, res: Reservation) -> None:
+        """Track a reservation added to the live profile.
+
+        Called by ``add_reservation`` after the reservation is fully
+        registered, so direct state computation for new grid points
+        already sees it; the subtraction over existing points is
+        idempotent for them.
+        """
+        times = self._times
+        free = self._free
+        anchor = times[0]
+        for bound in (res.start, res.end):
+            if bound > anchor:
+                pos = bisect_left(times, bound)
+                if pos == len(times) or times[pos] != bound:
+                    times.insert(pos, bound)
+                    if pos < len(free):
+                        self._insert_point(pos)
+        if not free:
+            return
+        node_ids = res.node_ids
+        counts = self._counts
+        start, end = res.start, res.end
+        lo = bisect_left(times, start - _EPS)
+        hi = min(len(free), bisect_left(times, end))
+        for j in range(lo, hi):
+            t = times[j]
+            if start <= t + _EPS and t < end - _EPS:
+                state = free[j]
+                if not state.isdisjoint(node_ids):
+                    state = state.difference(node_ids)
+                    free[j] = state
+                    counts[j] = len(state)
+
+    # ------------------------------------------------------------------
+    def count_at_anchor(self) -> int:
+        """Exact free-node count at the profile instant (grid anchor).
+
+        The O(1) short-circuit for replay probes capped at *now*: the
+        anchor is such a probe's only candidate, so a count below the
+        job's demand decides the whole scan without paying the scan's
+        setup.
+        """
+        if not self._free:
+            self._materialize_to(0)
+        return self._counts[0]
+
+    def earliest_start(
+        self,
+        job: Job,
+        duration: float,
+        remote_per_node: int,
+        placement: "PlacementPolicy",
+        allocator: "PoolAllocator",
+        after: Optional[float] = None,
+        memory_aware: bool = True,
+        not_after: Optional[float] = None,
+        trial: Optional[Reservation] = None,
+    ) -> Optional[Reservation]:
+        """Bit-identical to :meth:`AvailabilityProfile.earliest_start`
+        on the same profile, evaluated through the shared sweep.
+
+        Candidate instants — the scan anchor, the grid times after it,
+        and (under a trial) the trial's end — are consumed in strictly
+        increasing time order, so the scan keeps the stock
+        implementation's incremental shape: the window-claim state
+        (reservations starting inside the candidate window) slides
+        right behind two monotone pointers, while the point-in-time
+        state comes from the shared materialized grid.
+
+        ``trial`` overlays one extra reservation *without* mutating
+        the profile — EASY's hypothesis test, which previously paid an
+        add/query/remove round-trip per candidate.  The overlay is
+        exact for trials anchored at the profile instant (EASY's
+        always are): such a trial can never be a window-crossing
+        reservation of any scanned breakpoint, so it contributes only
+        active claims and active grants plus its end event.
+        """
+        p = self._p
+        if trial is not None and trial.start > p._now + _EPS:
+            raise ValueError("trial overlay must start at the profile instant")
+        nodes_needed = job.nodes
+        times = self._times
+        now = p._now
+        start = now if after is None else (after if after > now else now)
+        max_reject = 0
+        trial_nodes: Optional[FrozenSet[int]] = None
+        trial_end_eps = 0.0
+        trial_const: Optional[int] = None
+        extra: Optional[float] = None
+        if trial is not None:
+            trial_nodes = frozenset(trial.node_ids)
+            trial_end_eps = trial.end - _EPS
+            # The trial's end is a breakpoint the stock path would
+            # have gained from add_reservation; interleave it without
+            # touching the shared grid.
+            if trial.end > start:
+                extra = trial.end
+            # EASY's trial shape: no standing reservations and trial
+            # nodes drawn from the base free set.  Every materialized
+            # state is then a superset of the base (releases only
+            # add), so the trial's overlap with any breakpoint state
+            # is its full node count — an O(1) per-candidate prune.
+            if not p._reservations and trial_nodes <= p._base_free:
+                trial_const = len(trial_nodes)
+
+        counts = self._counts
+        free_states = self._free
+        ks = self._k
+        reservations = p._reservations
+        num_res = len(reservations)
+        start_times = p._res_start_times
+        start_refs = p._res_start_refs
+        # Sliding window-claim state: nodes claimed by reservations
+        # whose start falls strictly inside the current candidate
+        # window ``(t, t + duration)``.  Both edges move right as the
+        # scan advances, so membership follows two monotone pointers
+        # with per-node claim counts — each reservation is touched
+        # O(1) times per scan, as in the stock implementation.
+        wi_lo = wi_hi = 0
+        ws_claim: Dict[int, int] = {}
+
+        pending_direct: Optional[float] = None
+        if start == times[0]:
+            j = 0
+        else:
+            # Arbitrary resume anchor (``after=``): evaluate it
+            # directly, then continue on the grid strictly after it.
+            pending_direct = start
+            j = bisect_right(times, start)
+        total = len(times)
+
+        while True:
+            # Next candidate in time order, consumed at selection.
+            if pending_direct is not None:
+                t = pending_direct
+                pending_direct = None
+                grid_j: Optional[int] = None
+            elif extra is not None and (j >= total or extra <= times[j]):
+                if j < total and extra == times[j]:
+                    extra = None  # grid already carries this instant
+                    continue
+                t = extra
+                extra = None
+                grid_j = None
+            elif j < total:
+                t = times[j]
+                grid_j = j
+                j += 1
+            else:
+                break
+            if not_after is not None and t > not_after:
+                break
+            # Point-in-time state.
+            if grid_j is not None:
+                if grid_j >= len(free_states):
+                    self._materialize_to(grid_j)
+                fs = free_states[grid_j]
+                cnt0 = counts[grid_j]
+                k = ks[grid_j]
+            else:
+                fs, k = self._state_at(t)
+                cnt0 = len(fs)
+            # Trial overlay and the O(1) count prune — the
+            # overwhelmingly common rejection costs two compares.
+            trial_active = trial is not None and t < trial_end_eps
+            cnt = cnt0
+            if trial_active:
+                if trial_const is not None:
+                    cnt -= trial_const
+                else:
+                    for node_id in trial_nodes:
+                        if node_id in fs:
+                            cnt -= 1
+            if cnt < nodes_needed:
+                if cnt > max_reject:
+                    max_reject = cnt
+                continue
+            free: FrozenSet[int] = fs
+            if trial_active and cnt != cnt0:
+                free = fs.difference(trial_nodes)
+            t_eps = t + _EPS
+            end = t + duration
+            end_eps = end - _EPS
+            if num_res:
+                # Slide the window edges to ``(t, t + duration)``,
+                # mirroring the stock pointer discipline exactly
+                # (including the degenerate-window snap).
+                while wi_lo < num_res and start_times[wi_lo] <= t_eps:
+                    if wi_lo < wi_hi:
+                        for node_id in start_refs[wi_lo].node_ids:
+                            left = ws_claim[node_id] - 1
+                            if left:
+                                ws_claim[node_id] = left
+                            else:
+                                del ws_claim[node_id]
+                    wi_lo += 1
+                if wi_hi < wi_lo:
+                    wi_hi = wi_lo
+                while wi_hi < num_res and start_times[wi_hi] < end_eps:
+                    for node_id in start_refs[wi_hi].node_ids:
+                        ws_claim[node_id] = ws_claim.get(node_id, 0) + 1
+                    wi_hi += 1
+                if ws_claim:
+                    windowed = cnt
+                    for node_id in ws_claim:
+                        if node_id in free:
+                            windowed -= 1
+                    if windowed < nodes_needed:
+                        if windowed > max_reject:
+                            max_reject = windowed
+                        continue
+                    if windowed != cnt:
+                        free = free - ws_claim.keys()
+            result = self._window_accept(
+                t, t_eps, end, end_eps, k, free, job, remote_per_node,
+                placement, allocator, memory_aware, trial, trial_active,
+                wi_lo, wi_hi,
+            )
+            if result is not None:
+                self.last_scan_max_reject = max_reject
+                return result
+            if nodes_needed > max_reject:
+                max_reject = nodes_needed
+        self.last_scan_max_reject = max_reject
+        return None
+
+    def _window_accept(
+        self,
+        t: float,
+        t_eps: float,
+        end: float,
+        end_eps: float,
+        k: int,
+        free: FrozenSet[int],
+        job: Job,
+        remote_per_node: int,
+        placement: "PlacementPolicy",
+        allocator: "PoolAllocator",
+        memory_aware: bool,
+        trial: Optional[Reservation],
+        trial_active: bool,
+        wi_lo: int,
+        wi_hi: int,
+    ) -> Optional[Reservation]:
+        """Pool view, placement, and allocation for one candidate whose
+        node count already passed — the same event tuples and tie
+        order as the stock scan, so the outcome is bit-identical."""
+        p = self._p
+        reservations = p._reservations
+        has_res = bool(reservations) or trial is not None
+        events: Optional[list] = None
+        if k:
+            p._ensure_swept(k - 1)
+            pool = dict(p._rel_cum_pool[k - 1])
+        else:
+            pool = dict(p._base_pool_free)
+        if has_res:
+            res_index = p._res_index
+            for res in reservations:
+                if res.start <= t_eps and t < res.end - _EPS and res.pool_grants:
+                    for pool_id, amount in res.pool_grants:
+                        pool[pool_id] = pool.get(pool_id, 0) - amount
+            if trial_active and trial.pool_grants:
+                for pool_id, amount in trial.pool_grants:
+                    pool[pool_id] = pool.get(pool_id, 0) - amount
+            if wi_lo < wi_hi:
+                start_refs = p._res_start_refs
+                for w in range(wi_lo, wi_hi):
+                    res = start_refs[w]
+                    if events is None:
+                        events = []
+                    events.append(
+                        (res.start, 0, res_index[id(res)], 0,
+                         res.pool_grants, -1)
+                    )
+            end_times = p._res_end_times
+            lo_e = bisect_right(end_times, t_eps)
+            hi_e = bisect_left(end_times, end_eps, lo_e)
+            if lo_e < hi_e:
+                end_refs = p._res_end_refs
+                if events is None:
+                    events = []
+                for w in range(lo_e, hi_e):
+                    res = end_refs[w]
+                    events.append(
+                        (res.end, 0, res_index[id(res)], 1,
+                         res.pool_grants, +1)
+                    )
+            if trial is not None and t_eps < trial.end < end_eps:
+                # The trial's insertion-order index is the one
+                # add_reservation would have assigned it: last.
+                if events is None:
+                    events = []
+                events.append(
+                    (trial.end, 0, len(reservations), 1,
+                     trial.pool_grants, +1)
+                )
+        pool_min = dict(pool)
+        if has_res:
+            grant_times = p._grant_times
+            lo = bisect_right(grant_times, t_eps)
+            hi = bisect_left(grant_times, end_eps)
+            if lo < hi:
+                if events is None:
+                    events = []
+                grant_maps = p._grant_maps
+                for g in range(lo, hi):
+                    events.append(
+                        (grant_times[g], 1, g, 0, grant_maps[g], +1)
+                    )
+            if events:
+                p._apply_pool_events(pool, pool_min, events)
+        node_ids = placement.select(
+            p._cluster, free, job.nodes, remote_per_node, pool_min
+        )
+        if node_ids is None:
+            return None
+        if not memory_aware or remote_per_node == 0:
+            plan: Optional[Dict[str, int]] = {}
+        else:
+            plan = allocator.plan(
+                p._cluster, node_ids, remote_per_node, free_override=pool_min
+            )
+            if plan is None:
+                return None
+        return Reservation(
+            job_id=job.job_id,
+            start=t,
+            end=end,
+            node_ids=tuple(node_ids),
+            pool_grants=tuple(sorted(plan.items())) if plan else (),
+        )

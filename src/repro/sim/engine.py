@@ -104,6 +104,44 @@ class Simulator:
         self._queue.push(event)
         return event
 
+    def schedule_batch(
+        self,
+        specs: list,
+    ) -> list:
+        """Schedule a batch of callbacks in one calendar operation.
+
+        ``specs`` is a list of ``(time, callback, priority, payload)``
+        tuples; sequence numbers are assigned in list order, so the
+        resulting events are indistinguishable — times, priorities,
+        and seqs — from consecutive :meth:`schedule_at` calls.  The
+        engine's pass commit uses this to push one pass's completion
+        group with a single calendar walk.
+        """
+        events = []
+        seq = self._seq
+        now = self._now
+        for time, callback, priority, payload in specs:
+            if time != time:  # NaN check without a math-module call
+                raise SimulationError("cannot schedule event at NaN time")
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule event at t={time} "
+                    f"before current time t={now}"
+                )
+            events.append(
+                Event(
+                    time=float(time),
+                    priority=int(priority),
+                    seq=seq,
+                    callback=callback,
+                    payload=payload,
+                )
+            )
+            seq += 1
+        self._seq = seq
+        self._queue.push_many(events)
+        return events
+
     def schedule_after(
         self,
         delay: float,
@@ -143,7 +181,16 @@ class Simulator:
         try:
             # Only a time bound needs the peek-then-pop dance;
             # max_events alone is checked after the callback, so the
-            # direct-pop fast path covers it too.
+            # direct-pop fast path covers it too.  Events are popped
+            # in same-(time, priority) groups: the group members are
+            # already mutually ordered, so the heap is consulted once
+            # per group instead of once per event — with two guards
+            # that keep the semantics exactly sequential: a member
+            # cancelled by an earlier member's callback is skipped
+            # (as a lazy-cancelled heap entry would have been), and if
+            # a callback schedules an event that sorts before the
+            # remaining members, they go back to the calendar and the
+            # newcomer runs first.
             bounded = until is not None
             queue = self._queue
             while queue:
@@ -151,17 +198,30 @@ class Simulator:
                     event = queue.peek()
                     if event.time > until:
                         break
-                    queue.pop()
-                else:
-                    event = queue.pop()
-                self._now = event.time
-                self._events_processed += 1
-                event.callback(event)
-                if max_events is not None and self._events_processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        "likely a scheduling feedback loop"
-                    )
+                group = queue.pop_group()
+                for index, event in enumerate(group):
+                    if index:
+                        if event.cancelled:
+                            continue
+                        head = queue.peek_key()
+                        if head is not None and head < (
+                            event.time, event.priority, event.seq
+                        ):
+                            for later in group[index:]:
+                                if not later.cancelled:
+                                    queue.push(later)
+                            break
+                    self._now = event.time
+                    self._events_processed += 1
+                    event.callback(event)
+                    if (
+                        max_events is not None
+                        and self._events_processed >= max_events
+                    ):
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a scheduling feedback loop"
+                        )
             if until is not None and self._now < until:
                 self._now = until
             return self._now

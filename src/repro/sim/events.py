@@ -59,6 +59,12 @@ class Event:
     callback: Callable[["Event"], None]
     payload: Any = None
     cancelled: bool = field(default=False, compare=False)
+    #: True while the event is outside the calendar after a pop — lets
+    #: :meth:`EventQueue.cancel` keep its live count exact when a
+    #: same-instant group member is cancelled by an earlier member's
+    #: callback (the event is no longer in the heap, so the count must
+    #: not move).
+    popped: bool = field(default=False, compare=False)
 
     def sort_key(self) -> tuple[float, int, int]:
         return (self.time, self.priority, self.seq)

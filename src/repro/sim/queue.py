@@ -31,10 +31,37 @@ class EventQueue:
         return self._live > 0
 
     def push(self, event: Event) -> None:
+        event.popped = False
         heapq.heappush(
             self._heap, (event.time, event.priority, event.seq, event)
         )
         self._live += 1
+
+    def push_many(self, events: list[Event]) -> None:
+        """Insert a batch of events in one calendar operation.
+
+        Used by the engine's pass commit: the k completion events of a
+        pass that launched k jobs enter the calendar together.  For a
+        batch that rivals the heap in size one ``heapify`` beats k
+        sift-ups; either way the pop order is unchanged — the
+        ``(time, priority, seq)`` keys are a total order, so the
+        heap's internal layout is unobservable.
+        """
+        if not events:
+            return
+        heap = self._heap
+        if len(events) * 4 >= len(heap):
+            for event in events:
+                event.popped = False
+                heap.append((event.time, event.priority, event.seq, event))
+            heapq.heapify(heap)
+        else:
+            for event in events:
+                event.popped = False
+                heapq.heappush(
+                    heap, (event.time, event.priority, event.seq, event)
+                )
+        self._live += len(events)
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
@@ -47,8 +74,33 @@ class EventQueue:
             if event.cancelled:
                 continue
             self._live -= 1
+            event.popped = True
             return event
         raise IndexError("pop from empty EventQueue")
+
+    def pop_group(self) -> list[Event]:
+        """Pop the maximal run of live events sharing one
+        ``(time, priority)`` — the same-instant batch the run loop
+        processes as a unit (e.g. the completion group of a pass that
+        launched k jobs at one instant).  Equivalent to repeated
+        :meth:`pop` while the key holds."""
+        first = self.pop()
+        group = [first]
+        heap = self._heap
+        time, priority = first.time, first.priority
+        while heap:
+            head = heap[0]
+            event = head[3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if head[0] != time or head[1] != priority:
+                break
+            heapq.heappop(heap)
+            self._live -= 1
+            event.popped = True
+            group.append(event)
+        return group
 
     def peek(self) -> Event:
         """Return (without removing) the earliest live event."""
@@ -60,14 +112,29 @@ class EventQueue:
             return event
         raise IndexError("peek at empty EventQueue")
 
+    def peek_key(self):
+        """``(time, priority, seq)`` of the earliest live event, or
+        None when the calendar is empty (run-loop ordering guard)."""
+        while self._heap:
+            head = self._heap[0]
+            if head[3].cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return (head[0], head[1], head[2])
+        return None
+
     def cancel(self, event: Event) -> None:
         """Cancel an event still in the calendar.
 
-        Idempotent: cancelling an already-cancelled event is a no-op.
+        Idempotent: cancelling an already-cancelled event is a no-op,
+        and cancelling an event that was already popped (a same-
+        instant group member awaiting its callback) marks it without
+        touching the live count — it no longer occupies the heap.
         """
         if not event.cancelled:
             event.cancel()
-            self._live -= 1
+            if not event.popped:
+                self._live -= 1
 
     def drain(self) -> Iterator[Event]:
         """Pop every live event in order (used by tests)."""

@@ -246,3 +246,93 @@ class TestSweepThroughput:
         cur = _fake_report({"profile_build": 1.0})
         cur["sweep_throughput"] = {"cells": 2, "rungs": []}
         assert compare_reports(cur, base, max_regression=0.25) == []
+
+
+class TestWorkersHistory:
+    """Efficiency-trend tracking: `repro perf --workers` appends every
+    ladder run to a JSONL history whose first record is the baseline
+    that CI flags parallel-efficiency regressions against."""
+
+    PAYLOAD = {
+        "cells": 8,
+        "jobs_per_cell": 60,
+        "rungs": [
+            {"workers": 1, "elapsed_s": 1.0, "cells_per_sec": 8.0,
+             "speedup": 1.0, "efficiency": 1.0},
+            {"workers": 2, "elapsed_s": 0.6, "cells_per_sec": 13.3,
+             "speedup": 1.667, "efficiency": 0.833},
+        ],
+    }
+
+    def test_append_creates_and_extends_jsonl(self, tmp_path):
+        from repro.perf import append_workers_history
+
+        path = tmp_path / "workers_history.jsonl"
+        first = append_workers_history(self.PAYLOAD, path)
+        second = append_workers_history(self.PAYLOAD, path)
+        assert first is not None and second is not None
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["schema"] == 1
+        assert record["rungs"][1]["efficiency"] == 0.833
+
+    def test_append_skips_when_directory_absent(self, tmp_path):
+        from repro.perf import append_workers_history
+
+        missing = tmp_path / "no-such-dir" / "history.jsonl"
+        assert append_workers_history(self.PAYLOAD, missing) is None
+        assert not missing.exists()
+
+    def test_regression_flagged_against_first_record(self, tmp_path):
+        from repro.perf import append_workers_history, efficiency_regressions
+
+        path = tmp_path / "workers_history.jsonl"
+        append_workers_history(self.PAYLOAD, path)
+        degraded = {
+            "rungs": [
+                {"workers": 1, "cells_per_sec": 8.0, "speedup": 1.0,
+                 "efficiency": 1.0},
+                {"workers": 2, "cells_per_sec": 9.0, "speedup": 1.1,
+                 "efficiency": 0.55},
+            ]
+        }
+        flags = efficiency_regressions(degraded, path, max_regression=0.25)
+        assert flags == [{
+            "workers": 2,
+            "baseline_efficiency": 0.833,
+            "current_efficiency": 0.55,
+            "floor": round(0.833 * 0.75, 3),
+        }]
+        # Within tolerance: no flags; serial rungs never flag.
+        ok = {"rungs": [{"workers": 2, "cells_per_sec": 12.0,
+                         "speedup": 1.5, "efficiency": 0.75}]}
+        assert efficiency_regressions(ok, path, max_regression=0.25) == []
+
+    def test_no_history_means_no_flags(self, tmp_path):
+        from repro.perf import efficiency_regressions
+
+        assert efficiency_regressions(
+            self.PAYLOAD, tmp_path / "absent.jsonl"
+        ) == []
+
+    def test_checked_in_baseline_parses(self):
+        with open("benchmarks/perf/workers_history.jsonl") as handle:
+            record = json.loads(handle.readline())
+        assert record["schema"] == 1
+        assert record["platform"]  # the baseline-matching key
+        assert any(r["workers"] > 1 for r in record["rungs"])
+
+    def test_baseline_matching_is_per_platform(self, tmp_path):
+        from repro.perf import efficiency_regressions
+
+        path = tmp_path / "history.jsonl"
+        foreign = {
+            "schema": 1, "platform": "SomeOtherOS-1.0",
+            "rungs": [{"workers": 2, "efficiency": 0.9}],
+        }
+        path.write_text(json.dumps(foreign) + "\n")
+        degraded = {"rungs": [{"workers": 2, "cells_per_sec": 1.0,
+                               "speedup": 1.0, "efficiency": 0.2}]}
+        # A foreign-platform record is not a meaningful floor.
+        assert efficiency_regressions(degraded, path) == []
