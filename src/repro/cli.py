@@ -211,7 +211,9 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         measure_sweep_throughput,
         render_report,
         render_throughput,
+        render_workers_trend,
         run_perf,
+        workers_trend,
     )
 
     if args.list:
@@ -260,6 +262,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         )
         if record is not None:
             print(f"ladder appended to {args.workers_history}")
+        # The real trend report: per-platform efficiency series over
+        # the whole history (baseline / median / latest per rung), not
+        # just the first-record comparison the warnings use.
+        trend = workers_trend(args.workers_history)
+        if trend is not None:
+            payload["sweep_throughput"]["trend"] = trend
+            print()
+            print(render_workers_trend(trend))
         for flag in flags:
             print(
                 f"::warning::sweep parallel efficiency at "

@@ -87,6 +87,15 @@ class Cluster:
         self.has_metered_pools: bool = any(
             pool.bandwidth != float("inf") for pool in self._pools
         )
+        #: Pool-activity change stamps: monotone counters bumped when
+        #: pool memory is granted (:meth:`allocate_pool` with a
+        #: non-empty grant map) or returned (:meth:`release_pool`
+        #: freeing anything).  Consumers cache derived views of the
+        #: pool-holding running set — e.g. the start gates' next-pool-
+        #: release estimate — keyed on the pair: while neither stamp
+        #: moved, the set of pool-holding jobs is provably unchanged.
+        self.pool_grant_count: int = 0
+        self.pool_release_count: int = 0
 
     # ------------------------------------------------------------------
     # version batching (one bump per scheduling pass)
@@ -271,6 +280,8 @@ class Cluster:
             for pool in applied:
                 pool.release_if_held(job_id)
             raise
+        if applied:
+            self.pool_grant_count += 1
         self._bump_version()
 
     def release_pool(self, job_id: int) -> int:
@@ -278,6 +289,8 @@ class Cluster:
         freed = 0
         for pool in self.all_pools():
             freed += pool.release_if_held(job_id)
+        if freed:
+            self.pool_release_count += 1
         self._bump_version()
         return freed
 

@@ -19,6 +19,18 @@ Nothing outside the pass can observe the difference (no event runs
 between the deferral and the commit), so the committed state is
 bit-identical to the historical one-start-at-a-time path — which is
 retained behind ``batch_starts=False`` as the differential anchor.
+
+Scheduler state persists *across* passes, and the engine keeps it
+coherent by notification rather than teardown: a completion or kill
+releases cluster resources and then calls
+:meth:`~repro.sched.base.Scheduler.notify_release` (while the job
+still carries its grant records, with the pre-release cluster version
+as the proof stamp), letting strategies fold the release into their
+cached availability profile and retained reservation plan in place.
+The engine never clears scheduler-side plans between passes — what
+survives a pass, and what a perturbation invalidates, is entirely the
+strategy's contract (see :mod:`repro.sched.backfill` and
+``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations

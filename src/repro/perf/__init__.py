@@ -27,7 +27,9 @@ from .sweep_scaling import (
     efficiency_regressions,
     measure_sweep_throughput,
     render_throughput,
+    render_workers_trend,
     worker_ladder,
+    workers_trend,
 )
 
 __all__ = [
@@ -42,6 +44,8 @@ __all__ = [
     "measure_sweep_throughput",
     "render_report",
     "render_throughput",
+    "render_workers_trend",
     "run_perf",
     "worker_ladder",
+    "workers_trend",
 ]

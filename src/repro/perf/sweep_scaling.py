@@ -24,7 +24,7 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..units import GiB
 
@@ -34,6 +34,8 @@ __all__ = [
     "render_throughput",
     "append_workers_history",
     "efficiency_regressions",
+    "workers_trend",
+    "render_workers_trend",
 ]
 
 HISTORY_SCHEMA = 1
@@ -180,22 +182,14 @@ def _read_history_baseline(path: str | Path) -> Optional[dict]:
     meaningful floor — a 1-core dev VM's degenerate scaling must not
     become the bar a multi-core CI runner is judged against.  With no
     same-platform record the trend check stays silent until one is
-    recorded (and checked in, for CI)."""
-    path = Path(path)
-    if not path.is_file():
-        return None
+    recorded (and checked in, for CI).  Reads through
+    :func:`_read_history`, so the warning baseline and the trend
+    report share one parser and one corruption policy (torn lines are
+    skipped, never fatal)."""
     here = platform.platform()
-    with path.open() as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                return None
-            if record.get("platform") == here:
-                return record
+    for record in _read_history(path):
+        if record.get("platform") == here:
+            return record
     return None
 
 
@@ -239,6 +233,116 @@ def efficiency_regressions(
                 }
             )
     return flags
+
+
+def _read_history(path: str | Path) -> List[dict]:
+    """Every parseable record of the history file, in append order."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    records: List[dict] = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn write must not hide the valid trend
+            records.append(record)
+    return records
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def workers_trend(history_path: str | Path = DEFAULT_HISTORY_PATH) -> Optional[dict]:
+    """The efficiency *trend* over the whole ladder history.
+
+    The regression flags compare only against the first recorded run;
+    this aggregates every record into per-platform series (parallel
+    efficiency is a host property, so platforms are never mixed): for
+    each worker count, the full efficiency series in record order plus
+    baseline (first), latest (last), median, and the latest-vs-
+    baseline delta.  Returns ``None`` when the history has no records
+    — callers print nothing rather than an empty table.
+    """
+    records = _read_history(history_path)
+    if not records:
+        return None
+    by_platform: Dict[str, List[dict]] = {}
+    for record in records:
+        by_platform.setdefault(record.get("platform", "unknown"), []).append(record)
+    platforms = []
+    for platform_name, group in by_platform.items():
+        series: Dict[int, List[dict]] = {}
+        for record in group:
+            for rung in record.get("rungs", []):
+                workers = rung.get("workers")
+                if workers is None or not rung.get("efficiency"):
+                    continue
+                series.setdefault(workers, []).append(rung)
+        rungs = []
+        for workers in sorted(series):
+            effs = [rung["efficiency"] for rung in series[workers]]
+            rungs.append({
+                "workers": workers,
+                "samples": len(effs),
+                "efficiency_series": effs,
+                "baseline_efficiency": effs[0],
+                "latest_efficiency": effs[-1],
+                "median_efficiency": round(_median(effs), 3),
+                "delta_vs_baseline": round(effs[-1] - effs[0], 3),
+                "latest_cells_per_sec": series[workers][-1].get("cells_per_sec"),
+            })
+        platforms.append({
+            "platform": platform_name,
+            "runs": len(group),
+            "first_recorded": group[0].get("recorded_at"),
+            "last_recorded": group[-1].get("recorded_at"),
+            "rungs": rungs,
+        })
+    return {"records": len(records), "platforms": platforms}
+
+
+def render_workers_trend(trend: dict) -> str:
+    """ASCII rendering of a :func:`workers_trend` payload."""
+    from ..metrics.report import ascii_table
+
+    blocks = []
+    for entry in trend["platforms"]:
+        headers = ["workers", "runs", "baseline eff", "median eff",
+                   "latest eff", "delta", "latest cells/s"]
+        rows = []
+        for rung in entry["rungs"]:
+            if rung["workers"] <= 1:
+                continue  # serial efficiency is 1.0 by construction
+            delta = rung["delta_vs_baseline"]
+            rows.append([
+                str(rung["workers"]),
+                str(rung["samples"]),
+                f"{rung['baseline_efficiency']:.0%}",
+                f"{rung['median_efficiency']:.0%}",
+                f"{rung['latest_efficiency']:.0%}",
+                f"{delta:+.0%}",
+                f"{rung['latest_cells_per_sec']:.2f}"
+                if rung["latest_cells_per_sec"] else "-",
+            ])
+        title = (
+            f"efficiency trend: {entry['platform']} — {entry['runs']} runs "
+            f"({entry['first_recorded']} .. {entry['last_recorded']})"
+        )
+        if rows:
+            blocks.append(title + "\n" + ascii_table(headers, rows))
+        else:
+            blocks.append(title + "\n  (serial-only ladders; no parallel rungs)")
+    return "\n\n".join(blocks)
 
 
 def render_throughput(payload: dict) -> str:

@@ -31,7 +31,13 @@ Every scan of a pass — EASY's shadow and trials, conservative's
 per-job reservation scans and replay probes — goes through the pass
 transaction's shared sweep cursor (``ctx.transaction.sweep``), so the
 release/reservation timeline is walked once per pass instead of once
-per queued job.
+per queued job.  Conservative backfill goes one step further: its
+reservation plan is a **persistent, diffed structure** — teardown
+retains the standing reservations (and the cursor's materialized
+states) instead of clearing them, and the next pass patches only the
+entries a perturbation can reach (see
+:class:`ConservativeBackfill` for the replay doors and their
+soundness arguments; ``docs/ARCHITECTURE.md`` for the full map).
 
 Queue ordering is computed **once per pass**: every policy key is a
 pure function of ``(job, now)`` and ``now`` is fixed for the pass, so
@@ -46,6 +52,7 @@ import abc
 from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..memdis.allocator import GlobalPoolAllocator
 from ..memdis.split import MemorySplit
 from ..workload.job import Job
 from .base import Scheduler, SchedulerContext, StartDecision
@@ -373,6 +380,59 @@ class EasyBackfill(BackfillStrategy):
         return profile, head_split, head_dur, shadow
 
 
+class _ReservationPlan:
+    """The retained cross-pass reservation plan plus its perturbation
+    ledger.  One instance is rebuilt at every conservative pass
+    teardown; ``on_release`` mutates it in place as completions fold.
+
+    ``entries`` is the previous pass's processed window as
+    ``(job, reservation | None, duration, remote, m_bound, p_bound)``
+    tuples — ``m_bound`` is the per-node perturbation bound (largest
+    achievable free-node count at any rejected breakpoint below the
+    reservation's start, demand-sentinel-poisoned by pool rejections),
+    ``p_bound`` the pool-level analogue (the count-only maximum, kept
+    only when pool-capacity rejections occurred; ``None`` otherwise or
+    when poisoned).  The ledger fields age those bounds:
+
+    * ``horizon`` — the largest release time perturbed since the
+      entries were derived (completion folds, superseded or planted
+      reservations, pass-local starts): evaluation at breakpoints at
+      or beyond it is untouched, so entries starting strictly after it
+      replay behind a probe bounded at the horizon;
+    * ``fold_nodes`` — nodes freed below the horizon by completion
+      folds; while ``m_bound + fold_nodes`` (plus pass-local
+      divergence nodes) stays under a job's demand, no breakpoint
+      below its cached start can have become feasible;
+    * ``fold_pool`` — pool MiB released below the horizon by
+      completion folds; any nonzero value shuts the pool-level door
+      (pool-capacity rejections may have flipped);
+    * ``retained`` — whether the profile still physically holds the
+      entries' reservations (the persistent plan): set at teardown,
+      consumed by the next pass's retained fast path.
+    """
+
+    __slots__ = (
+        "profile", "mutations", "horizon", "entries",
+        "fold_nodes", "fold_pool", "retained",
+    )
+
+    def __init__(
+        self,
+        profile: AvailabilityProfile,
+        mutations: int,
+        horizon: float,
+        entries: List[tuple],
+        retained: bool,
+    ) -> None:
+        self.profile = profile
+        self.mutations = mutations
+        self.horizon = horizon
+        self.entries = entries
+        self.fold_nodes = 0
+        self.fold_pool = 0
+        self.retained = retained
+
+
 class ConservativeBackfill(BackfillStrategy):
     """Reservation for everyone (up to ``depth``).
 
@@ -384,42 +444,73 @@ class ConservativeBackfill(BackfillStrategy):
     entries see them.  Conservative backfill is always memory-aware
     here; the memory-blind ablation is specific to EASY (T3).
 
-    The profile, however, is *not* rebuilt from scratch each cycle: at
-    pass end the pass's reservations are dropped and every job started
-    mid-pass is folded in via ``apply_start`` (with its realized
-    dilation, exactly what a fresh build would see), leaving the
-    profile bit-equivalent to a rebuild at the post-pass cluster state
-    — so the next cycle reuses it through the shared cache, and
-    ``on_release`` keeps it valid across job completions.
+    That is the *semantic* contract.  Operationally the pass runs
+    against three persistent layers, each provably decision-invisible
+    (the differential suites enforce bit-identical schedules against
+    ``tests/_reference_conservative.py``):
 
-    On top of the profile cache sits a **reservation plan cache** (the
-    per-job resume points): when a pass runs against a provably
-    unchanged profile — same object, zero folds since the stamp, which
-    the teardown only grants when the previous pass started nothing —
-    each queued job's reservation from the previous pass is replayed
-    after a bounded ``earliest_start(..., not_after=now)`` probe
-    proves the job still cannot start at the new instant.  The probe
-    is the exact scan the full pass would run, truncated to its first
-    breakpoint; when it finds a feasible start (or meets an at-now
-    reservation, or the queue order diverges) the replay stops and the
-    stock loop takes over from that position.  Submission-triggered
-    cycles — the bulk of a busy simulation — thus walk the merged
-    availability+reservation sweep once for the new arrivals instead
-    of re-deriving every standing reservation from scratch.
+    **Layer 1 — the profile cache.**  The availability profile is not
+    rebuilt per cycle: pass-local starts are folded in via
+    ``apply_start`` (with realized dilations, exactly what a fresh
+    build would see), completions via ``on_release`` →
+    ``apply_release``, and the clock advances via ``rebase`` — so the
+    next cycle reuses the profile object through the shared cache.
 
-    The probe cap is a *time* bound; completion folds of jobs that
-    finished far ahead of their walltime push it out to the stale
-    estimated end and used to force full recomputes of every standing
-    reservation.  The **per-node bound** closes that gap: each entry
-    also records the largest achievable free-node count its scan saw
-    at any rejected breakpoint, and folds record how many nodes they
-    freed early.  While the sum stays under a job's node demand, no
-    breakpoint below its cached start can have become feasible (folds
-    only add those nodes; everything else the replay permits only
-    removes availability), so the fresh scan resumes *at* the cached
-    start — bit-identical to the full scan, minus its rejected
-    prefix.  Every scan of the pass runs through the transaction's
-    shared :class:`~repro.sched.profile.SweepCursor`.
+    **Layer 2 — the persistent reservation plan.**  Teardown does
+    *not* clear the standing reservations: they — and the pass-shared
+    :class:`~repro.sched.profile.SweepCursor`'s materialized
+    breakpoint states — survive into the next pass.  A pass that
+    starts from a provably unchanged profile diffs the queue against
+    the retained plan instead of re-deriving it:
+
+    * while the prefix replays (same job, same duration, reservation
+      start beyond the probe cap, anchor infeasible), the standing
+      reservation is simply *validated in place* — no
+      ``add_reservation`` index inserts, no cursor re-patching, no
+      promise recomputation; the replayed majority of a
+      submission-triggered cycle costs one O(1) anchor count compare
+      per entry;
+    * the first divergence (queue reorder, duration drift, a job that
+      can now start, a blown probe) *spills* the not-yet-validated
+      suffix (``truncate_reservations``) — a fresh scan for entry *p*
+      must see exactly the reservations of entries ahead of it — and
+      the stock loop takes over from that position, re-adding as it
+      goes;
+    * the retained fast path is armed only when the probe cap sits at
+      *now* and no retained reservation is due at or before it
+      (otherwise reservations are cleared up front and the pass runs
+      stock — the pre-retention behavior).
+
+    **Layer 3 — the replay bounds.**  With the plan retained, each
+    entry still needs proof that no breakpoint below its cached start
+    became feasible since its scan:
+
+    * the **probe door**: a bounded ``earliest_start(..., not_after=
+      cap)`` probe re-evaluates the (usually empty) perturbed prefix —
+      exact by construction, it is the full scan truncated;
+    * the **per-node door**: when completion folds blow the time cap
+      far out (early-finish skew), an entry whose scan rejected every
+      earlier breakpoint on *node counts* resumes at its cached start
+      while ``m_bound + freed nodes`` stays under its demand — folds
+      only add those nodes, everything else the replay permits only
+      removes availability;
+    * the **pool door** (the pool-level perturbation bound): entries
+      whose scans rejected some breakpoints on *pool capacity* are
+      excluded from the per-node door (placement identity can flip
+      under any free-set change), but when the allocator's verdict is
+      node-identity-independent — a ``GlobalPoolAllocator``, whose
+      plan is a pure function of the global pool level and the node
+      count — a pool-capacity rejection can only flip if pool
+      availability *rose* below the horizon.  So such an entry resumes
+      at its cached start when the count-only bound (``p_bound``)
+      holds **and** zero pool MiB was released below the horizon
+      (completion folds of pool-holding jobs, superseded reservations
+      carrying grants); reservations planted meanwhile only *consume*
+      pool, and node-only folds leave every pool level bit-identical.
+
+    Every scan of the pass runs through the transaction's shared
+    :class:`~repro.sched.profile.SweepCursor`; in a fully-replayed
+    pass the cursor's materialized states are never rebuilt at all.
     """
 
     name = "conservative"
@@ -429,27 +520,20 @@ class ConservativeBackfill(BackfillStrategy):
             raise ConfigurationError("reservation depth must be >= 1")
         self.depth = depth
         self._profile_cache = None
-        # (profile, mutation_count, fold_horizon, entries, fold_nodes):
-        # the previous pass's processed prefix as (job,
-        # reservation|None, duration, remote, max_reject) tuples.
-        # ``fold_horizon`` is the largest release time removed by
-        # completion folds since the entries were derived: evaluation
-        # at breakpoints beyond it is untouched by those folds, so
-        # entries starting strictly after it stay replayable behind a
-        # probe bounded at the horizon.  ``fold_nodes`` is the *node
-        # count* those folds freed early — the per-node perturbation
-        # bound: an entry whose scan rejected every breakpoint before
-        # its start with at most ``max_reject`` achievable free nodes
-        # cannot gain a start below it from folds freeing
-        # ``fold_nodes`` nodes while ``max_reject + fold_nodes`` stays
-        # under the job's demand, however far out the time horizon
-        # sits (the early-finish-skew regime that used to force full
-        # recomputes).
-        self._plan_cache: Optional[tuple] = None
-        #: Replay-path counters (exposed for tests and audits):
-        #: entries replayed behind the time-horizon probe, behind the
-        #: per-node bound, and fully recomputed.
-        self.replay_stats = {"probe": 0, "per_node": 0, "recompute": 0}
+        #: The retained cross-pass plan (see :class:`_ReservationPlan`).
+        self._plan: Optional[_ReservationPlan] = None
+        #: Replay-path counters (exposed for tests and audits).
+        #: ``per_node`` / ``pool`` count uses of the respective
+        #: perturbation bound (as a scan-free probe proof or as a
+        #: resume-at-cached-start floor); ``probe`` counts replays
+        #: validated by the anchor count or a real bounded probe;
+        #: ``recompute`` counts full scans.  ``retained`` additionally
+        #: counts replays validated *in place* on the persistent plan
+        #: (no ``add_reservation``) — it overlaps the door counters.
+        self.replay_stats = {
+            "retained": 0, "probe": 0, "per_node": 0, "pool": 0,
+            "recompute": 0,
+        }
 
     def on_release(
         self,
@@ -460,9 +544,9 @@ class ConservativeBackfill(BackfillStrategy):
         version_before: int,
     ) -> Optional[float]:
         folded_end = super().on_release(sched, cluster, job, now, version_before)
-        plan = self._plan_cache
+        plan = self._plan
         if folded_end is not None and plan is not None:
-            profile = plan[0]
+            profile = plan.profile
             # The plan stays coherent only if it was stamped against
             # the state just before this fold (the fold bumped the
             # mutation count by one); anything else is already stale
@@ -470,18 +554,22 @@ class ConservativeBackfill(BackfillStrategy):
             if (
                 self._profile_cache is not None
                 and self._profile_cache[2] is profile
-                and plan[1] == profile.mutation_count - 1
+                and plan.mutations == profile.mutation_count - 1
             ):
-                self._plan_cache = (
-                    profile,
-                    profile.mutation_count,
-                    max(plan[2], folded_end),
-                    plan[3],
-                    plan[4] + len(job.assigned_nodes),
-                )
+                plan.mutations = profile.mutation_count
+                if folded_end > plan.horizon:
+                    plan.horizon = folded_end
+                plan.fold_nodes += len(job.assigned_nodes)
+                plan.fold_pool += sum(job.pool_grants.values())
         return folded_end
 
     def run(self, ctx: SchedulerContext, sched: Scheduler) -> List[StartDecision]:
+        """One conservative pass: diff the queue window against the
+        retained plan, validate or re-derive each entry, start what
+        can start now, and retain the resulting plan for the next
+        pass.  Decision-identical to rebuilding the reservation
+        schedule from scratch (the differential suites enforce it).
+        """
         started: List[StartDecision] = []
         pending = ctx.pending()
         if not pending:
@@ -490,11 +578,6 @@ class ConservativeBackfill(BackfillStrategy):
         ordered = sched.queue_policy.order(pending, now)
         allocator = sched.resolve_allocator(ctx.cluster)
         profile = self._cycle_profile(ctx, sched)
-        # The pass's one merged availability sweep: every scan below —
-        # replay probes, per-node resumes, and full scans alike — runs
-        # through this cursor, sharing the materialized breakpoint
-        # states across all queued jobs.
-        sweep = ctx.transaction.sweep(profile)
         window = ordered[: self.depth]
         entries: List[tuple] = []
         replay_stats = self.replay_stats
@@ -505,6 +588,73 @@ class ConservativeBackfill(BackfillStrategy):
         # representations evaluate identically, so the plan survives
         # the pass behind that horizon.
         pass_horizon = float("-inf")
+
+        plan = self._plan
+        cached_entries: Optional[list] = None
+        cap = now
+        fold_nodes = 0
+        fold_pool = 0
+        if (
+            plan is not None
+            and plan.profile is profile
+            and plan.mutations == profile.mutation_count
+        ):
+            cached_entries = plan.entries
+            if plan.horizon > cap:
+                cap = plan.horizon
+            fold_nodes = plan.fold_nodes
+            fold_pool = plan.fold_pool
+        tracking = cached_entries is not None
+
+        # The retained fast path: the previous pass left its standing
+        # reservations — and the cursor's materialized states — in the
+        # profile.  While the plan is provably unchanged and no
+        # retained reservation is due at or before *now*, the prefix
+        # walk below validates each standing reservation in place
+        # instead of re-adding it: zero reservation-index work and
+        # zero cursor re-materialization for the replayed majority.
+        # The cap may sit beyond *now* (completion folds re-stamp the
+        # plan while raising the horizon): in-place validation then
+        # rests on the scan-free bound proofs alone — the anchor-count
+        # shortcut is separately guarded by ``cap <= now`` — and the
+        # first entry needing a real probe or scan spills.  A plan
+        # that is stale or already due spills everything up front and
+        # the pass runs stock (the pre-retention behavior,
+        # bit-identical).
+        live = False
+        if profile.reservation_count:
+            first_due = profile.first_reservation_start()
+            live = (
+                tracking
+                and plan.retained
+                and first_due is not None
+                and first_due > now + _EPS
+            )
+            if not live:
+                profile.clear_reservations()
+        retained = 0  # standing reservations validated so far (prefix)
+
+        # The pass's one merged availability sweep: every scan below —
+        # replay probes, per-node/pool resumes, and full scans alike —
+        # runs through this cursor, sharing the materialized
+        # breakpoint states across all queued jobs (and, on the
+        # retained fast path, across passes).
+        sweep = ctx.transaction.sweep(profile)
+
+        def spill() -> None:
+            """Drop the not-yet-validated retained suffix.
+
+            A fresh scan or probe for entry *i* must see exactly the
+            reservations of entries ahead of it — the retained claims
+            of entries at or after *i* would under-count availability.
+            The validated prefix (insertion indices ``0..retained-1``)
+            stands exactly as the stock pass would have rebuilt it.
+            """
+            nonlocal live, sweep
+            if live:
+                live = False
+                profile.truncate_reservations(retained)
+                sweep = ctx.transaction.sweep(profile)
 
         # Resume points: while the queue prefix and the profile are
         # provably unchanged, each cached reservation is exact iff a
@@ -524,34 +674,31 @@ class ConservativeBackfill(BackfillStrategy):
         # claims leave the timeline; everything else the replay
         # permits only removes availability).  An entry whose original
         # scan rejected every breakpoint before its start with at most
-        # ``max_reject`` achievable free nodes therefore still has no
-        # start below it while ``max_reject`` plus those releases
-        # stays under the job's node demand — so the fresh scan can
-        # resume *at* the cached start instead of walking the whole
-        # prefix, however far out the fold time horizon sits.
-        # (Pool grants released by folds cannot matter here: below the
-        # cached start the node count never passed, so the pool was
-        # never consulted; scans that *did* reject on placement or
-        # pool record the node demand itself as their bound, which
-        # keeps this door shut for them.)
-        cache = self._plan_cache
-        cached_entries: Optional[list] = None
-        cap = now
-        fold_nodes = 0
-        if (
-            cache is not None
-            and cache[0] is profile
-            and cache[1] == profile.mutation_count
-        ):
-            cached_entries = cache[3]
-            if cache[2] > cap:
-                cap = cache[2]
-            fold_nodes = cache[4]
-        tracking = cached_entries is not None
-        # Pass-local additions to the per-node perturbation bound from
-        # divergent recomputes (see above).
-        c_extra = 0
+        # ``m_bound`` achievable free nodes therefore still has no
+        # start below it while ``m_bound`` plus those releases stays
+        # under the job's node demand — so the fresh scan can resume
+        # *at* the cached start instead of walking the whole prefix,
+        # however far out the fold time horizon sits.
+        #
+        # The pool-level bound is the third door, for entries the
+        # per-node sentinel excludes (their scans rejected some
+        # breakpoints on pool capacity).  Sound only when the
+        # allocator's verdict is node-identity-independent — the
+        # global allocator's plan is a pure function of the global
+        # pool level and the node count, so placement identity drift
+        # under freed nodes cannot flip it.  A pool-capacity rejection
+        # then flips only if pool availability rose below the horizon:
+        # completion folds carrying grants and superseded reservations
+        # carrying grants are the only such sources the replay
+        # permits (``fold_pool`` / ``c_pool``); node-only folds leave
+        # every pool level bit-identical, and reservations planted
+        # meanwhile only consume pool.  Count-limited rejections are
+        # still covered by the count-only bound ``p_bound``.
+        c_extra = 0  # pass-local node releases from divergences
+        c_pool = 0   # pass-local pool MiB released by divergences
         start_ends: dict = {}  # job_id -> in-pass claim end, per start
+        claims: List[Reservation] = []  # in-pass claims, removed at teardown
+        pool_door = type(allocator) is GlobalPoolAllocator
 
         # On a pool-unmetered machine, pool pressure is identically
         # zero, so a job's duration estimate is a pure function of its
@@ -583,6 +730,7 @@ class ConservativeBackfill(BackfillStrategy):
             # is byte-identical to a fresh one.
             res_after: Optional[float] = None
             m_floor = 0
+            p_floor: Optional[int] = None
             if entry is not None and entry[2] == dur:
                 cached_res = entry[1]
                 if cached_res is None:
@@ -592,44 +740,114 @@ class ConservativeBackfill(BackfillStrategy):
                     entries.append(entry)
                     continue
                 if cached_res.start > cap + _EPS:
-                    # A probe capped at *now* has one candidate — the
-                    # anchor — so a free-node count below the demand
-                    # decides it without the scan's setup cost.
-                    if cap <= now and sweep.count_at_anchor() < job.nodes:
+                    if live and (
+                        retained >= profile.reservation_count
+                        or profile.reservation_at(retained) is not cached_res
+                    ):  # pragma: no cover - defensive; invariant-kept
+                        spill()
+                    # The probe's whole range [now, cap] lies strictly
+                    # below the cached start, so the perturbation
+                    # bounds that justify resuming *at* the start also
+                    # prove the probe's verdict without running it:
+                    # every breakpoint in the range was rejected by
+                    # the deriving scan, and since then availability
+                    # rose by at most ``fold_nodes + c_extra`` nodes
+                    # (per-node proof) and — under the pool door —
+                    # zero pool MiB (pool proof).  Failing both, a
+                    # probe capped at *now* still has one candidate —
+                    # the anchor — so a free-node count below the
+                    # demand decides it with one compare.  (On the
+                    # retained fast path no reservation is active at
+                    # the anchor, so that count is identical with or
+                    # without the standing suffix.)  Only when every
+                    # scan-free proof fails does the real bounded
+                    # probe run — against the validated prefix alone.
+                    door = "probe"
+                    if (
+                        entry[4] is not None
+                        and entry[4] + fold_nodes + c_extra < job.nodes
+                    ):
+                        probe = None
+                        door = "per_node"
+                    elif (
+                        pool_door
+                        and entry[5] is not None
+                        and not fold_pool
+                        and not c_pool
+                        and entry[5] + fold_nodes + c_extra < job.nodes
+                    ):
+                        probe = None
+                        door = "pool"
+                    elif cap <= now and sweep.count_at_anchor() < job.nodes:
                         probe = None
                     else:
+                        spill()
                         probe = sweep.earliest_start(
                             job, dur, split.remote, sched.placement,
                             allocator, not_after=cap,
                         )
                     if probe is None:
-                        profile.add_reservation(cached_res)
+                        if live:
+                            # Already standing at exactly this
+                            # insertion position: validate in place.
+                            retained += 1
+                            replay_stats["retained"] += 1
+                        else:
+                            profile.add_reservation(cached_res)
+                        replay_stats[door] += 1
                         ctx.record_promise(job.job_id, cached_res.start)
-                        # Age the per-node bound by every node release
-                        # accrued since the entry was derived.
+                        # Age the bounds by every release accrued
+                        # since the entry was derived; pool releases
+                        # void the (binary) pool-level premise.
                         m_bound = entry[4]
                         if m_bound is not None:
                             m_bound = m_bound + fold_nodes + c_extra
-                        entries.append((job, cached_res, dur, entry[3], m_bound))
-                        replay_stats["probe"] += 1
+                        p_bound = entry[5]
+                        if p_bound is not None:
+                            if fold_pool or c_pool:
+                                p_bound = None
+                            else:
+                                p_bound = p_bound + fold_nodes + c_extra
+                        entries.append(
+                            (job, cached_res, dur, entry[3], m_bound, p_bound)
+                        )
                         continue
                     # Startable at or before the cap: fall through to
                     # the fresh scan (which will find that start).
-                elif (
-                    entry[4] is not None
-                    and entry[4] + fold_nodes + c_extra < job.nodes
-                    and cached_res.start > now + _EPS
-                ):
-                    # Per-node bound holds: no breakpoint below the
-                    # cached start can satisfy the job even with every
-                    # early-freed node, so the fresh scan may resume
-                    # at the cached start — bit-identical to a full
-                    # scan, minus its rejected prefix.
-                    res_after = cached_res.start
-                    m_floor = entry[4] + fold_nodes + c_extra
-                    replay_stats["per_node"] += 1
+                elif cached_res.start > now + _EPS:
+                    if (
+                        entry[4] is not None
+                        and entry[4] + fold_nodes + c_extra < job.nodes
+                    ):
+                        # Per-node bound holds: no breakpoint below
+                        # the cached start can satisfy the job even
+                        # with every early-freed node, so the fresh
+                        # scan may resume at the cached start —
+                        # bit-identical to a full scan, minus its
+                        # rejected prefix.
+                        res_after = cached_res.start
+                        m_floor = entry[4] + fold_nodes + c_extra
+                        replay_stats["per_node"] += 1
+                    elif (
+                        pool_door
+                        and entry[4] is not None
+                        and entry[5] is not None
+                        and not fold_pool
+                        and not c_pool
+                        and entry[5] + fold_nodes + c_extra < job.nodes
+                    ):
+                        # Pool-level bound holds: every count-limited
+                        # rejection below the cached start stays
+                        # count-limited, and every pool-capacity
+                        # rejection stays capacity-limited because no
+                        # pool MiB returned below the horizon.
+                        res_after = cached_res.start
+                        m_floor = entry[4] + fold_nodes + c_extra
+                        p_floor = entry[5] + fold_nodes + c_extra
+                        replay_stats["pool"] += 1
             if res_after is None:
                 replay_stats["recompute"] += 1
+            spill()
             res = sweep.earliest_start(
                 job, dur, split.remote, sched.placement, allocator,
                 after=res_after,
@@ -637,21 +855,35 @@ class ConservativeBackfill(BackfillStrategy):
             max_reject = sweep.last_scan_max_reject
             if max_reject < m_floor:
                 max_reject = m_floor
+            # Pool-level bound for the new entry: the count-only
+            # maximum over the scanned segment and the resumed
+            # prefix, kept only when a pool-capacity rejection
+            # occurred in either.
+            if sweep.last_scan_pool_rejects or p_floor is not None:
+                p_bound = sweep.last_scan_count_reject
+                prefix_floor = p_floor if p_floor is not None else m_floor
+                if p_bound < prefix_floor:
+                    p_bound = prefix_floor
+            else:
+                p_bound = None
             if entry is None or entry[2] != dur or res != entry[1]:
                 # This position diverged from the cached plan.  The
                 # divergence perturbs evaluation only below the later
                 # of the two reservations' ends, so later cached
                 # entries stay usable behind an escalated probe cap;
-                # for the per-node bound it acts like a fold freeing
-                # the superseded reservation's nodes (the replacement
-                # only adds claims).
+                # for the perturbation bounds it acts like a fold
+                # freeing the superseded reservation's nodes and
+                # grants (the replacement only adds claims).
                 if entry is not None and entry[1] is not None:
-                    if entry[1].end > cap:
-                        cap = entry[1].end
-                    c_extra += len(entry[1].node_ids)
+                    old_res = entry[1]
+                    if old_res.end > cap:
+                        cap = old_res.end
+                    c_extra += len(old_res.node_ids)
+                    for _pool_id, amount in old_res.pool_grants:
+                        c_pool += amount
                 if res is not None and res.end > cap:
                     cap = res.end
-            entries.append((job, res, dur, split.remote, max_reject))
+            entries.append((job, res, dur, split.remote, max_reject, p_bound))
             if res is None:
                 continue  # cannot run even empty; engine rejects at submit
             if res.start <= now + _EPS:
@@ -669,16 +901,16 @@ class ConservativeBackfill(BackfillStrategy):
                     if now + dur > pass_horizon:
                         pass_horizon = now + dur
                     if now + dur > cap:
-                        cap = now + dur  # the trial below perturbs to here
-                    profile.add_reservation(
-                        Reservation(
-                            job.job_id,
-                            now,
-                            now + dur,
-                            res.node_ids,
-                            res.pool_grants,
-                        )
+                        cap = now + dur  # the claim below perturbs to here
+                    claim = Reservation(
+                        job.job_id,
+                        now,
+                        now + dur,
+                        res.node_ids,
+                        res.pool_grants,
                     )
+                    claims.append(claim)
+                    profile.add_reservation(claim)
                     continue
                 # Gate said wait: fall through to reserving its slot so
                 # lower-priority jobs cannot squat on it.
@@ -686,13 +918,23 @@ class ConservativeBackfill(BackfillStrategy):
             if res.start > now + _EPS:
                 ctx.record_promise(job.job_id, res.start)
 
-        # Teardown: reservations are per-pass scratch state, but the
-        # release sweep underneath is durable.  Folding the pass's
-        # starts (with realized dilations) restores the "fresh build
-        # at current cluster state" invariant, so the cache survives
-        # the pass's own mutations.
-        profile.clear_reservations()
+        if live and retained < profile.reservation_count:  # pragma: no cover
+            # Defensive: the window ended with cached entries
+            # unvisited (a pending set can only shrink through starts,
+            # which spill first) — their claims were never validated.
+            profile.truncate_reservations(retained)
+
+        # Teardown: the release sweep underneath is durable, and so —
+        # now — are the standing reservations: they are *retained* for
+        # the next pass's fast path instead of cleared and re-derived.
+        # Only the in-pass claims of started jobs leave (each is
+        # replaced by an ``apply_start`` fold at the realized
+        # dilation, exactly what a fresh build would see), restoring
+        # the "fresh build at current cluster state plus the standing
+        # plan" invariant the caches rest on.
         m_poison = False
+        for claim in claims:
+            profile.remove_reservation(claim)
         for decision in started:
             job = decision.job
             est_end = job.start_time + sched.duration_of_running(job)
@@ -702,18 +944,19 @@ class ConservativeBackfill(BackfillStrategy):
             if est_end < start_ends[job.job_id]:
                 # The realized fold ends before the in-pass claim did
                 # (pressure drift on a metered machine): availability
-                # *rose* in between, which the per-node bounds cannot
-                # see — the time cap covers it, the node counts do
+                # *rose* in between, which the perturbation bounds
+                # cannot see — the time cap covers it, the counters do
                 # not.  Void them; the probe path is unaffected.
                 m_poison = True
         if m_poison:
             entries = [
-                (entry[0], entry[1], entry[2], entry[3], None)
+                (entry[0], entry[1], entry[2], entry[3], None, None)
                 for entry in entries
             ]
         self._profile_cache = (ctx.cluster, ctx.cluster.version, profile)
-        self._plan_cache = (
-            profile, profile.mutation_count, pass_horizon, entries, 0,
+        self._plan = _ReservationPlan(
+            profile, profile.mutation_count, pass_horizon, entries,
+            retained=True,
         )
         return started
 

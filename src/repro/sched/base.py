@@ -113,9 +113,16 @@ class PassTransaction:
     and queue side effects in one commit
     (:meth:`repro.engine.simulation.SchedulerSimulation._commit_pass`).
 
-    A transaction lives for exactly one pass.  Contexts built without
-    one (tests, ad-hoc tooling) create their own, so strategies can
-    rely on it unconditionally.
+    A transaction lives for exactly one pass — but the state it hands
+    out increasingly *spans* passes: the sweep cursor belongs to the
+    profile (which conservative backfill retains, reservations and
+    materialized states included, across cycles), and the gates'
+    next-pool-release scan is seeded from a stamp-keyed cross-pass
+    cache (:class:`~repro.sched.memaware.StartGate`).  The transaction
+    is the per-pass *access point* and consistency scope, not the
+    owner of those lifetimes.  Contexts built without one (tests,
+    ad-hoc tooling) create their own, so strategies can rely on it
+    unconditionally.
     """
 
     __slots__ = ("decisions", "_pool_rel_len", "_pool_rel_min")
@@ -132,9 +139,10 @@ class PassTransaction:
         """The pass's shared sweep cursor over ``profile``.
 
         Delegates to :meth:`AvailabilityProfile.sweep_cursor`; the
-        profile owns the cursor's lifetime (a mid-pass ``apply_start``
-        fold drops and lazily rebuilds it), so the transaction only
-        provides the pass-scoped access point.
+        profile owns the cursor's lifetime (mutations it cannot track
+        in place drop it, ``rebase`` re-anchors it, and a retained
+        reservation plan carries it across passes), so the
+        transaction only provides the pass-scoped access point.
         """
         return profile.sweep_cursor()
 

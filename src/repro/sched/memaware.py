@@ -35,6 +35,11 @@ class StartGate(abc.ABC):
     #: skip the call entirely (AlwaysStart is the default gate).
     trivially_permits: bool = False
 
+    #: Cross-pass cache for :meth:`_next_pool_release`, keyed on the
+    #: cluster's **pool-release change stamps**: ``(cluster,
+    #: (pool_grant_count, pool_release_count), value)`` or None.
+    _release_cache: Optional[tuple] = None
+
     @abc.abstractmethod
     def permit(
         self, ctx: SchedulerContext, sched: Scheduler, decision: StartDecision
@@ -42,16 +47,44 @@ class StartGate(abc.ABC):
         ...
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _next_pool_release(ctx: SchedulerContext, sched: Scheduler) -> Optional[float]:
+    def _next_pool_release(
+        self, ctx: SchedulerContext, sched: Scheduler
+    ) -> Optional[float]:
         """Estimated end of the earliest-finishing pool-holding job.
 
-        Served by the pass transaction's shared cache: the running
-        set only grows within a pass, so the minimum is computed once
-        and folded forward over mid-pass starts instead of rescanned
-        on every ``permit`` call.
+        Served by the pass transaction's shared cache within a pass
+        (the running set only grows mid-pass, so the minimum is
+        computed once and folded forward over starts instead of
+        rescanned per ``permit`` call) — and *seeded across passes*
+        from the gate's stamp-keyed cache: a running job's estimated
+        end is fixed at start, so the minimum changes only when a
+        pool-holding job starts or releases, both of which bump the
+        cluster's pool-activity stamps.  While the stamps are
+        unchanged, the cached value is bit-identical to a fresh
+        running-set scan, and the pass skips it.
         """
-        return ctx.transaction.next_pool_release(ctx, sched)
+        txn = ctx.transaction
+        cluster = ctx.cluster
+        cache = self._release_cache
+        if (
+            cache is not None
+            and txn._pool_rel_len is None
+            and cache[0] is cluster
+            and cache[1] == (cluster.pool_grant_count, cluster.pool_release_count)
+        ):
+            # Seed the pass: jobs already running hold exactly the
+            # grants they held at the cached scan, so only mid-pass
+            # starts (folded forward by the transaction) can lower
+            # the minimum from here.
+            txn._pool_rel_len = len(ctx.running)
+            txn._pool_rel_min = cache[2]
+        value = txn.next_pool_release(ctx, sched)
+        self._release_cache = (
+            cluster,
+            (cluster.pool_grant_count, cluster.pool_release_count),
+            value,
+        )
+        return value
 
 
 class AlwaysStart(StartGate):

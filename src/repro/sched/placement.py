@@ -36,6 +36,13 @@ class PlacementPolicy(abc.ABC):
 
     name: str = "abstract"
 
+    #: Does :meth:`select` read the ``pool_free`` hint at all?  Hot
+    #: paths skip building the (expensive) windowed pool view for jobs
+    #: that need no pool memory when the placement cannot observe it —
+    #: decision-invisible by construction.  Policies that order nodes
+    #: by pool capacity (min_remote) set this True.
+    uses_pool_hint: bool = False
+
     @abc.abstractmethod
     def select(
         self,
@@ -118,6 +125,7 @@ class MinRemotePlacement(PlacementPolicy):
     """
 
     name = "min_remote"
+    uses_pool_hint = True
 
     def select(self, cluster, free_nodes, count, remote_per_node, pool_free=None):
         if len(free_nodes) < count:

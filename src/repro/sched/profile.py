@@ -50,13 +50,25 @@ one scheduling pass runs many ``earliest_start`` scans against the
 same profile, all anchored at the same instant, and every scan used to
 rebuild the same sweep state (free-set copies, release folding,
 reservation activation) from scratch.  The cursor materializes the
-per-breakpoint availability states **once per pass** — lazily, as deep
-as the deepest scan reaches — and keeps them exact across
-``add_reservation`` by patching the affected prefix in place, so the
+per-breakpoint availability states **once** — lazily, as deep as the
+deepest scan reaches — and keeps them exact across
+``add_reservation`` by patching the affected prefix in place, so a
 pass walks the merged release/reservation timeline once instead of
-once per queued job.  Any other mutation (``apply_start``,
-``apply_release``, ``remove_reservation``, ``clear_reservations``,
-``rebase``) simply drops the cursor; the next scan rebuilds it.
+once per queued job.  Since the reservation layer became persistent
+(the conservative strategy retains its plan across passes), the
+cursor's lifetime is no longer bounded by the pass either:
+
+* ``rebase`` re-anchors a live cursor in place
+  (:meth:`SweepCursor._rebase`) — materialized states are pure
+  functions of their instant, so advancing the clock only retires the
+  grid prefix at or before the new anchor;
+* ``truncate_reservations`` with nothing to drop (the fully-replayed
+  pass) leaves the cursor untouched, which is what lets a chain of
+  replayed passes share one materialization;
+* every mutation the cursor cannot track in place (``apply_start``,
+  ``apply_release``, ``remove_reservation``, ``clear_reservations``,
+  and a truncation that actually drops reservations) still drops it;
+  the next scan rebuilds lazily.
 
 All query results are bitwise identical to the reference
 implementation (kept as ``tests/_reference_profile.py``); the
@@ -223,17 +235,46 @@ class AvailabilityProfile:
 
     @property
     def reservations(self) -> List[Reservation]:
+        """A copy of the standing reservations in insertion order."""
         return list(self._reservations)
 
+    @property
+    def reservation_count(self) -> int:
+        """Number of standing reservations (O(1))."""
+        return len(self._reservations)
+
+    def reservation_at(self, index: int) -> Reservation:
+        """The standing reservation with insertion index ``index``.
+
+        Insertion indices are dense and stable under removal (later
+        reservations shift down) — the retained-plan walk uses this to
+        identity-check each validated position.
+        """
+        return self._reservations[index]
+
+    def first_reservation_start(self) -> Optional[float]:
+        """Earliest standing reservation start, or None (O(1)).
+
+        The retained-plan "nothing due yet" precondition: while every
+        standing reservation starts strictly after the pass instant,
+        none claims nodes at the anchor, so anchor-count probes are
+        identical with or without the standing suffix.
+        """
+        starts = self._res_start_times
+        return starts[0] if starts else None
+
     def sweep_cursor(self) -> "SweepCursor":
-        """The pass-shared resumable sweep over this profile.
+        """The shared resumable sweep over this profile.
 
         Created on first use and reused until a mutation the cursor
         cannot track in place (``apply_start`` / ``apply_release`` /
-        ``remove_reservation`` / ``clear_reservations`` / ``rebase``)
-        drops it; ``add_reservation`` keeps it exact incrementally.
-        All cursor queries are bit-identical to the corresponding
-        profile queries — the cursor is pure acceleration.
+        ``remove_reservation`` / ``clear_reservations`` / a
+        reservation-dropping ``truncate_reservations``) drops it;
+        ``add_reservation`` keeps it exact incrementally and
+        ``rebase`` re-anchors it, so under the retained reservation
+        plan one cursor can span many passes.  All cursor queries are
+        bit-identical to the corresponding profile queries — the
+        cursor is pure acceleration.
         """
         cursor = self._cursor
         if cursor is None:
@@ -244,29 +285,51 @@ class AvailabilityProfile:
         """Advance the profile clock to a later instant, in place.
 
         Valid — i.e., afterwards the profile is bit-identical to a
-        fresh build at ``now`` — only when nothing happened in between:
-        no cluster mutation, no reservations held, no release at or
-        before the new instant (a fresh build would clamp an overrun),
-        and no release already clamped at build time (a clamped time
-        embeds the old ``now``; a fresh build at the new instant would
-        clamp to a different time).  The profile checks the conditions
-        it can see and returns False (leaving itself untouched) when
-        they fail; the *cluster unchanged* part is the caller's
-        contract (version counters).
+        fresh build at ``now`` **plus the same reservations re-added in
+        the same insertion order** — only when nothing happened in
+        between: no cluster mutation, no release at or before the new
+        instant (a fresh build would clamp an overrun), and no release
+        already clamped at build time (a clamped time embeds the old
+        ``now``; a fresh build at the new instant would clamp to a
+        different time).  The profile checks the conditions it can see
+        and returns False (leaving itself untouched) when they fail;
+        the *cluster unchanged* part is the caller's contract (version
+        counters).
+
+        Standing reservations survive the rebase untouched — this is
+        what lets conservative backfill keep its reservation plan (and
+        the cursor's materialized states) alive across passes.  A
+        reservation whose window has partly or wholly expired stays
+        inert through the activity tests; whether a retained plan is
+        still *usable* at the new instant (no reservation due at or
+        before it) is the retaining strategy's decision, not the
+        profile's.  A live sweep cursor is re-anchored in place
+        (:meth:`SweepCursor._rebase`) instead of dropped: the per-
+        breakpoint states are pure functions of their instant, so only
+        grid times at or before the new anchor leave.
         """
         if now < self._now:
-            return False
-        if self._reservations:
             return False
         if self._has_clamped_release:
             return False
         if self._rel_times and self._rel_times[0] <= now:
             return False
-        self._now = now
-        self._cursor = None  # the grid is anchored at the old instant
+        if now != self._now:
+            self._now = now
+            if self._cursor is not None:
+                self._cursor._rebase(now)
         return True
 
     def add_reservation(self, reservation: Reservation) -> Reservation:
+        """Register a promised window (O(log n) index inserts).
+
+        Insertion order is semantic: the pool sweep's tie order at
+        equal instants follows it, so two profiles holding equal
+        reservations in different orders can answer window queries
+        differently.  The replay machinery therefore always rebuilds
+        or retains reservations in queue-walk order.  A live sweep
+        cursor is patched in place, never dropped.
+        """
         self._res_index[id(reservation)] = len(self._reservations)
         self._reservations.append(reservation)
         insort(self._res_bounds, reservation.start)
@@ -282,10 +345,15 @@ class AvailabilityProfile:
         return reservation
 
     def remove_reservation(self, reservation: Reservation) -> None:
+        """Withdraw one reservation; later insertion indices shift
+        down.  Raises ``ValueError`` when it is not registered.  Drops
+        a live sweep cursor (the claims are already folded into its
+        states)."""
         # Identity-first: the common case removes the exact object just
-        # added (EASY's trial), skipping field-wise dataclass equality.
-        # Equal reservations are interchangeable for every query, so
-        # falling back to equality preserves the original semantics.
+        # added (a pass's own claim), skipping field-wise dataclass
+        # equality.  Equal reservations are interchangeable for every
+        # query, so falling back to equality preserves the original
+        # semantics.
         reservations = self._reservations
         for index, existing in enumerate(reservations):
             if existing is reservation:
@@ -329,6 +397,49 @@ class AvailabilityProfile:
         self._res_start_refs.clear()
         self._res_end_times.clear()
         self._res_end_refs.clear()
+        self._cursor = None
+
+    def truncate_reservations(self, keep: int) -> None:
+        """Drop every reservation with insertion index >= ``keep``.
+
+        The spill primitive of the retained reservation plan: when a
+        pass diverges from the plan at queue position *p*, the
+        validated prefix (reservations ``0..keep-1``) stands exactly as
+        the pass would have rebuilt it, while the not-yet-validated
+        suffix must leave before any fresh scan runs (a scan for entry
+        *p* must see only the reservations of entries ahead of it).
+        ``_reservations`` is maintained in insertion-index order, so
+        the suffix is precisely the tail of the list.
+
+        A no-op when nothing needs dropping (the common "every entry
+        replayed" pass) — in particular the live cursor survives.
+        Otherwise the cursor is dropped: its materialized states fold
+        the dropped claims in, and recomputing the affected prefix
+        would cost what the next scans' lazy rebuild costs anyway.
+        """
+        reservations = self._reservations
+        if keep >= len(reservations):
+            return
+        if keep <= 0:
+            self.clear_reservations()
+            return
+        res_index = self._res_index
+        bounds = self._res_bounds
+        while len(reservations) > keep:
+            res = reservations.pop()
+            del res_index[id(res)]
+            for bound in (res.start, res.end):
+                del bounds[bisect_left(bounds, bound)]
+            pos = bisect_left(self._res_start_times, res.start)
+            while self._res_start_refs[pos] is not res:
+                pos += 1
+            del self._res_start_times[pos]
+            del self._res_start_refs[pos]
+            pos = bisect_left(self._res_end_times, res.end)
+            while self._res_end_refs[pos] is not res:
+                pos += 1
+            del self._res_end_times[pos]
+            del self._res_end_refs[pos]
         self._cursor = None
 
     # ------------------------------------------------------------------
@@ -913,18 +1024,35 @@ class SweepCursor:
       evaluating a non-grid instant against the directly computed
       state is exact as well (used by ``after=`` resumes).
 
-    :attr:`last_scan_max_reject` supports the conservative plan
-    cache's per-node replay bound: after a scan that returned a
-    reservation, it holds the largest *achievable free-node count*
-    observed at any rejected breakpoint before the accepted start
-    (count-pruned breakpoints contribute their exact free count,
-    window-rejected ones the windowed count, and placement/pool
-    rejections the job's full node demand — a sentinel that keeps the
-    bound unusable, since those rejections are not count-limited).
+    Scan statistics for the conservative plan cache's replay bounds
+    (all refreshed by every :meth:`earliest_start` call):
+
+    * :attr:`last_scan_max_reject` — the per-node bound: the largest
+      *achievable free-node count* observed at any rejected breakpoint
+      before the accepted start (count-pruned breakpoints contribute
+      their exact free count, window-rejected ones the windowed count,
+      and pool-capacity rejections the job's full node demand — a
+      sentinel that keeps the bound unusable, since those rejections
+      are not count-limited);
+    * :attr:`last_scan_count_reject` — the same maximum over the
+      count-limited rejections *only* (no sentinel).  Together with
+      :attr:`last_scan_pool_rejects` this feeds the pool-level bound:
+      when pool-capacity rejections occurred, the count-only maximum
+      still bounds every count-limited breakpoint, and the pool-
+      rejected ones are bounded separately through pool-release
+      accounting (see :class:`~repro.sched.backfill.
+      ConservativeBackfill`);
+    * :attr:`last_scan_pool_rejects` — how many breakpoints passed the
+      node-count checks but were rejected by the window-accept stage.
+      Placement policies never fail once the count check passed (they
+      only *order* nodes), so these are pool-capacity rejections: the
+      allocator could not cover the job's remote demand over the
+      window.
     """
 
     __slots__ = ("_p", "_times", "_free", "_counts", "_k",
-                 "last_scan_max_reject")
+                 "last_scan_max_reject", "last_scan_count_reject",
+                 "last_scan_pool_rejects")
 
     def __init__(self, profile: AvailabilityProfile) -> None:
         self._p = profile
@@ -937,6 +1065,8 @@ class SweepCursor:
         self._counts: List[int] = []
         self._k: List[int] = []
         self.last_scan_max_reject: int = 0
+        self.last_scan_count_reject: int = 0
+        self.last_scan_pool_rejects: int = 0
 
     # ------------------------------------------------------------------
     def _state_at(self, t: float) -> Tuple[FrozenSet[int], int]:
@@ -950,9 +1080,15 @@ class SweepCursor:
         else:
             base = p._base_free
         if p._reservations:
+            # Only reservations that have *started* by t can be active;
+            # the start-sorted timeline bounds the walk (membership of
+            # the active set is unchanged, so the state is identical).
+            hi = bisect_right(p._res_start_times, t_eps)
+            refs = p._res_start_refs
             cur: Optional[set] = None
-            for res in p._reservations:
-                if res.start <= t_eps and t < res.end - _EPS:
+            for i in range(hi):
+                res = refs[i]
+                if t < res.end - _EPS:
                     if cur is None:
                         cur = set(base)
                     cur.difference_update(res.node_ids)
@@ -982,6 +1118,39 @@ class SweepCursor:
         self._free.insert(pos, state)
         self._counts.insert(pos, len(state))
         self._k.insert(pos, k)
+
+    def _rebase(self, now: float) -> None:
+        """Re-anchor the grid at a later instant (profile rebase).
+
+        Grid times at or before ``now`` leave — their availability
+        intervals are in the past, and ``breakpoints()`` at the new
+        instant excludes them — and ``now`` becomes the new anchor.
+        Every retained materialized state stays exact: states are pure
+        functions of their instant (the activity tests never consult
+        the profile clock), so only the anchor state is new.  When the
+        old grid already carried ``now`` as a breakpoint its state is
+        reused verbatim; otherwise the anchor is computed directly
+        against the same release sweep and reservation set.
+        """
+        times = self._times
+        drop = bisect_right(times, now)
+        materialized = len(self._free)
+        reuse = bool(drop) and times[drop - 1] == now
+        cut = drop - 1 if reuse else drop
+        if cut:
+            del times[:cut]
+            if materialized > cut:
+                del self._free[:cut]
+                del self._counts[:cut]
+                del self._k[:cut]
+            elif materialized:
+                self._free.clear()
+                self._counts.clear()
+                self._k.clear()
+        if not reuse:
+            times.insert(0, now)
+            if self._free:
+                self._insert_point(0)
 
     def _on_add(self, res: Reservation) -> None:
         """Track a reservation added to the live profile.
@@ -1068,7 +1237,14 @@ class SweepCursor:
         times = self._times
         now = p._now
         start = now if after is None else (after if after > now else now)
-        max_reject = 0
+        # Rejection statistics: ``count_reject`` is the largest
+        # achievable free-node count at any count-limited rejection,
+        # ``pool_rejects`` counts window-accept (pool-capacity)
+        # rejections.  ``last_scan_max_reject`` derives from both at
+        # every exit: count-limited rejections are always below the
+        # demand, so one pool rejection pins it to the demand sentinel.
+        count_reject = 0
+        pool_rejects = 0
         trial_nodes: Optional[FrozenSet[int]] = None
         trial_end_eps = 0.0
         trial_const: Optional[int] = None
@@ -1158,8 +1334,8 @@ class SweepCursor:
                         if node_id in fs:
                             cnt -= 1
             if cnt < nodes_needed:
-                if cnt > max_reject:
-                    max_reject = cnt
+                if cnt > count_reject:
+                    count_reject = cnt
                 continue
             free: FrozenSet[int] = fs
             if trial_active and cnt != cnt0:
@@ -1192,8 +1368,8 @@ class SweepCursor:
                         if node_id in free:
                             windowed -= 1
                     if windowed < nodes_needed:
-                        if windowed > max_reject:
-                            max_reject = windowed
+                        if windowed > count_reject:
+                            count_reject = windowed
                         continue
                     if windowed != cnt:
                         free = free - ws_claim.keys()
@@ -1203,12 +1379,21 @@ class SweepCursor:
                 wi_lo, wi_hi,
             )
             if result is not None:
-                self.last_scan_max_reject = max_reject
+                self._record_scan(nodes_needed, count_reject, pool_rejects)
                 return result
-            if nodes_needed > max_reject:
-                max_reject = nodes_needed
-        self.last_scan_max_reject = max_reject
+            pool_rejects += 1
+        self._record_scan(nodes_needed, count_reject, pool_rejects)
         return None
+
+    def _record_scan(
+        self, nodes_needed: int, count_reject: int, pool_rejects: int
+    ) -> None:
+        """Publish one scan's rejection statistics (see class doc)."""
+        self.last_scan_max_reject = (
+            nodes_needed if pool_rejects else count_reject
+        )
+        self.last_scan_count_reject = count_reject
+        self.last_scan_pool_rejects = pool_rejects
 
     def _window_accept(
         self,
@@ -1232,6 +1417,27 @@ class SweepCursor:
         node count already passed — the same event tuples and tie
         order as the stock scan, so the outcome is bit-identical."""
         p = self._p
+        if (
+            (remote_per_node == 0 or not memory_aware)
+            and not placement.uses_pool_hint
+        ):
+            # The job draws no pool memory (its plan is {} either way)
+            # and the placement cannot observe the pool hint: the
+            # windowed pool view below is unconsumed, so skip building
+            # it.  Decision-invisible — ``select`` with ``None`` is
+            # defined identical to ``select`` with an unread hint.
+            node_ids = placement.select(
+                p._cluster, free, job.nodes, remote_per_node, None
+            )
+            if node_ids is None:
+                return None
+            return Reservation(
+                job_id=job.job_id,
+                start=t,
+                end=end,
+                node_ids=tuple(node_ids),
+                pool_grants=(),
+            )
         reservations = p._reservations
         has_res = bool(reservations) or trial is not None
         events: Optional[list] = None

@@ -227,17 +227,29 @@ class TestSweepThroughput:
 
     def test_cli_workers_flag(self, tmp_path, capsys):
         out = tmp_path / "perf.json"
+        # --workers-history must point into tmp: the default path is
+        # the *checked-in* trend history, which a test run must never
+        # pollute (it silently did before this flag was passed here).
+        history = tmp_path / "history.jsonl"
         code = main([
             "perf", "--quick", "--quiet", "--scale", "0.01",
             "--repeats", "1", "--case", "profile_build",
             "--workers", "2", "--sweep-cells", "2", "--out", str(out),
+            "--workers-history", str(history),
         ])
         assert code == 0
         payload = json.loads(out.read_text())
         assert "sweep_throughput" in payload
         rungs = payload["sweep_throughput"]["rungs"]
         assert [r["workers"] for r in rungs] == [1, 2]
-        assert "sweep throughput" in capsys.readouterr().out
+        printed = capsys.readouterr().out
+        assert "sweep throughput" in printed
+        # One appended record => the trend report renders and rides
+        # along in the payload.
+        assert "efficiency trend" in printed
+        trend = payload["sweep_throughput"]["trend"]
+        assert trend["records"] == 1
+        assert trend["platforms"][0]["rungs"][0]["samples"] == 1
 
     def test_throughput_never_gates(self, tmp_path, capsys):
         """The baseline gate must ignore the sweep_throughput section
@@ -336,3 +348,96 @@ class TestWorkersHistory:
                                "speedup": 1.0, "efficiency": 0.2}]}
         # A foreign-platform record is not a meaningful floor.
         assert efficiency_regressions(degraded, path) == []
+
+
+class TestWorkersTrend:
+    """The trend *report* over the whole history: per-platform series
+    with baseline / median / latest per worker count — the successor
+    of the first-record-only comparison."""
+
+    @staticmethod
+    def _record(platform, eff2, at):
+        return {
+            "schema": 1, "recorded_at": at, "platform": platform,
+            "rungs": [
+                {"workers": 1, "cells_per_sec": 10.0, "speedup": 1.0,
+                 "efficiency": 1.0},
+                {"workers": 2, "cells_per_sec": 10.0 * 2 * eff2,
+                 "speedup": 2 * eff2, "efficiency": eff2},
+            ],
+        }
+
+    def _history(self, tmp_path, records):
+        path = tmp_path / "history.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return path
+
+    def test_series_baseline_median_latest(self, tmp_path):
+        from repro.perf import workers_trend
+
+        path = self._history(tmp_path, [
+            self._record("hostA", 0.8, "t1"),
+            self._record("hostA", 0.6, "t2"),
+            self._record("hostA", 0.7, "t3"),
+        ])
+        trend = workers_trend(path)
+        assert trend["records"] == 3
+        (entry,) = trend["platforms"]
+        assert entry["platform"] == "hostA"
+        assert entry["first_recorded"] == "t1"
+        assert entry["last_recorded"] == "t3"
+        rung2 = next(r for r in entry["rungs"] if r["workers"] == 2)
+        assert rung2["efficiency_series"] == [0.8, 0.6, 0.7]
+        assert rung2["baseline_efficiency"] == 0.8
+        assert rung2["latest_efficiency"] == 0.7
+        assert rung2["median_efficiency"] == 0.7
+        assert rung2["delta_vs_baseline"] == pytest.approx(-0.1)
+
+    def test_platforms_never_mix(self, tmp_path):
+        from repro.perf import workers_trend
+
+        path = self._history(tmp_path, [
+            self._record("hostA", 0.8, "t1"),
+            self._record("hostB", 0.2, "t2"),
+        ])
+        trend = workers_trend(path)
+        assert {p["platform"] for p in trend["platforms"]} == {"hostA", "hostB"}
+        for entry in trend["platforms"]:
+            assert entry["runs"] == 1
+
+    def test_empty_history_yields_none(self, tmp_path):
+        from repro.perf import workers_trend
+
+        assert workers_trend(tmp_path / "absent.jsonl") is None
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert workers_trend(empty) is None
+
+    def test_torn_line_is_skipped(self, tmp_path):
+        from repro.perf import workers_trend
+
+        path = self._history(tmp_path, [self._record("hostA", 0.8, "t1")])
+        with path.open("a") as handle:
+            handle.write('{"schema": 1, "recorded_at": "t2", "platfo\n')
+        trend = workers_trend(path)
+        assert trend["records"] == 1
+
+    def test_render_skips_serial_rung(self, tmp_path):
+        from repro.perf import render_workers_trend, workers_trend
+
+        path = self._history(tmp_path, [
+            self._record("hostA", 0.8, "t1"),
+            self._record("hostA", 0.75, "t2"),
+        ])
+        table = render_workers_trend(workers_trend(path))
+        assert "efficiency trend: hostA — 2 runs" in table
+        assert "80%" in table and "75%" in table
+        # The serial rung is 1.0 by construction and never rendered.
+        assert "100%" not in table
+
+    def test_checked_in_history_renders(self):
+        from repro.perf import render_workers_trend, workers_trend
+
+        trend = workers_trend("benchmarks/perf/workers_history.jsonl")
+        assert trend is not None
+        assert render_workers_trend(trend)

@@ -1,0 +1,190 @@
+"""Targeted differential suite for the pool-level plan-cache bound.
+
+The per-node replay bound (``tests/test_plan_cache_skew.py``) is
+sentinel-poisoned the moment a scan rejects any breakpoint on *pool
+capacity*: placement identity can flip under arbitrary free-set
+changes, so counting freed nodes alone cannot prove those rejections
+stable.  The pool-level bound recovers exactly that regime on
+global-pool machines, where the allocator's verdict is a pure function
+of the global pool level and the node count: a pool-capacity rejection
+below a cached start can only flip if pool availability *rose* below
+the fold horizon, and node-only completions release zero pool MiB.
+
+The workload that exercises it mixes:
+
+* long remote-heavy jobs that hold most of the (metered) global pool
+  and queue behind each other — their reservation scans reject early
+  breakpoints on pool capacity, so their entries carry the count-only
+  ``p_bound`` instead of a usable per-node bound;
+* node-only filler jobs whose realized runtime is a few percent of the
+  requested walltime — every completion fold blows the probe's time
+  cap far past the cached starts while releasing *no* pool capacity,
+  which is precisely the door the pool-level bound opens.
+
+The pool is metered (finite bandwidth) on purpose: duration estimates
+of remote jobs are pressure-dependent, and node-only folds leave pool
+usage — hence pressure, hence the estimates — bit-identical, so the
+cached durations revalidate and the door is reachable.
+
+Both halves of the contract are pinned:
+
+* decisions stay bit-identical to the preserved pre-index reference
+  pass (``_reference_conservative.py``) — the bound is pure
+  acceleration;
+* the pool-level resume path actually fires (``replay_stats["pool"]``),
+  so the ROADMAP item stays covered by an assertion, not a benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
+from repro.engine.simulation import SchedulerSimulation
+from repro.sched.base import build_scheduler
+from repro.units import GiB, HOUR
+from repro.workload import Job
+
+from ._reference_conservative import reference_conservative_scheduler
+
+
+def _spec() -> ClusterSpec:
+    # 16 thin nodes, one metered global pool barely big enough for two
+    # remote-heavy jobs at once: queued remote jobs see breakpoints
+    # where nodes are free but the pool is not.
+    return ClusterSpec(
+        name="pool-skew", num_nodes=16, nodes_per_rack=8,
+        node=NodeSpec(cores=8, local_mem=16 * GiB),
+        pool=PoolSpec(global_pool=96 * GiB, global_bandwidth=64 * 1024.0),
+    )
+
+
+def _pool_skew_jobs(rng: random.Random, num_jobs: int = 48,
+                    skew: float = 0.04, remote_fraction: float = 0.4):
+    """Remote-heavy long jobs contending for the pool, interleaved
+    with walltime-padded node-only fillers whose early completions
+    fold without returning any pool capacity."""
+    jobs = []
+    t = 0.0
+    for job_id in range(1, num_jobs + 1):
+        t += rng.expovariate(1.0 / 200.0)
+        if rng.random() < remote_fraction:
+            # Remote-heavy: 8-16 GiB/node above the 16 GiB local DRAM.
+            walltime = rng.uniform(4 * HOUR, 10 * HOUR)
+            jobs.append(Job(
+                job_id=job_id,
+                submit_time=round(t, 3),
+                nodes=rng.randint(4, 8),
+                walltime=walltime,
+                runtime=walltime * rng.uniform(0.7, 0.95),
+                mem_per_node=rng.choice((24, 28, 32)) * GiB,
+                user=f"user{rng.randint(0, 3)}",
+            ))
+        else:
+            # Node-only filler, heavily walltime-padded: folds blow
+            # the time cap while releasing zero pool MiB.
+            walltime = rng.uniform(2 * HOUR, 8 * HOUR)
+            jobs.append(Job(
+                job_id=job_id,
+                submit_time=round(t, 3),
+                nodes=rng.randint(1, 4),
+                walltime=walltime,
+                runtime=max(60.0, walltime * rng.uniform(skew * 0.5,
+                                                         skew * 1.5)),
+                mem_per_node=rng.choice((4, 8, 12)) * GiB,
+                user=f"user{rng.randint(0, 3)}",
+            ))
+    return jobs
+
+
+def _schedule_record(result):
+    return [
+        (
+            job.job_id,
+            job.state.value,
+            job.start_time,
+            job.end_time,
+            tuple(job.assigned_nodes),
+            tuple(sorted(job.pool_grants.items())),
+            job.dilation,
+        )
+        for job in sorted(result.jobs, key=lambda j: j.job_id)
+    ]
+
+
+def _rng(token: str) -> random.Random:
+    return random.Random(zlib.crc32(token.encode()))
+
+
+def _run_pool_skew_pair(token: str, **kwargs):
+    rng = _rng(token)
+    jobs = _pool_skew_jobs(rng, **kwargs)
+    penalty = {"kind": "contention", "beta": 0.3, "kappa": 2.0}
+    new_sched = build_scheduler(backfill="conservative", penalty=penalty)
+    ref_sched = reference_conservative_scheduler(penalty=penalty)
+    new_result = SchedulerSimulation(
+        Cluster(_spec()), new_sched, [j.copy_request() for j in jobs]
+    ).run()
+    ref_result = SchedulerSimulation(
+        Cluster(_spec()), ref_sched, [j.copy_request() for j in jobs]
+    ).run()
+    assert _schedule_record(new_result) == _schedule_record(ref_result)
+    assert new_result.promises == ref_result.promises
+    assert new_result.cycles == ref_result.cycles
+    return new_sched.backfill.replay_stats
+
+
+class TestPoolSkew:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pool_skewed_workloads_identical(self, seed):
+        """Metered pool contention + node-only early finishers: the
+        pool-level bound must be decision-invisible while the fold
+        horizon sits far past every cached start."""
+        _run_pool_skew_pair(f"pool-skew-{seed}")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dense_remote_identical(self, seed):
+        """Heavier remote share: more pool-capacity rejections, more
+        entries carrying only the count-only bound."""
+        _run_pool_skew_pair(f"pool-skew-dense-{seed}", remote_fraction=0.6)
+
+    def test_pool_resume_fires_in_skew_regime(self):
+        """The regression target itself: under node-only early-finish
+        skew, entries whose scans rejected on pool capacity must
+        resume through the pool-level bound instead of re-walking
+        their prefix."""
+        fired = 0
+        for seed in range(6):
+            stats = _run_pool_skew_pair(f"pool-skew-fire-{seed}")
+            fired += stats["pool"]
+        assert fired > 0, (
+            "pool-level replay bound never fired on pool-skewed "
+            "workloads — the ROADMAP regression this suite guards has "
+            "returned"
+        )
+
+    def test_pool_door_shut_on_rack_pools(self):
+        """On a rack-pool machine the allocator's verdict depends on
+        placement identity, so the pool door must stay shut (and the
+        schedule must of course still match the reference)."""
+        rng = _rng("pool-skew-rack")
+        jobs = _pool_skew_jobs(rng)
+        spec = ClusterSpec(
+            name="pool-skew-rack", num_nodes=16, nodes_per_rack=8,
+            node=NodeSpec(cores=8, local_mem=16 * GiB),
+            pool=PoolSpec(rack_pool=48 * GiB),
+        )
+        penalty = {"kind": "linear", "beta": 0.3}
+        new_sched = build_scheduler(backfill="conservative", penalty=penalty)
+        ref_sched = reference_conservative_scheduler(penalty=penalty)
+        new_result = SchedulerSimulation(
+            Cluster(spec), new_sched, [j.copy_request() for j in jobs]
+        ).run()
+        ref_result = SchedulerSimulation(
+            Cluster(spec), ref_sched, [j.copy_request() for j in jobs]
+        ).run()
+        assert _schedule_record(new_result) == _schedule_record(ref_result)
+        assert new_sched.backfill.replay_stats["pool"] == 0

@@ -307,6 +307,89 @@ class TestIncrementalMutation:
                 == ref.window_free(t, dur)
             )
 
+    def test_truncate_reservations_matches_removals(self):
+        """truncate_reservations(keep) ≡ remove_reservation over the
+        suffix, for every split point — including the no-op (cursor
+        kept) and clear-all (O(count)) fast paths."""
+        rng = random.Random(4242)
+        cluster = Cluster(ClusterSpec(
+            num_nodes=8, nodes_per_rack=4,
+            node=NodeSpec(local_mem=16 * GiB), pool=PoolSpec(global_pool=64 * GiB),
+        ))
+        reservations = [
+            Reservation(job_id=100 + i,
+                        start=50.0 * (i + 1),
+                        end=50.0 * (i + 1) + rng.uniform(30.0, 200.0),
+                        node_ids=(i % 8, (i + 3) % 8),
+                        pool_grants=((("global", 1024),) if i % 2 else ()))
+            for i in range(5)
+        ]
+        for keep in range(6):
+            truncated = AvailabilityProfile(cluster, [], 0.0, _duration_of)
+            removed = AvailabilityProfile(cluster, [], 0.0, _duration_of)
+            for res in reservations:
+                truncated.add_reservation(res)
+                removed.add_reservation(res)
+            truncated.truncate_reservations(keep)
+            for res in reservations[keep:][::-1]:
+                removed.remove_reservation(res)
+            assert truncated.reservations == removed.reservations
+            assert truncated.reservation_count == keep
+            assert truncated.breakpoints() == removed.breakpoints()
+            for t in (0.0, 60.0, 120.0, 180.0, 260.0, 400.0):
+                assert truncated.free_at(t) == removed.free_at(t)
+        # The no-op keep >= count leaves a live cursor untouched.
+        profile = AvailabilityProfile(cluster, [], 0.0, _duration_of)
+        profile.add_reservation(reservations[0])
+        cursor = profile.sweep_cursor()
+        profile.truncate_reservations(5)
+        assert profile.sweep_cursor() is cursor
+        profile.truncate_reservations(0)
+        assert profile.reservation_count == 0
+        assert profile.sweep_cursor() is not cursor
+
+    def test_rebase_reanchors_live_cursor(self):
+        """rebase keeps a live cursor and re-anchors its grid: after
+        the rebase, cursor scans equal a fresh profile's scans at the
+        new instant (states are pure functions of their instant)."""
+        cluster = Cluster(ClusterSpec(
+            num_nodes=8, nodes_per_rack=4,
+            node=NodeSpec(cores=8, local_mem=16 * GiB),
+            pool=PoolSpec(global_pool=64 * GiB),
+        ))
+        jobs = []
+        for i, (start, dur) in enumerate([(0.0, 3000.0), (0.0, 7000.0)]):
+            job = Job(job_id=1 + i, submit_time=0.0, nodes=2,
+                      walltime=dur, runtime=dur, mem_per_node=GiB)
+            job.state = job.state.__class__.RUNNING
+            job.start_time = start
+            job.assigned_nodes = [2 * i, 2 * i + 1]
+            jobs.append(job)
+        sched = build_scheduler(backfill="conservative")
+        allocator = sched.resolve_allocator(cluster)
+        queued = Job(job_id=10, submit_time=0.0, nodes=6, walltime=100.0,
+                     runtime=50.0, mem_per_node=GiB)
+        # 60.0 falls between grid times (fresh anchor state computed);
+        # 900.0 *is* a grid time — the reservation's start — so the
+        # cursor reuses that state as the new anchor.
+        for due in (60.0, 900.0):
+            profile = AvailabilityProfile(cluster, jobs, 0.0, _duration_of)
+            res = Reservation(7, 900.0, 1000.0, (0, 1), ())
+            profile.add_reservation(res)
+            before = profile.sweep_cursor()
+            before.earliest_start(  # materialize deep
+                queued, 100.0, 0, sched.placement, allocator)
+            assert profile.rebase(due)
+            assert profile.sweep_cursor() is before  # re-anchored, kept
+            fresh = AvailabilityProfile(cluster, jobs, due, _duration_of)
+            fresh.add_reservation(res)
+            got = profile.sweep_cursor().earliest_start(
+                queued, 100.0, 0, sched.placement, allocator)
+            want = fresh.sweep_cursor().earliest_start(
+                queued, 100.0, 0, sched.placement, allocator)
+            assert got == want
+            assert profile.breakpoints() == fresh.breakpoints()
+
     def test_rebase_refuses_clamped_release(self):
         """A clamped (overrun) release embeds the build-time now; a
         fresh build at a later instant would clamp differently, so
@@ -365,11 +448,20 @@ class TestIncrementalMutation:
         assert not profile.rebase(150.0)  # would skip the release
         assert profile.now == 50.0
         assert not profile.rebase(10.0)  # going backwards
+        # Reservations survive a rebase (the retained-plan contract):
+        # afterwards the profile equals a fresh build at the new
+        # instant plus the same reservations re-added in order.
         res = Reservation(2, 60.0, 70.0, (2,), ())
         profile.add_reservation(res)
-        assert not profile.rebase(55.0)  # reservations held
-        profile.remove_reservation(res)
         assert profile.rebase(55.0)
+        assert profile.now == 55.0
+        assert profile.reservations == [res]
+        fresh = AvailabilityProfile(cluster, [job], 55.0, _duration_of)
+        fresh.add_reservation(res)
+        for t in (55.0, 60.0, 65.0, 70.0, 100.0, 120.0):
+            assert profile.free_at(t) == fresh.free_at(t)
+        profile.remove_reservation(res)
+        assert profile.rebase(56.0)
 
 
 # ----------------------------------------------------------------------
