@@ -23,6 +23,16 @@ Four subcommands::
         single scheduling passes, end-to-end 10k-job simulations.
         ``--baseline`` turns it into a regression gate (CI uses it).
 
+    dismem-sched serve [--config experiment.json] [--port P]
+        Run the scheduler as a long-lived JSON/HTTP daemon (submit /
+        cancel / query / advise / state).  See docs/SERVICE.md.
+
+    dismem-sched load --url http://H:P [--clients N] [--quick]
+        Replay a trace through a live daemon as N concurrent clients;
+        measures submissions/sec + decision latency into
+        BENCH_SERVICE.json and proves the replay decision-identical
+        to the offline engine.
+
 (Installed as ``dismem-sched`` and ``repro``; also runnable as
 ``python -m repro.cli``.)
 """
@@ -320,6 +330,74 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SchedulerService, ServiceConfig, default_service_config
+    from .service.server import ServiceDaemon
+
+    if args.config:
+        config = ExperimentConfig.from_file(args.config)
+    else:
+        config = default_service_config()
+    service_config = ServiceConfig(
+        mode=args.mode, speed=args.speed, tick_s=args.tick,
+        start_time=args.start_time,
+    )
+    service = SchedulerService(
+        config.build_cluster(), config.build_scheduler(), service_config
+    )
+    daemon = ServiceDaemon(service, host=args.host, port=args.port)
+    daemon.start()
+    print(
+        f"scheduler service on {daemon.url}  "
+        f"(config {config.name!r}, mode {service_config.mode}, Ctrl-C stops)",
+        flush=True,
+    )
+    daemon.serve_until_interrupt()
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from .service.load import run_load
+
+    config = (
+        ExperimentConfig.from_file(args.config) if args.config else None
+    )
+    document = run_load(
+        args.url,
+        config,
+        clients=args.clients,
+        batch_target=args.batch,
+        num_jobs=args.jobs,
+        quick=args.quick,
+        output=args.out or None,
+        skip_identity=args.skip_identity,
+    )
+    print(
+        f"{document['jobs']} jobs / {document['windows']} windows / "
+        f"{document['clients']} clients: "
+        f"{document['submissions_per_sec']:.0f} submissions/sec"
+    )
+    decision = document["server"]["decision_latency_ms"] or {}
+    print(
+        f"decision latency p50={decision.get('p50')}ms "
+        f"p99={decision.get('p99')}ms  "
+        f"(admission batches: {document['server']['admission_batch']})"
+    )
+    identity = document["identity"]
+    if identity["checked"]:
+        verdict = "identical" if identity["identical"] else "DIVERGED"
+        print(f"decision identity vs offline engine: {verdict}")
+        for problem in identity["problems"][:10]:
+            print(f"  {problem}", file=sys.stderr)
+    if args.out:
+        print(f"bench written to {args.out}")
+    if not document["ok"]:
+        for failure in document["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(REFERENCE_WORKLOADS):
@@ -430,6 +508,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--quiet", action="store_true",
                         help="suppress per-run progress lines")
     p_perf.set_defaults(func=_cmd_perf)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the scheduler as a JSON/HTTP daemon"
+    )
+    p_serve.add_argument("--config", help="experiment JSON (cluster + "
+                         "scheduler sections; default: built-in demo)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (default 8642; 0 = ephemeral)")
+    p_serve.add_argument("--mode", choices=("replay", "wall"),
+                         default="replay",
+                         help="clock mode: 'replay' advances only on "
+                         "/v1/advance (load harness), 'wall' tracks "
+                         "wall time (default replay)")
+    p_serve.add_argument("--speed", type=float, default=1.0,
+                         help="wall mode: virtual seconds per wall second")
+    p_serve.add_argument("--tick", type=float, default=0.05,
+                         help="wall mode: clock tick / admission linger, "
+                         "seconds (default 0.05)")
+    p_serve.add_argument("--start-time", type=float, default=0.0,
+                         help="virtual clock origin (default 0)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "load", help="replay a trace through a live daemon, under load"
+    )
+    p_load.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="daemon base URL (default %(default)s)")
+    p_load.add_argument("--config", help="experiment JSON; must match the "
+                        "daemon's (default: built-in demo)")
+    p_load.add_argument("--clients", type=_positive_int, default=4,
+                        help="concurrent client threads (default 4)")
+    p_load.add_argument("--batch", type=_positive_int, default=32,
+                        help="target jobs per admission window (default 32)")
+    p_load.add_argument("--jobs", type=_positive_int, default=None,
+                        help="trim the trace to this many jobs")
+    p_load.add_argument("--quick", action="store_true",
+                        help="CI smoke: 120 jobs, lenient gates")
+    p_load.add_argument("--out", default="BENCH_SERVICE.json",
+                        help="bench JSON path (default BENCH_SERVICE.json; "
+                        "'' disables writing)")
+    p_load.add_argument("--skip-identity", action="store_true",
+                        help="skip the offline decision-identity check")
+    p_load.set_defaults(func=_cmd_load)
     return parser
 
 

@@ -74,9 +74,11 @@ def _check_terminal_states(result: SimulationResult) -> None:
     for job in result.jobs:
         if not job.state.terminal:
             raise AuditError(f"job {job.job_id} ended non-terminal: {job.state}")
-        if job.state is JobState.REJECTED:
+        if job.state in (JobState.REJECTED, JobState.CANCELLED):
             if job.start_time is not None or job.assigned_nodes:
-                raise AuditError(f"rejected job {job.job_id} has execution record")
+                raise AuditError(
+                    f"{job.state.value} job {job.job_id} has execution record"
+                )
             continue
         if job.start_time is None or job.end_time is None:
             raise AuditError(f"finished job {job.job_id} missing start/end")

@@ -13,7 +13,14 @@ from ..errors import SimulationError
 from ..sched.base import KillPolicy, StartDecision
 from ..workload.job import Job, JobState
 
-__all__ = ["kill_bound", "start_job", "complete_job", "kill_job", "reject_job"]
+__all__ = [
+    "kill_bound",
+    "start_job",
+    "complete_job",
+    "kill_job",
+    "reject_job",
+    "cancel_job",
+]
 
 
 def kill_bound(job: Job, policy: KillPolicy) -> Optional[float]:
@@ -74,4 +81,19 @@ def reject_job(job: Job, now: float) -> None:
             f"job {job.job_id} cannot be rejected from state {job.state.value}"
         )
     job.state = JobState.REJECTED
+    job.end_time = now
+
+
+def cancel_job(job: Job, now: float) -> None:
+    """PENDING → CANCELLED (withdrawn by its owner while queued).
+
+    Only queued jobs cancel this way; cancelling a *running* job is a
+    kill (``kill_job`` with reason ``"cancelled"``) because resources
+    were held and the execution record must survive for auditing.
+    """
+    if job.state is not JobState.PENDING:
+        raise SimulationError(
+            f"job {job.job_id} cannot be cancelled from state {job.state.value}"
+        )
+    job.state = JobState.CANCELLED
     job.end_time = now

@@ -31,6 +31,22 @@ The engine never clears scheduler-side plans between passes — what
 survives a pass, and what a perturbation invalidates, is entirely the
 strategy's contract (see :mod:`repro.sched.backfill` and
 ``docs/ARCHITECTURE.md``).
+
+**Online mode** (``online=True``) turns the same engine into the core
+of a long-running scheduler service (:mod:`repro.service`): instead of
+a one-shot :meth:`~SchedulerSimulation.run` over a pre-declared
+workload, the caller streams work in with
+:meth:`~SchedulerSimulation.inject_jobs` /
+:meth:`~SchedulerSimulation.cancel_job` and steps the clock with
+:meth:`~SchedulerSimulation.advance_to` (wall-clock or replay pacing
+is the *caller's* policy — the engine only ever sees virtual time).
+Injected batches are sorted by ``(submit_time, job_id)`` before entry
+into the calendar, which makes an online replay of a trace — however
+its submissions were interleaved across client connections —
+event-for-event identical to the offline run, as long as the clock is
+never advanced past a time that still has undelivered submissions.
+The decision-identity differential suite anchors on exactly that
+contract.
 """
 
 from __future__ import annotations
@@ -91,11 +107,18 @@ class SchedulerSimulation:
         # application — kept as the anchor for the batch≡sequential
         # differential suite.
         batch_starts: bool = True,
+        # Online mode: jobs stream in through inject_jobs()/cancel_job()
+        # and the caller steps the clock with advance_to()/drain();
+        # run() is forbidden.  The workload may start empty.
+        online: bool = False,
+        # Clock origin for an online engine with no initial jobs.
+        start_time: float = 0.0,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
+        self.online = online
         self.jobs: List[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
-        if not self.jobs:
+        if not self.jobs and not online:
             raise ConfigurationError("no jobs to simulate")
         ids = [job.job_id for job in self.jobs]
         if len(set(ids)) != len(ids):
@@ -106,6 +129,10 @@ class SchedulerSimulation:
                     f"job {job.job_id} is {job.state.value}; "
                     "pass fresh PENDING jobs (see workload.filters.reset_jobs)"
                 )
+        if online and sample_interval is not None:
+            raise ConfigurationError(
+                "online mode has no sampling ticker; poll state instead"
+            )
         self.sample_interval = sample_interval
         self.max_events = max_events
         self.failures: List["FailureEvent"] = sorted(
@@ -118,26 +145,51 @@ class SchedulerSimulation:
                     f"cluster has {cluster.num_nodes}"
                 )
 
-        self._sim = Simulator(start_time=self.jobs[0].submit_time)
-        self._max_job_id = max(job.job_id for job in self.jobs)
+        origin = self.jobs[0].submit_time if self.jobs else float(start_time)
+        self._sim = Simulator(start_time=origin)
+        self._max_job_id = max((job.job_id for job in self.jobs), default=0)
+        self._jobs_by_id: Dict[int, Job] = {job.job_id: job for job in self.jobs}
         self._queue: List[Job] = []
         self._running: List[Job] = []
         self._ledger = MemoryLedger()
         self._promises: Dict[int, Promise] = {}
         self._samples: List[Sample] = []
         self._end_events: Dict[int, Event] = {}
+        self._submit_events: Dict[int, Event] = {}
         self._cycles = 0
         self._pass_requested = False
         self._terminal_count = 0
         self._ran = False
         self._batch_starts = batch_starts
         self._txn: Optional[PassTransaction] = None
+        if online:
+            # Arm the calendar immediately: initial jobs and failures
+            # enter it now, and advance_to() does the stepping run()
+            # would have done.
+            for job in self.jobs:
+                self._submit_events[job.job_id] = self._sim.schedule_at(
+                    job.submit_time,
+                    self._on_submit,
+                    priority=EventPriority.SUBMIT,
+                    payload=job,
+                )
+            for failure in self.failures:
+                self._sim.schedule_at(
+                    max(failure.time, origin),
+                    self._on_node_failure,
+                    priority=EventPriority.KILL,
+                    payload=failure,
+                )
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> SimulationResult:
         """Run to completion (or ``until``); returns the result record."""
+        if self.online:
+            raise SimulationError(
+                "online engine: step with advance_to()/drain(), not run()"
+            )
         if self._ran:
             raise SimulationError("simulation already ran; build a new one")
         self._ran = True
@@ -188,10 +240,169 @@ class SchedulerSimulation:
         )
 
     # ------------------------------------------------------------------
+    # online API (the scheduler service's engine-facing surface)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._sim.now
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def cycles(self) -> int:
+        return self._cycles
+
+    def job(self, job_id: int) -> Optional[Job]:
+        """The job with this id, or ``None`` — any state, any mode."""
+        return self._jobs_by_id.get(job_id)
+
+    def promise(self, job_id: int) -> Optional[Promise]:
+        return self._promises.get(job_id)
+
+    def _require_online(self) -> None:
+        if not self.online:
+            raise SimulationError(
+                "offline engine: construct with online=True to stream work in"
+            )
+
+    def inject_jobs(self, jobs: Iterable[Job]) -> List[Job]:
+        """Admit a batch of external submissions into the calendar.
+
+        The batch is validated (fresh PENDING jobs, unseen ids, no
+        submission in the past) and sorted by ``(submit_time,
+        job_id)`` before its submit events are created — the sort is
+        what makes a streamed replay event-for-event identical to an
+        offline run regardless of arrival interleaving, because queue
+        policies break every remaining tie on the same key.  Returns
+        the accepted jobs in injection order.  Must not be called
+        while the clock is stepping (the service's engine thread is
+        the single writer).
+        """
+        self._require_online()
+        batch = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        now = self._sim.now
+        for job in batch:
+            if job.state is not JobState.PENDING:
+                raise ConfigurationError(
+                    f"job {job.job_id} is {job.state.value}; submit fresh "
+                    "PENDING jobs"
+                )
+            if job.job_id in self._jobs_by_id:
+                raise ConfigurationError(
+                    f"duplicate job id {job.job_id} in online submission"
+                )
+            if job.submit_time < now:
+                raise ConfigurationError(
+                    f"job {job.job_id} submits at t={job.submit_time}, "
+                    f"before the engine clock t={now} (late arrival)"
+                )
+        for job in batch:
+            self.jobs.append(job)
+            self._jobs_by_id[job.job_id] = job
+            if job.job_id > self._max_job_id:
+                self._max_job_id = job.job_id
+            self._submit_events[job.job_id] = self._sim.schedule_at(
+                job.submit_time,
+                self._on_submit,
+                priority=EventPriority.SUBMIT,
+                payload=job,
+            )
+        return batch
+
+    def cancel_job(self, job_id: int) -> str:
+        """Withdraw a job; returns what happened.
+
+        * ``"cancelled"`` — it was queued (or not yet due): removed
+          without ever holding resources (PENDING → CANCELLED);
+        * ``"killed"`` — it was running: resources released, execution
+          record kept (RUNNING → KILLED, reason ``"cancelled"``), and
+          a scheduling pass requested for the freed capacity;
+        * ``"already_terminal"`` / ``"not_found"`` — nothing to do.
+        """
+        self._require_online()
+        job = self._jobs_by_id.get(job_id)
+        if job is None:
+            return "not_found"
+        if job.state.terminal:
+            return "already_terminal"
+        now = self._sim.now
+        if job.state is JobState.PENDING:
+            submit_event = self._submit_events.pop(job_id, None)
+            if submit_event is not None:
+                self._sim.cancel(submit_event)
+            for index, item in enumerate(self._queue):
+                if item is job:
+                    del self._queue[index]
+                    break
+            lifecycle.cancel_job(job, now)
+            self._terminal_count += 1
+            return "cancelled"
+        # RUNNING: exactly the node-failure kill path, minus the drain.
+        end_event = self._end_events.pop(job_id, None)
+        if end_event is not None:
+            self._sim.cancel(end_event)
+        self._release(job)
+        lifecycle.kill_job(job, now, reason="cancelled")
+        self._terminal_count += 1
+        self._request_pass()
+        return "killed"
+
+    def advance_to(self, time: float) -> float:
+        """Step the virtual clock to ``time``, firing every due event
+        (submissions, passes, completions).  Idempotent for a time at
+        or before the current clock *with no due events*; otherwise
+        processes exactly what an offline run would have processed by
+        then.  Returns the clock."""
+        self._require_online()
+        if time < self._sim.now:
+            raise SimulationError(
+                f"cannot advance to t={time}, before clock t={self._sim.now}"
+            )
+        return self._sim.run(until=time, max_events=self.max_events)
+
+    def drain(self) -> float:
+        """Run the calendar empty (lets every admitted job finish)."""
+        self._require_online()
+        return self._sim.run(max_events=self.max_events)
+
+    def online_result(self) -> SimulationResult:
+        """Snapshot the run record without requiring termination.
+
+        Unlike :meth:`run`, jobs may still be pending or running; the
+        caller decides when the record is complete (the load harness
+        drains first, so its record matches an offline run's exactly).
+        """
+        self._require_online()
+        finished_times = [
+            job.end_time for job in self.jobs if job.end_time is not None
+        ]
+        return SimulationResult(
+            jobs=self.jobs,
+            cluster_spec=self.cluster.spec,
+            scheduler_info=self.scheduler.describe(),
+            ledger=self._ledger,
+            promises=self._promises,
+            samples=self._samples,
+            failures=self.failures,
+            cycles=self._cycles,
+            events=self._sim.events_processed,
+            started_at=self.jobs[0].submit_time if self.jobs else self._sim.now,
+            finished_at=max(finished_times) if finished_times else self._sim.now,
+        )
+
+    # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
     def _on_submit(self, event: Event) -> None:
         job: Job = event.payload
+        self._submit_events.pop(job.job_id, None)
         if not self.scheduler.fits_machine(job, self.cluster):
             lifecycle.reject_job(job, self._sim.now)
             self._terminal_count += 1
@@ -290,6 +501,7 @@ class SchedulerSimulation:
             restart_count=victim.restart_count + 1,
         )
         self.jobs.append(continuation)
+        self._jobs_by_id[continuation.job_id] = continuation
         self._sim.schedule_at(
             self._sim.now,
             self._on_submit,

@@ -175,7 +175,7 @@ def append_workers_history(
 
 def _read_history_baseline(path: str | Path) -> Optional[dict]:
     """The recorded baseline: the history's first record *for this
-    platform*.
+    platform* that carries usable rungs.
 
     Parallel efficiency is a property of the host (core count, VM
     neighbors), so a record from a different platform string is not a
@@ -188,7 +188,7 @@ def _read_history_baseline(path: str | Path) -> Optional[dict]:
     skipped, never fatal)."""
     here = platform.platform()
     for record in _read_history(path):
-        if record.get("platform") == here:
+        if record.get("platform") == here and _valid_rungs(record):
             return record
     return None
 
@@ -211,8 +211,7 @@ def efficiency_regressions(
     if baseline is None:
         return []
     base_by_workers = {
-        rung["workers"]: rung for rung in baseline.get("rungs", [])
-        if rung.get("efficiency")
+        rung["workers"]: rung for rung in _valid_rungs(baseline)
     }
     flags: List[dict] = []
     for rung in payload.get("rungs", []):
@@ -250,8 +249,35 @@ def _read_history(path: str | Path) -> List[dict]:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 continue  # a torn write must not hide the valid trend
+            if not isinstance(record, dict):
+                continue  # a stray scalar line is corruption, not data
             records.append(record)
     return records
+
+
+def _valid_rungs(record: dict) -> List[dict]:
+    """The record's rungs that carry a usable (workers, efficiency) pair.
+
+    History files live across versions of this tool and survive torn
+    writes and hand edits, so a rung may be a non-dict, lack a worker
+    count, or carry a null/zero efficiency (serial rungs, aborted
+    runs).  Every trend consumer filters through here so a single
+    malformed record degrades to "ignored", never to a crash — a fresh
+    clone's first ``repro perf --workers`` run must not die on
+    whatever history it happens to find.
+    """
+    rungs = record.get("rungs", [])
+    if not isinstance(rungs, list):
+        return []
+    return [
+        rung
+        for rung in rungs
+        if isinstance(rung, dict)
+        and isinstance(rung.get("workers"), (int, float))
+        and not isinstance(rung.get("workers"), bool)
+        and isinstance(rung.get("efficiency"), (int, float))
+        and rung["efficiency"]
+    ]
 
 
 def _median(values: List[float]) -> float:
@@ -283,11 +309,8 @@ def workers_trend(history_path: str | Path = DEFAULT_HISTORY_PATH) -> Optional[d
     for platform_name, group in by_platform.items():
         series: Dict[int, List[dict]] = {}
         for record in group:
-            for rung in record.get("rungs", []):
-                workers = rung.get("workers")
-                if workers is None or not rung.get("efficiency"):
-                    continue
-                series.setdefault(workers, []).append(rung)
+            for rung in _valid_rungs(record):
+                series.setdefault(rung["workers"], []).append(rung)
         rungs = []
         for workers in sorted(series):
             effs = [rung["efficiency"] for rung in series[workers]]
@@ -304,8 +327,8 @@ def workers_trend(history_path: str | Path = DEFAULT_HISTORY_PATH) -> Optional[d
         platforms.append({
             "platform": platform_name,
             "runs": len(group),
-            "first_recorded": group[0].get("recorded_at"),
-            "last_recorded": group[-1].get("recorded_at"),
+            "first_recorded": group[0].get("recorded_at") or "unknown",
+            "last_recorded": group[-1].get("recorded_at") or "unknown",
             "rungs": rungs,
         })
     return {"records": len(records), "platforms": platforms}

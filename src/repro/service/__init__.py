@@ -1,0 +1,49 @@
+"""Online scheduler service: the simulator promoted to a daemon.
+
+The offline engine answers "what would this policy have done to this
+trace"; this package answers the *operational* question — run the same
+pass-transaction scheduler core as a long-running service that accepts
+streaming job submissions over a JSON/HTTP API and serves cluster
+state and placement advice while jobs run.
+
+Layering (one module per role, mirroring a client/orchestrator/
+resource-state split):
+
+* :mod:`~repro.service.core` — :class:`SchedulerService`, the
+  orchestrator: a single engine thread owning an *online*
+  :class:`~repro.engine.simulation.SchedulerSimulation`; every client
+  request becomes an op in its inbox, and all submissions found in the
+  inbox at once are coalesced into **one admission batch** served by
+  one scheduling pass per submit instant (the pass-transaction core's
+  shared availability sweep is what makes the batch cheap).
+* :mod:`~repro.service.protocol` — the wire schema: job specs in,
+  job records/promises/errors out, all JSON.
+* :mod:`~repro.service.state` — the snapshotable cluster-state
+  document served by ``GET /v1/state``.
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
+  stdlib-only threaded HTTP front end and the matching client.
+* :mod:`~repro.service.load` — the ``repro load`` harness: replays a
+  trace as N concurrent clients, measures submissions/sec and
+  p50/p99 decision latency into ``BENCH_SERVICE.json``, and proves
+  the replay **decision-identical** to the offline engine.
+
+See ``docs/SERVICE.md`` for the full handbook.
+"""
+
+from .client import ServiceClient, ServiceError
+from .core import SchedulerService, ServiceConfig, default_service_config
+from .load import run_load
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .server import ServiceDaemon
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SchedulerService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceDaemon",
+    "default_service_config",
+    "run_load",
+]

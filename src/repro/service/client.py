@@ -1,0 +1,133 @@
+"""JSON/HTTP client for the scheduler service (stdlib ``http.client``).
+
+One :class:`ServiceClient` wraps one persistent keep-alive connection.
+The connection is **not** thread-safe — that is deliberate: the load
+harness gives each worker thread its own client, which is both the
+realistic shape (real submit tools hold their own connection) and the
+fast one (no client-side lock on the hot path).  Non-2xx responses
+raise :class:`ServiceError` carrying the server's stable error code,
+so callers branch on ``exc.code`` (``"duplicate_job"``,
+``"late_arrival"``, ...) rather than parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Typed calls over one persistent HTTP connection."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ReproError(f"unsupported scheme in {base_url!r}")
+        netloc = parts.netloc or parts.path  # accept "host:port" bare
+        if not netloc:
+            raise ReproError(f"no host in service url {base_url!r}")
+        self._netloc = netloc
+        self._timeout = timeout
+        self._conn: Optional[HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Any = None) -> Any:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):  # one retry on a stale keep-alive socket
+            if self._conn is None:
+                self._conn = HTTPConnection(self._netloc, timeout=self._timeout)
+                # Small request/small reply ping-pong: Nagle + delayed
+                # ACK would cost ~40ms per round trip.
+                self._conn.connect()
+                self._conn.sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            try:
+                self._conn.request(method, path, body=payload, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, HTTPException, socket.timeout, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            document = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                response.status, "bad_payload", f"non-JSON response: {exc}"
+            ) from exc
+        if response.status >= 300:
+            error = document.get("error", {}) if isinstance(document, dict) else {}
+            raise ServiceError(
+                response.status,
+                error.get("code", "http_error"),
+                error.get("message", f"HTTP {response.status}"),
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def submit(self, jobs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return self._request("POST", "/v1/submit", {"jobs": jobs})["jobs"]
+
+    def submit_one(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self.submit([spec])[0]
+
+    def cancel(self, job_id: int) -> Dict[str, Any]:
+        return self._request("POST", "/v1/cancel", {"job_id": job_id})
+
+    def query(self, job_id: int) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/jobs")
+
+    def advise(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("POST", "/v1/advise", spec)
+
+    def state(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/state")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def advance(self, to: Optional[float]) -> Dict[str, Any]:
+        return self._request("POST", "/v1/advance", {"to": to})
+
+    def drain(self) -> Dict[str, Any]:
+        return self.advance(None)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

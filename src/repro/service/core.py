@@ -1,0 +1,702 @@
+"""The service orchestrator: one engine thread, batched admissions.
+
+:class:`SchedulerService` wraps an *online*
+:class:`~repro.engine.simulation.SchedulerSimulation` behind a
+single-writer design: client-facing calls (from any number of HTTP
+handler threads) never touch the engine — they enqueue an **op** and
+block on its future; one engine thread drains the inbox and is the
+only code that mutates engine, cluster, or scheduler state.  That
+removes every lock from the scheduler hot path and gives the service
+its admission-batching behavior for free:
+
+* every ``submit`` op found in one inbox drain joins **one admission
+  batch** — the whole batch is injected as one sorted group and served
+  by one scheduling pass per distinct submit instant, so one shared
+  availability sweep (the PR-4 pass transaction) prices N concurrent
+  submissions at roughly the cost of one;
+* non-submit ops (cancel, query, advise, state, advance) are applied
+  in arrival order after the batch, which makes a cancel racing its
+  own submit well-defined: whichever reached the inbox first wins.
+
+Clock policy is the service's, not the engine's: in ``wall`` mode the
+engine thread maps monotonic wall time onto virtual seconds (scaled by
+``speed``) every ``tick_s``; in ``replay`` mode the clock moves only on
+explicit ``advance`` ops — that is the mode the load harness drives,
+and the mode under which a replayed trace is decision-identical to the
+offline engine.
+
+**Decision latency**, the service's headline metric, is measured here:
+for each submission, the wall-clock interval from request receipt to
+the end of the first inbox drain in which the engine clock reached the
+job's submit instant — i.e. until the scheduling pass that first
+considered the job (started it, promised it a reservation, or queued
+it behind one) had run.  It prices exactly the admission-batching
+trade-off: coalescing widens batches (throughput) at the cost of the
+earliest submission in each batch waiting out the linger (latency).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..cluster.cluster import Cluster
+from ..cluster.spec import ClusterSpec
+from ..config import ExperimentConfig
+from ..engine.simulation import SchedulerSimulation
+from ..errors import ConfigurationError, ReproError
+from ..sched.base import Scheduler, SchedulerContext
+from ..workload.job import Job
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    job_from_spec,
+    job_to_record,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "SchedulerService",
+    "default_service_config",
+    "percentiles",
+]
+
+_OP_TIMEOUT_S = 60.0
+
+
+def default_service_config() -> ExperimentConfig:
+    """The built-in service experiment: the demo thin-node machine.
+
+    ``repro serve`` without ``--config`` and ``repro load`` without one
+    build *this*, so a daemon and a load run that both defaulted are
+    guaranteed to agree on cluster and scheduler — the precondition for
+    the decision-identity check.
+    """
+    return ExperimentConfig(
+        name="service-demo",
+        cluster=ClusterSpec.thin_node(
+            num_nodes=32,
+            local_mem="128GiB",
+            fat_local_mem="512GiB",
+            pool_fraction=0.5,
+            reach="global",
+            name="SVC-THIN-32",
+        ),
+        workload={"reference": "W-MIX", "num_jobs": 1000, "seed": 42, "load": 0.9},
+        scheduler={
+            "queue": "fcfs",
+            "backfill": "easy",
+            "placement": "first_fit",
+            "penalty": {"kind": "linear", "beta": 0.3},
+        },
+    )
+
+
+def percentiles(values: List[float]) -> Dict[str, Optional[float]]:
+    """p50/p90/p99/max/mean of a latency sample, in milliseconds.
+
+    Nearest-rank percentiles on the sorted sample — standard for
+    latency reporting, and exact for the small-thousands sample sizes
+    the service sees per load run.  Empty samples yield all-None.
+    """
+    if not values:
+        return {"count": 0, "p50": None, "p90": None, "p99": None,
+                "max": None, "mean": None}
+    ordered = sorted(values)
+    count = len(ordered)
+
+    def rank(q: float) -> float:
+        index = max(0, min(count - 1, math.ceil(q * count) - 1))
+        return ordered[index] * 1e3
+
+    return {
+        "count": count,
+        "p50": round(rank(0.50), 3),
+        "p90": round(rank(0.90), 3),
+        "p99": round(rank(0.99), 3),
+        "max": round(ordered[-1] * 1e3, 3),
+        "mean": round(sum(ordered) / count * 1e3, 3),
+    }
+
+
+@dataclass
+class ServiceConfig:
+    """Operating parameters of one service instance."""
+
+    #: ``"replay"`` — virtual time moves only on ``advance`` ops (load
+    #: harness / differential testing); ``"wall"`` — the engine thread
+    #: advances the clock every ``tick_s`` of wall time.
+    mode: str = "replay"
+    #: Virtual seconds per wall second in ``wall`` mode (3600 = one
+    #: simulated hour per real second).
+    speed: float = 1.0
+    #: Wall-mode ticker period, seconds; also the admission linger — a
+    #: submission waits at most one tick for its scheduling pass.
+    tick_s: float = 0.05
+    #: Virtual clock origin.
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("replay", "wall"):
+            raise ConfigurationError(f"unknown service mode {self.mode!r}")
+        if self.speed <= 0:
+            raise ConfigurationError("speed must be positive")
+        if self.tick_s <= 0:
+            raise ConfigurationError("tick_s must be positive")
+
+
+class _Op:
+    """One client request in the engine thread's inbox."""
+
+    __slots__ = ("kind", "payload", "received", "done", "result", "error")
+
+    def __init__(self, kind: str, payload: Any, received: float) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.received = received  # monotonic seconds at request receipt
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+
+@dataclass
+class _Counters:
+    submitted: int = 0
+    admitted: int = 0
+    rejected_specs: int = 0
+    cancelled: int = 0
+    cancel_kills: int = 0
+    queries: int = 0
+    advises: int = 0
+    advances: int = 0
+    drains: int = 0
+    batches: int = 0
+    ticks: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Timing:
+    """Service-side latency stamps for one submission."""
+
+    received: float
+    admitted: Optional[float] = None
+    decided: Optional[float] = None
+    batch_size: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class SchedulerService:
+    """The long-running scheduler core behind the HTTP front end."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.engine = SchedulerSimulation(
+            cluster,
+            scheduler,
+            [],
+            online=True,
+            start_time=self.config.start_time,
+        )
+        self._inbox: deque[_Op] = deque()
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._crashed: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_wall = time.time()
+        self._started_mono = time.monotonic()
+        self.counters = _Counters()
+        self._timings: Dict[int, _Timing] = {}
+        self._undecided: Dict[int, _Timing] = {}
+        self._submit_latencies: List[float] = []
+        self._decision_latencies: List[float] = []
+        self._batch_sizes: List[int] = []
+        self._next_auto_id = 1
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SchedulerService":
+        if self._thread is not None:
+            raise ReproError("service already started")
+        self._thread = threading.Thread(
+            target=self._engine_loop, name="sched-engine", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "SchedulerService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # client-facing surface (any thread)
+    # ------------------------------------------------------------------
+    def submit(self, specs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Submit one request's worth of job specs; returns records."""
+        return self._call("submit", specs)
+
+    def cancel(self, job_id: int) -> Dict[str, Any]:
+        return self._call("cancel", job_id)
+
+    def query(self, job_id: int) -> Dict[str, Any]:
+        return self._call("query", job_id)
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._call("jobs", None)
+
+    def advise(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("advise", spec)
+
+    def state(self) -> Dict[str, Any]:
+        return self._call("state", None)
+
+    def advance(self, to: Optional[float]) -> Dict[str, Any]:
+        return self._call("advance", to)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._call("metrics", None)
+
+    def health(self) -> Dict[str, Any]:
+        # Answered without the engine thread on purpose: health must
+        # respond even when the engine is mid-pass under heavy load.
+        status = "ok"
+        if self._crashed is not None:
+            status = "crashed"
+        elif self._thread is None or not self._thread.is_alive():
+            status = "stopped"
+        return {
+            "status": status,
+            "protocol": PROTOCOL_VERSION,
+            "mode": self.config.mode,
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
+        }
+
+    # ------------------------------------------------------------------
+    def _call(self, kind: str, payload: Any) -> Any:
+        if self._crashed is not None:
+            raise ProtocolError(
+                500, "engine_crashed", f"engine thread died: {self._crashed}"
+            )
+        if self._thread is None or self._stopping:
+            raise ProtocolError(503, "unavailable", "service is not running")
+        op = _Op(kind, payload, time.monotonic())
+        with self._cond:
+            self._inbox.append(op)
+            self._cond.notify_all()
+        if not op.done.wait(timeout=_OP_TIMEOUT_S):
+            raise ProtocolError(504, "timeout", f"{kind} op timed out")
+        if op.error is not None:
+            if isinstance(op.error, ProtocolError):
+                raise op.error
+            raise ProtocolError(500, "internal", str(op.error))
+        return op.result
+
+    # ------------------------------------------------------------------
+    # engine thread
+    # ------------------------------------------------------------------
+    def _engine_loop(self) -> None:
+        wall = self.config.mode == "wall"
+        try:
+            while True:
+                with self._cond:
+                    while not self._inbox and not self._stopping:
+                        if wall:
+                            if not self._cond.wait(timeout=self.config.tick_s):
+                                break  # tick: advance the wall clock
+                        else:
+                            self._cond.wait()
+                    batch = list(self._inbox)
+                    self._inbox.clear()
+                    stopping = self._stopping
+                if stopping:
+                    for op in batch:
+                        op.error = ProtocolError(
+                            503, "unavailable", "service shutting down"
+                        )
+                        op.done.set()
+                    return
+                self._process(batch, wall)
+        except BaseException as exc:  # noqa: BLE001 - must unblock waiters
+            self._crashed = exc
+            with self._cond:
+                pending = list(self._inbox)
+                self._inbox.clear()
+            for op in pending:
+                op.error = exc
+                op.done.set()
+
+    def _wall_target(self) -> float:
+        elapsed = time.monotonic() - self._started_mono
+        return self.config.start_time + elapsed * self.config.speed
+
+    def _process(self, batch: List[_Op], wall: bool) -> None:
+        submits = [op for op in batch if op.kind == "submit"]
+        others = [op for op in batch if op.kind != "submit"]
+        target = self._wall_target() if wall else self.engine.now
+
+        admitted: List[Job] = []
+        if submits:
+            admitted = self._admit(submits, default_time=max(target, self.engine.now))
+        if wall:
+            self.counters.ticks += 1
+            if target > self.engine.now:
+                self.engine.advance_to(target)
+            else:
+                self.engine.advance_to(self.engine.now)
+        else:
+            # Replay mode: fire whatever is due at the current instant
+            # (same-instant submissions and their pass), nothing more.
+            self.engine.advance_to(self.engine.now)
+        self._stamp_decisions()
+        for op in submits:
+            if op.error is None:
+                op.result = [
+                    self._record(job.job_id) for job in op.result
+                ]
+            op.done.set()
+        for op in others:
+            try:
+                op.result = self._dispatch(op)
+            except BaseException as exc:  # noqa: BLE001 - per-op isolation
+                op.error = exc
+            op.done.set()
+        if admitted or others:
+            self._stamp_decisions()
+
+    # ------------------------------------------------------------------
+    def _admit(self, submits: List[_Op], default_time: float) -> List[Job]:
+        """Coalesce every submit op in the drain into one admission batch.
+
+        Per-op validation failures (bad spec, duplicate id, late
+        arrival) fail *that op* only; the surviving jobs are injected
+        as one sorted batch.  ``op.result`` temporarily holds the op's
+        Job objects — :meth:`_process` converts them to records after
+        the due passes have run.
+        """
+        all_jobs: List[Job] = []
+        seen_batch: set = set()
+        for op in submits:
+            specs = op.payload
+            try:
+                if not isinstance(specs, list) or not specs:
+                    raise ProtocolError(
+                        400, "invalid_request", "submit requires a job list"
+                    )
+                jobs: List[Job] = []
+                for spec in specs:
+                    job = job_from_spec(
+                        spec,
+                        default_job_id=self._next_auto_id,
+                        default_submit_time=default_time,
+                    )
+                    if (
+                        self.engine.job(job.job_id) is not None
+                        or job.job_id in seen_batch
+                    ):
+                        raise ProtocolError(
+                            409,
+                            "duplicate_job",
+                            f"job id {job.job_id} already exists",
+                        )
+                    if job.submit_time < self.engine.now:
+                        raise ProtocolError(
+                            409,
+                            "late_arrival",
+                            f"job {job.job_id} submits at t={job.submit_time}, "
+                            f"behind the service clock t={self.engine.now}",
+                        )
+                    jobs.append(job)
+                    seen_batch.add(job.job_id)
+                    self._next_auto_id = max(self._next_auto_id, job.job_id + 1)
+            except ProtocolError as exc:
+                op.error = exc
+                self.counters.rejected_specs += 1
+                continue
+            op.result = jobs  # placeholder; records built post-pass
+            all_jobs.extend(jobs)
+        if not all_jobs:
+            return []
+        self.engine.inject_jobs(all_jobs)
+        now_mono = time.monotonic()
+        self.counters.batches += 1
+        self.counters.submitted += sum(
+            len(op.result) for op in submits if op.error is None
+        )
+        self.counters.admitted += len(all_jobs)
+        self._batch_sizes.append(len(all_jobs))
+        for op in submits:
+            if op.error is not None:
+                continue
+            for job in op.result:
+                timing = _Timing(
+                    received=op.received,
+                    admitted=now_mono,
+                    batch_size=len(all_jobs),
+                )
+                self._timings[job.job_id] = timing
+                self._undecided[job.job_id] = timing
+                self._submit_latencies.append(now_mono - op.received)
+        return all_jobs
+
+    def _stamp_decisions(self) -> None:
+        """Close the decision-latency window for every submission whose
+        first scheduling pass has now run (or that went terminal)."""
+        if not self._undecided:
+            return
+        now_virtual = self.engine.now
+        now_mono = time.monotonic()
+        done = [
+            job_id
+            for job_id in self._undecided
+            if (job := self.engine.job(job_id)) is not None
+            and (job.submit_time <= now_virtual or job.state.terminal)
+        ]
+        for job_id in done:
+            timing = self._undecided.pop(job_id)
+            timing.decided = now_mono
+            self._decision_latencies.append(now_mono - timing.received)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, op: _Op) -> Any:
+        if op.kind == "cancel":
+            return self._do_cancel(op.payload)
+        if op.kind == "query":
+            self.counters.queries += 1
+            return self._do_query(op.payload)
+        if op.kind == "jobs":
+            self.counters.queries += 1
+            return {
+                "protocol": PROTOCOL_VERSION,
+                "now": self.engine.now,
+                "jobs": [self._record(job.job_id) for job in self.engine.jobs],
+            }
+        if op.kind == "advise":
+            self.counters.advises += 1
+            return self._do_advise(op.payload)
+        if op.kind == "state":
+            from .state import build_state_document
+
+            return build_state_document(self)
+        if op.kind == "advance":
+            return self._do_advance(op.payload)
+        if op.kind == "metrics":
+            return self._do_metrics()
+        raise ProtocolError(400, "unknown_op", f"unknown op {op.kind!r}")
+
+    def _do_cancel(self, job_id: Any) -> Dict[str, Any]:
+        if not isinstance(job_id, int):
+            raise ProtocolError(400, "invalid_request", "cancel requires job_id")
+        outcome = self.engine.cancel_job(job_id)
+        if outcome == "not_found":
+            raise ProtocolError(404, "not_found", f"no job {job_id}")
+        if outcome == "cancelled":
+            self.counters.cancelled += 1
+        elif outcome == "killed":
+            self.counters.cancel_kills += 1
+            # The freed capacity's pass runs at the current instant.
+            self.engine.advance_to(self.engine.now)
+        return {"job_id": job_id, "outcome": outcome, "job": self._record(job_id)}
+
+    def _do_query(self, job_id: Any) -> Dict[str, Any]:
+        if not isinstance(job_id, int):
+            raise ProtocolError(400, "invalid_request", "query requires job_id")
+        if self.engine.job(job_id) is None:
+            raise ProtocolError(404, "not_found", f"no job {job_id}")
+        return self._record(job_id)
+
+    def _do_advance(self, to: Any) -> Dict[str, Any]:
+        if self.config.mode == "wall":
+            raise ProtocolError(
+                409, "wall_clock", "a wall-clock service owns its own clock"
+            )
+        self.counters.advances += 1
+        if to is None:
+            self.counters.drains += 1
+            now = self.engine.drain()
+            return {"now": now, "drained": True}
+        if isinstance(to, bool) or not isinstance(to, (int, float)):
+            raise ProtocolError(400, "invalid_request", "advance 'to' must be a number")
+        if float(to) < self.engine.now:
+            raise ProtocolError(
+                409,
+                "clock_backwards",
+                f"cannot advance to t={to}, behind clock t={self.engine.now}",
+            )
+        now = self.engine.advance_to(float(to))
+        return {"now": now, "drained": False}
+
+    def _do_metrics(self) -> Dict[str, Any]:
+        batch = self._batch_sizes
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "now": self.engine.now,
+            "counters": self.counters.to_dict(),
+            "cycles": self.engine.cycles,
+            "queue_depth": self.engine.queue_depth,
+            "running": self.engine.running_count,
+            "undecided": len(self._undecided),
+            "submit_latency_ms": percentiles(self._submit_latencies),
+            "decision_latency_ms": percentiles(self._decision_latencies),
+            "admission_batch": {
+                "count": len(batch),
+                "mean": round(sum(batch) / len(batch), 3) if batch else None,
+                "max": max(batch) if batch else None,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def _record(self, job_id: int) -> Dict[str, Any]:
+        job = self.engine.job(job_id)
+        if job is None:  # pragma: no cover - guarded by callers
+            raise ProtocolError(404, "not_found", f"no job {job_id}")
+        timing = self._timings.get(job_id)
+        service: Optional[Dict[str, Any]] = None
+        if timing is not None:
+            service = {
+                "admission_batch_size": timing.batch_size,
+                "decision_latency_ms": (
+                    round((timing.decided - timing.received) * 1e3, 3)
+                    if timing.decided is not None
+                    else None
+                ),
+            }
+        return job_to_record(job, self.engine.promise(job_id), service)
+
+    # ------------------------------------------------------------------
+    # advise: read-only placement recommendation
+    # ------------------------------------------------------------------
+    def _do_advise(self, spec: Any) -> Dict[str, Any]:
+        """"Where should this job run" — without admitting it.
+
+        The recommendation reports the immediate-start placement when
+        one exists, otherwise the earliest-start estimate from a fresh
+        availability profile over the running set, and always names
+        the **bound** that determined the answer:
+
+        * ``machine-capacity`` — can never run here (reject);
+        * ``none`` — free nodes and pool capacity cover it right now;
+        * ``gate`` — a start gate (pool-pressure policy) is holding it;
+        * ``node-availability`` — waiting on busy nodes;
+        * ``pool-capacity`` — nodes are free but remote memory is not.
+
+        The wait estimate is optimistic by construction: it consults
+        running jobs' conservative duration bounds but not the queue
+        ahead (backfill may start the job earlier than queue order
+        suggests; the estimate is the earliest *physically possible*
+        start).  Purely read-only — nothing is admitted or reserved.
+        """
+        sched = self.scheduler
+        cluster = self.cluster
+        engine = self.engine
+        job = job_from_spec(
+            spec, default_job_id=0, default_submit_time=engine.now
+        )
+        base = {
+            "protocol": PROTOCOL_VERSION,
+            "now": engine.now,
+            "queue_depth": engine.queue_depth,
+            "advisory": True,
+        }
+        if not sched.fits_machine(job, cluster):
+            return {
+                **base,
+                "verdict": "reject",
+                "bound": "machine-capacity",
+                "detail": "the request exceeds empty-machine capacity "
+                "(nodes, or remote demand beyond total pool reach)",
+            }
+        ctx = SchedulerContext(
+            cluster=cluster,
+            now=engine.now,
+            queue=[],
+            running=engine._running,
+            start_job=_advise_must_not_start,
+        )
+        split = sched.split_for(job, cluster)
+        ungated = sched.try_start_now(ctx, job, check_gate=False)
+        if ungated is not None:
+            gated = (
+                sched.gate.trivially_permits
+                or sched.gate.permit(ctx, sched, ungated)
+            )
+            plan = dict(sorted(ungated.plan.items()))
+            placement = {
+                "node_ids": list(ungated.node_ids),
+                "pool_plan": plan,
+                "local_mib_per_node": ungated.split.local,
+                "remote_mib_per_node": ungated.split.remote,
+                "est_dilation": sched.est_dilation(job, cluster, ungated.split),
+            }
+            if gated:
+                return {
+                    **base,
+                    "verdict": "start_now",
+                    "bound": "none",
+                    "placement": placement,
+                }
+            return {
+                **base,
+                "verdict": "wait",
+                "bound": "gate",
+                "detail": f"start gate {sched.gate.name!r} is holding the job",
+                "placement": placement,
+            }
+        # No immediate fit: estimate the earliest physically possible
+        # start against the running set's conservative duration bounds.
+        bound = (
+            "node-availability"
+            if job.nodes > cluster.free_node_count
+            else "pool-capacity"
+        )
+        profile = sched.build_profile(ctx)
+        duration = sched.est_duration(job, cluster, split)
+        reservation = profile.earliest_start(
+            job,
+            duration,
+            split.remote,
+            sched.placement,
+            sched.resolve_allocator(cluster),
+            memory_aware=getattr(sched.backfill, "memory_aware", True),
+        )
+        if reservation is None:  # pragma: no cover - fits_machine passed
+            return {**base, "verdict": "reject", "bound": "machine-capacity"}
+        return {
+            **base,
+            "verdict": "wait",
+            "bound": bound,
+            "estimated_start": reservation.start,
+            "estimated_wait_s": reservation.start - engine.now,
+            "placement": {
+                "node_ids": sorted(reservation.node_ids),
+                "pool_plan": dict(sorted(reservation.plan.items())),
+                "local_mib_per_node": split.local,
+                "remote_mib_per_node": split.remote,
+            },
+        }
+
+
+def _advise_must_not_start(decision: Any) -> None:  # pragma: no cover
+    raise ReproError("advise is read-only; no start may be applied")

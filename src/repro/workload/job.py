@@ -31,10 +31,16 @@ class JobState(enum.Enum):
     COMPLETED = "completed"
     KILLED = "killed"  # exceeded its (possibly dilated) walltime bound
     REJECTED = "rejected"  # can never fit the machine; refused at submit
+    CANCELLED = "cancelled"  # withdrawn by its owner before it started
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.COMPLETED, JobState.KILLED, JobState.REJECTED)
+        return self in (
+            JobState.COMPLETED,
+            JobState.KILLED,
+            JobState.REJECTED,
+            JobState.CANCELLED,
+        )
 
 
 _job_counter = itertools.count(1)

@@ -441,3 +441,77 @@ class TestWorkersTrend:
         trend = workers_trend("benchmarks/perf/workers_history.jsonl")
         assert trend is not None
         assert render_workers_trend(trend)
+
+class TestTrendFreshCloneRobustness:
+    """A fresh clone's first ``repro perf --workers`` run meets
+    whatever workers-history it finds — absent, empty, torn, or
+    hand-mangled — and must degrade to "no trend", never crash."""
+
+    def _payload(self, eff2=0.8):
+        return {"rungs": [{"workers": 2, "cells_per_sec": 16.0,
+                           "speedup": 2 * eff2, "efficiency": eff2}]}
+
+    def test_missing_and_empty_history(self, tmp_path):
+        from repro.perf import efficiency_regressions, workers_trend
+
+        absent = tmp_path / "no" / "history.jsonl"
+        assert efficiency_regressions(self._payload(), absent) == []
+        assert workers_trend(absent) is None
+        empty = tmp_path / "history.jsonl"
+        empty.write_text("")
+        assert efficiency_regressions(self._payload(), empty) == []
+        assert workers_trend(empty) is None
+
+    def test_rung_without_workers_key(self, tmp_path):
+        """Regression: a same-platform record whose rung carried an
+        efficiency but no worker count raised KeyError('workers')."""
+        import platform
+
+        from repro.perf import efficiency_regressions
+
+        path = tmp_path / "history.jsonl"
+        path.write_text(json.dumps({
+            "schema": 1, "platform": platform.platform(),
+            "rungs": [{"efficiency": 0.9, "cells_per_sec": 5.0}],
+        }) + "\n")
+        assert efficiency_regressions(self._payload(0.1), path) == []
+
+    def test_scalar_lines_and_non_dict_rungs(self, tmp_path):
+        import platform
+
+        from repro.perf import efficiency_regressions, workers_trend
+
+        here = platform.platform()
+        path = tmp_path / "history.jsonl"
+        path.write_text("\n".join([
+            "42",                                     # scalar JSON line
+            '"just a string"',
+            json.dumps({"platform": here, "rungs": "oops"}),
+            json.dumps({"platform": here,
+                        "rungs": ["junk", {"workers": True,
+                                           "efficiency": 0.5}]}),
+            json.dumps({"platform": here,
+                        "rungs": [{"workers": 2, "efficiency": 0.9,
+                                   "cells_per_sec": 18.0}]}),
+        ]) + "\n")
+        # Only the last record's rung survives the filter.
+        flags = efficiency_regressions(self._payload(0.5), path)
+        assert flags and flags[0]["baseline_efficiency"] == 0.9
+        trend = workers_trend(path)
+        (entry,) = [p for p in trend["platforms"] if p["platform"] == here]
+        (rung,) = entry["rungs"]
+        assert rung["workers"] == 2
+        assert rung["efficiency_series"] == [0.9]
+
+    def test_missing_recorded_at_renders(self, tmp_path):
+        from repro.perf import render_workers_trend, workers_trend
+
+        path = tmp_path / "history.jsonl"
+        path.write_text(json.dumps({
+            "platform": "hostX",
+            "rungs": [{"workers": 2, "efficiency": 0.7,
+                       "cells_per_sec": 14.0}],
+        }) + "\n")
+        table = render_workers_trend(workers_trend(path))
+        assert "unknown .. unknown" in table
+        assert "None" not in table
