@@ -24,14 +24,25 @@ Four subcommands::
         ``--baseline`` turns it into a regression gate (CI uses it).
 
     dismem-sched serve [--config experiment.json] [--port P]
+                       [--state-dir DIR]
         Run the scheduler as a long-lived JSON/HTTP daemon (submit /
-        cancel / query / advise / state).  See docs/SERVICE.md.
+        cancel / query / advise / state).  With ``--state-dir`` the
+        daemon is crash-safe: every acknowledged mutation is journaled
+        before it is applied, and a restart on the same directory
+        recovers the exact schedule.  See docs/SERVICE.md.
 
     dismem-sched load --url http://H:P [--clients N] [--quick]
         Replay a trace through a live daemon as N concurrent clients;
         measures submissions/sec + decision latency into
         BENCH_SERVICE.json and proves the replay decision-identical
-        to the offline engine.
+        to the offline engine.  Exit codes: 0 ok, 3 identity mismatch,
+        4 daemon unreachable, 1 other gate failures.
+
+    dismem-sched chaos [--quick] [--out CHAOS_REPORT.json]
+        Crash-recovery gate: kill the scheduler (simulated crashes and
+        real SIGKILLs) mid-trace, recover from the write-ahead journal,
+        and prove the recovered schedule identical to an uninterrupted
+        offline run under both EASY and conservative backfill.
 
 (Installed as ``dismem-sched`` and ``repro``; also runnable as
 ``python -m repro.cli``.)
@@ -341,37 +352,110 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service_config = ServiceConfig(
         mode=args.mode, speed=args.speed, tick_s=args.tick,
         start_time=args.start_time,
+        state_dir=args.state_dir,
+        checkpoint_every=args.checkpoint_every,
+        max_inbox=args.max_inbox,
+        deadline_s=args.deadline_s,
     )
-    service = SchedulerService(
-        config.build_cluster(), config.build_scheduler(), service_config
-    )
+    service = SchedulerService.open(config, service_config)
     daemon = ServiceDaemon(service, host=args.host, port=args.port)
     daemon.start()
+    durability = "ephemeral"
+    if service.recovery is not None:
+        durability = (
+            f"durable, resumed from snapshot seq "
+            f"{service.recovery['snapshot_seq']} + "
+            f"{service.recovery['replayed_records']} journal records"
+            if service.recovery["resumed"]
+            else "durable, fresh state dir"
+        )
     print(
         f"scheduler service on {daemon.url}  "
-        f"(config {config.name!r}, mode {service_config.mode}, Ctrl-C stops)",
+        f"(config {config.name!r}, mode {service_config.mode}, "
+        f"{durability}, Ctrl-C stops)",
         flush=True,
     )
     daemon.serve_until_interrupt()
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .service.chaos import run_chaos, run_chaos_process
+
+    config = (
+        ExperimentConfig.from_file(args.config) if args.config else None
+    )
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    seeds = list(range(1, (2 if args.quick else args.seeds) + 1))
+    num_jobs = 30 if args.quick else args.jobs
+    report = run_chaos(
+        config,
+        seeds=seeds,
+        num_jobs=num_jobs,
+        output=None,
+        progress=progress,
+    )
+    documents = {"inprocess": report}
+    ok = report["ok"]
+    print(
+        f"in-process gate: {len(report['cells'])} cells, "
+        f"{report['total_crashes']} crashes -> "
+        f"{'ok' if report['ok'] else 'DIVERGED'}"
+    )
+    if not args.skip_process:
+        proc = run_chaos_process(
+            config,
+            seed=args.seeds,
+            num_jobs=min(num_jobs, 40),
+            kills=1 if args.quick else 2,
+            progress=progress,
+        )
+        documents["process"] = proc
+        ok = ok and proc["ok"]
+        print(
+            f"subprocess gate: {proc['sigkills']} SIGKILLs, "
+            f"graceful exit {proc['graceful_exit_code']} -> "
+            f"{'ok' if proc['ok'] else 'DIVERGED'}"
+        )
+    if args.out:
+        Path(args.out).write_text(json.dumps(documents, indent=2) + "\n")
+        print(f"chaos report written to {args.out}")
+    if not ok:
+        for doc in documents.values():
+            cells = doc.get("cells", [doc])
+            for cell in cells:
+                for problem in cell.get("problems", [])[:10]:
+                    print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
+    """Exit codes: 0 ok, 3 decision-identity mismatch, 4 daemon
+    unreachable, 1 any other gate failure — so CI and scripts can tell
+    "the scheduler diverged" from "the daemon was down"."""
     from .service.load import run_load
 
     config = (
         ExperimentConfig.from_file(args.config) if args.config else None
     )
-    document = run_load(
-        args.url,
-        config,
-        clients=args.clients,
-        batch_target=args.batch,
-        num_jobs=args.jobs,
-        quick=args.quick,
-        output=args.out or None,
-        skip_identity=args.skip_identity,
-    )
+    try:
+        document = run_load(
+            args.url,
+            config,
+            clients=args.clients,
+            batch_target=args.batch,
+            num_jobs=args.jobs,
+            quick=args.quick,
+            output=args.out or None,
+            skip_identity=args.skip_identity,
+        )
+    except (ConnectionError, OSError) as exc:
+        print(f"error: daemon at {args.url} unreachable: {exc}",
+              file=sys.stderr)
+        return 4
     print(
         f"{document['jobs']} jobs / {document['windows']} windows / "
         f"{document['clients']} clients: "
@@ -394,6 +478,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
     if not document["ok"]:
         for failure in document["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
+        if identity["checked"] and not identity["identical"]:
+            return 3
         return 1
     return 0
 
@@ -529,7 +615,47 @@ def build_parser() -> argparse.ArgumentParser:
                          "seconds (default 0.05)")
     p_serve.add_argument("--start-time", type=float, default=0.0,
                          help="virtual clock origin (default 0)")
+    p_serve.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="durable state directory (write-ahead "
+                         "journal + checkpoints); restarting on the "
+                         "same directory recovers every acknowledged "
+                         "mutation (default: no persistence)")
+    p_serve.add_argument("--checkpoint-every", type=int, default=256,
+                         metavar="N",
+                         help="snapshot cadence in journal records "
+                         "(0 = only at shutdown; default 256)")
+    p_serve.add_argument("--max-inbox", type=int, default=0, metavar="N",
+                         help="shed submissions with 429 once N ops are "
+                         "queued (0 = unbounded, the default)")
+    p_serve.add_argument("--deadline-s", type=float, default=0.0,
+                         metavar="S",
+                         help="shed ops older than S seconds with 504 "
+                         "(0 = no deadline, the default)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="crash-recovery gate: kill the service mid-trace, recover, "
+        "prove decision identity",
+    )
+    p_chaos.add_argument("--config", help="experiment JSON (default: "
+                         "built-in demo)")
+    p_chaos.add_argument("--seeds", type=_positive_int, default=5,
+                         help="crash-schedule seeds per scheduler "
+                         "variant (default 5)")
+    p_chaos.add_argument("--jobs", type=_positive_int, default=60,
+                         help="trace length per cell (default 60)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="CI smoke: 2 seeds, 30 jobs, 1 SIGKILL")
+    p_chaos.add_argument("--skip-process", action="store_true",
+                         help="skip the subprocess SIGKILL layer "
+                         "(in-process gate only)")
+    p_chaos.add_argument("--out", default="CHAOS_REPORT.json",
+                         help="report JSON path (default "
+                         "CHAOS_REPORT.json; '' disables writing)")
+    p_chaos.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress lines")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_load = sub.add_parser(
         "load", help="replay a trace through a live daemon, under load"

@@ -398,6 +398,31 @@ class SchedulerSimulation:
         )
 
     # ------------------------------------------------------------------
+    # checkpoint/restore (crash-safe service support)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict:
+        """JSON-able snapshot of the full online engine state.
+
+        See :mod:`repro.engine.snapshot` for the format and the
+        restore contract.  Only legal between events (the service
+        checkpoints between inbox drains)."""
+        from .snapshot import checkpoint_engine  # deferred: import cycle
+
+        return checkpoint_engine(self)
+
+    @classmethod
+    def restore(
+        cls, cluster: Cluster, scheduler: Scheduler, snapshot: Dict
+    ) -> "SchedulerSimulation":
+        """Rebuild a live online engine from :meth:`checkpoint` output.
+
+        ``cluster`` and ``scheduler`` must be fresh instances built
+        from the configuration that produced the snapshot."""
+        from .snapshot import restore_engine  # deferred: import cycle
+
+        return restore_engine(cluster, scheduler, snapshot)
+
+    # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
     def _on_submit(self, event: Event) -> None:

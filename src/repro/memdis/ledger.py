@@ -40,6 +40,29 @@ class MemoryLedger:
         self.entries: List[LedgerEntry] = []
         self._open: Dict[int, LedgerEntry] = {}
 
+    @classmethod
+    def from_entries(cls, entries: Iterable[LedgerEntry]) -> "MemoryLedger":
+        """Rebuild a ledger (including its open-grant map) from saved
+        entries — the checkpoint/restore path.  The entry list is the
+        complete state: an open grant is exactly a grant entry without
+        a later release for the same job."""
+        ledger = cls()
+        for entry in entries:
+            ledger.entries.append(entry)
+            if entry.kind == "grant":
+                if entry.job_id in ledger._open:
+                    raise AllocationError(
+                        f"ledger restore: job {entry.job_id} granted twice"
+                    )
+                ledger._open[entry.job_id] = entry
+            else:
+                if ledger._open.pop(entry.job_id, None) is None:
+                    raise AllocationError(
+                        f"ledger restore: job {entry.job_id} released "
+                        "without an open grant"
+                    )
+        return ledger
+
     # ------------------------------------------------------------------
     def record_grant(
         self,

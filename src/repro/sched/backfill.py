@@ -446,8 +446,8 @@ class ConservativeBackfill(BackfillStrategy):
 
     That is the *semantic* contract.  Operationally the pass runs
     against three persistent layers, each provably decision-invisible
-    (the differential suites enforce bit-identical schedules against
-    ``tests/_reference_conservative.py``):
+    (the differential suites pin bit-identical schedules via the
+    golden digests in ``tests/golden/``):
 
     **Layer 1 — the profile cache.**  The availability profile is not
     rebuilt per cycle: pass-local starts are folded in via

@@ -130,6 +130,39 @@ class FairSharePolicy(QueuePolicy):
             self._charge(job, now)
 
     # ------------------------------------------------------------------
+    # checkpoint hooks
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Exact usage-accounting state for an engine checkpoint.
+
+        Accounts are copied verbatim (value + last-update pairs), the
+        charged set pins exactly-once semantics across the restore,
+        and the watch list keeps its *insertion order* — settlement
+        charges users in watch order, and per-user charge order is
+        what the decayed tracker is sensitive to.
+        """
+        return {
+            "accounts": {
+                user: [value, last]
+                for user, (value, last) in self.tracker._accounts.items()
+            },
+            "charged": sorted(self._charged),
+            "watched": list(self._watched),
+        }
+
+    def load_state(self, state: Dict, resolve) -> None:
+        self.tracker._accounts = {
+            user: (float(value), float(last))
+            for user, (value, last) in state["accounts"].items()
+        }
+        self._charged = set(state["charged"])
+        self._watched = {}
+        for job_id in state["watched"]:
+            job = resolve(job_id)
+            if job is not None:
+                self._watched[job_id] = job
+
+    # ------------------------------------------------------------------
     def key(self, job: Job, now: float) -> tuple:
         usage = self.tracker.usage_of(job.user, now)
         return (usage, job.submit_time, job.job_id)

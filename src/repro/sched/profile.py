@@ -70,9 +70,10 @@ cursor's lifetime is no longer bounded by the pass either:
   and a truncation that actually drops reservations) still drops it;
   the next scan rebuilds lazily.
 
-All query results are bitwise identical to the reference
-implementation (kept as ``tests/_reference_profile.py``); the
-equivalence suite enforces this on randomized workloads.
+All query results are bitwise identical to the brute-force oracle
+(``tests/_oracles.py``); the equivalence suite enforces this on
+randomized workloads, and end-to-end schedules are pinned by the
+golden digests in ``tests/golden/``.
 
 Overrun clamp: a running job whose estimate has already expired (only
 possible under the ``none`` kill policy) is treated as ending shortly

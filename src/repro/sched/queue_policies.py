@@ -71,6 +71,28 @@ class QueuePolicy(abc.ABC):
         key = self.key
         return sorted(queue, key=lambda job: key(job, now))
 
+    # ------------------------------------------------------------------
+    # checkpoint hooks (engine snapshot/restore)
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """JSON-able policy state for a checkpoint, or ``None``.
+
+        Stateless policies carry nothing — a fresh instance orders
+        identically.  A stateful policy (fair-share) must override
+        both hooks so a restored engine reproduces the exact ordering
+        keys the original would have used.
+        """
+        return None
+
+    def load_state(self, state, resolve) -> None:
+        """Restore :meth:`state_dict` output.  ``resolve`` maps a job
+        id to the restored :class:`Job` object (policies that watch
+        live job objects need the restored identities, not copies)."""
+        if state is not None:  # pragma: no cover - misuse guard
+            raise ConfigurationError(
+                f"queue policy {self.name!r} cannot load checkpoint state"
+            )
+
 
 class FCFSPolicy(QueuePolicy):
     """First-come-first-served — the production default."""

@@ -8,12 +8,26 @@ fast one (no client-side lock on the hot path).  Non-2xx responses
 raise :class:`ServiceError` carrying the server's stable error code,
 so callers branch on ``exc.code`` (``"duplicate_job"``,
 ``"late_arrival"``, ...) rather than parsing messages.
+
+**Retry semantics.**  A network error leaves the client unable to tell
+whether the server applied the request (the classic lost-reply
+ambiguity), so blind resends can double-apply.  The client therefore
+only retries requests that are *safe to repeat*: reads, advances, and
+mutations carrying an idempotency key — which :meth:`submit` and
+:meth:`cancel` generate automatically, so their retries are
+deduplicated server-side and applied exactly once.  Retries use capped
+exponential backoff with jitter; a 429 load-shed response (guaranteed
+not applied) honors the server's ``retry_after`` hint and is retryable
+for every request.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
+import uuid
 from http.client import HTTPConnection, HTTPException
 from typing import Any, Dict, List, Optional
 from urllib.parse import urlsplit
@@ -22,21 +36,42 @@ from ..errors import ReproError
 
 __all__ = ["ServiceClient", "ServiceError"]
 
+_BACKOFF_CAP_S = 1.0
+
 
 class ServiceError(ReproError):
     """A non-2xx response from the service."""
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(f"[{status} {code}] {message}")
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
 
 class ServiceClient:
-    """Typed calls over one persistent HTTP connection."""
+    """Typed calls over one persistent HTTP connection.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    ``retries`` bounds how many times a safe-to-repeat request is
+    retried after a network error or a 429 load shed; ``backoff_s``
+    seeds the exponential backoff (doubled per attempt, jittered,
+    capped at one second).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+    ) -> None:
         parts = urlsplit(base_url)
         if parts.scheme not in ("http", ""):
             raise ReproError(f"unsupported scheme in {base_url!r}")
@@ -45,13 +80,31 @@ class ServiceClient:
             raise ReproError(f"no host in service url {base_url!r}")
         self._netloc = netloc
         self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._backoff_s = backoff_s
         self._conn: Optional[HTTPConnection] = None
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, body: Any = None) -> Any:
+    def _sleep_backoff(self, attempt: int, hint: Optional[float]) -> None:
+        delay = min(_BACKOFF_CAP_S, self._backoff_s * (2**attempt))
+        if hint is not None:
+            delay = max(delay, min(hint, _BACKOFF_CAP_S))
+        # Jitter to half..full delay: retrying clients decorrelate
+        # instead of re-stampeding a shedding server in lockstep.
+        time.sleep(delay * (0.5 + random.random() / 2))
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        *,
+        idempotent: bool = True,
+    ) -> Any:
         payload = None if body is None else json.dumps(body).encode()
         headers = {"Content-Type": "application/json"} if payload else {}
-        for attempt in (0, 1):  # one retry on a stale keep-alive socket
+        attempt = 0
+        while True:
             if self._conn is None:
                 self._conn = HTTPConnection(self._netloc, timeout=self._timeout)
                 # Small request/small reply ping-pong: Nagle + delayed
@@ -64,38 +117,69 @@ class ServiceClient:
                 self._conn.request(method, path, body=payload, headers=headers)
                 response = self._conn.getresponse()
                 raw = response.read()
-                break
             except (ConnectionError, HTTPException, socket.timeout, OSError):
+                # The server may or may not have applied the request —
+                # only repeat it when repeating is safe.
                 self.close()
-                if attempt:
+                if not idempotent or attempt >= self._retries:
                     raise
-        try:
-            document = json.loads(raw) if raw else {}
-        except json.JSONDecodeError as exc:
-            raise ServiceError(
-                response.status, "bad_payload", f"non-JSON response: {exc}"
-            ) from exc
-        if response.status >= 300:
-            error = document.get("error", {}) if isinstance(document, dict) else {}
-            raise ServiceError(
-                response.status,
-                error.get("code", "http_error"),
-                error.get("message", f"HTTP {response.status}"),
-            )
-        return document
+                self._sleep_backoff(attempt, None)
+                attempt += 1
+                continue
+            try:
+                document = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    response.status, "bad_payload", f"non-JSON response: {exc}"
+                ) from exc
+            if response.status >= 300:
+                error = (
+                    document.get("error", {}) if isinstance(document, dict) else {}
+                )
+                failure = ServiceError(
+                    response.status,
+                    error.get("code", "http_error"),
+                    error.get("message", f"HTTP {response.status}"),
+                    error.get("retry_after"),
+                )
+                if response.status == 429 and attempt < self._retries:
+                    # A shed request was never applied: always safe to
+                    # retry, keyed or not.
+                    self._sleep_backoff(attempt, failure.retry_after)
+                    attempt += 1
+                    continue
+                raise failure
+            return document
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/health")
 
-    def submit(self, jobs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        return self._request("POST", "/v1/submit", {"jobs": jobs})["jobs"]
+    def submit(
+        self,
+        jobs: List[Dict[str, Any]],
+        idempotency_key: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Submit job specs; exactly-once even across retries.
+
+        A key is generated when the caller does not supply one, making
+        the request safe to resend after a lost reply: the service
+        deduplicates on the key and returns the original outcome.
+        """
+        key = idempotency_key or uuid.uuid4().hex
+        body = {"jobs": jobs, "idempotency_key": key}
+        return self._request("POST", "/v1/submit", body)["jobs"]
 
     def submit_one(self, spec: Dict[str, Any]) -> Dict[str, Any]:
         return self.submit([spec])[0]
 
-    def cancel(self, job_id: int) -> Dict[str, Any]:
-        return self._request("POST", "/v1/cancel", {"job_id": job_id})
+    def cancel(
+        self, job_id: int, idempotency_key: Optional[str] = None
+    ) -> Dict[str, Any]:
+        key = idempotency_key or uuid.uuid4().hex
+        return self._request(
+            "POST", "/v1/cancel", {"job_id": job_id, "idempotency_key": key}
+        )
 
     def query(self, job_id: int) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}")
@@ -113,6 +197,8 @@ class ServiceClient:
         return self._request("GET", "/v1/metrics")
 
     def advance(self, to: Optional[float]) -> Dict[str, Any]:
+        # Idempotent by the clock's monotonic contract: re-advancing to
+        # a time already reached is a no-op, so a retry is safe.
         return self._request("POST", "/v1/advance", {"to": to})
 
     def drain(self) -> Dict[str, Any]:

@@ -40,9 +40,9 @@ from __future__ import annotations
 import math
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..cluster.cluster import Cluster
 from ..cluster.spec import ClusterSpec
@@ -51,11 +51,14 @@ from ..engine.simulation import SchedulerSimulation
 from ..errors import ConfigurationError, ReproError
 from ..sched.base import Scheduler, SchedulerContext
 from ..workload.job import Job
+from .journal import StateStore, config_fingerprint
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    check_idempotency_key,
     job_from_spec,
     job_to_record,
+    job_to_request_spec,
 )
 
 __all__ = [
@@ -139,6 +142,35 @@ class ServiceConfig:
     tick_s: float = 0.05
     #: Virtual clock origin.
     start_time: float = 0.0
+    #: Durable state directory (write-ahead journal + snapshots).
+    #: ``None`` runs the service in-memory, exactly the pre-durability
+    #: behavior; building through :meth:`SchedulerService.open` with a
+    #: directory makes every mutation crash-safe.
+    state_dir: Optional[str] = None
+    #: Write an engine snapshot every N journal records (plus one on
+    #: graceful shutdown).  0 = snapshot only on shutdown.
+    checkpoint_every: int = 256
+    #: Load-shedding bound on the op inbox: a request arriving while
+    #: this many ops are already queued is refused with 429 and a
+    #: ``retry_after`` hint.  0 = unbounded.
+    max_inbox: int = 0
+    #: Per-request deadline budget, seconds: an op that waited in the
+    #: inbox longer than this is shed with 504 *before* any engine work
+    #: is spent on it.  0 = no deadline.
+    deadline_s: float = 0.0
+    #: How many idempotency-key outcomes to remember for retry
+    #: deduplication (an LRU window; old entries age out).
+    dedup_window: int = 1024
+    #: Replay-mode group-commit window, seconds, applied only when
+    #: durable: after the first op of a drain arrives, the drain is
+    #: held open this long for stragglers, so requests racing in
+    #: behind it share one journal sync and one scheduling pass
+    #: instead of paying a sync-plus-pass each.  A solo request waits
+    #: at most this long; the window closes early the moment arrivals
+    #: pause.  0 disables the linger (drain eagerly, the ephemeral
+    #: behavior).  Wall mode ignores it — ``tick_s`` is already the
+    #: admission linger there.
+    group_commit_s: float = 0.0005
 
     def __post_init__(self) -> None:
         if self.mode not in ("replay", "wall"):
@@ -147,6 +179,16 @@ class ServiceConfig:
             raise ConfigurationError("speed must be positive")
         if self.tick_s <= 0:
             raise ConfigurationError("tick_s must be positive")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError("checkpoint_every must be >= 0")
+        if self.max_inbox < 0:
+            raise ConfigurationError("max_inbox must be >= 0")
+        if self.deadline_s < 0:
+            raise ConfigurationError("deadline_s must be >= 0")
+        if self.dedup_window < 0:
+            raise ConfigurationError("dedup_window must be >= 0")
+        if self.group_commit_s < 0:
+            raise ConfigurationError("group_commit_s must be >= 0")
 
 
 class _Op:
@@ -176,6 +218,11 @@ class _Counters:
     drains: int = 0
     batches: int = 0
     ticks: int = 0
+    shed_overload: int = 0
+    shed_deadline: int = 0
+    dedup_hits: int = 0
+    journal_records: int = 0
+    checkpoints: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -200,17 +247,24 @@ class SchedulerService:
         cluster: Cluster,
         scheduler: Scheduler,
         config: Optional[ServiceConfig] = None,
+        *,
+        engine: Optional[SchedulerSimulation] = None,
+        store: Optional[StateStore] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.cluster = cluster
         self.scheduler = scheduler
-        self.engine = SchedulerSimulation(
+        self.engine = engine or SchedulerSimulation(
             cluster,
             scheduler,
             [],
             online=True,
             start_time=self.config.start_time,
         )
+        self._store = store
+        self._records_since_snapshot = 0
+        self._checkpoint_due = False
+        self.recovery: Optional[Dict[str, Any]] = None
         self._inbox: deque[_Op] = deque()
         self._cond = threading.Condition()
         self._stopping = False
@@ -225,6 +279,133 @@ class SchedulerService:
         self._decision_latencies: List[float] = []
         self._batch_sizes: List[int] = []
         self._next_auto_id = 1
+        #: key -> ("submit", [job ids]) | ("cancel", outcome dict); an
+        #: LRU window bounded by ``config.dedup_window``.
+        self._dedup: "OrderedDict[str, Tuple[str, Any]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # durable construction / recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        experiment: ExperimentConfig,
+        config: Optional[ServiceConfig] = None,
+    ) -> "SchedulerService":
+        """Build a service from an experiment config, recovering durable
+        state when the config names a state directory.
+
+        Recovery is snapshot + journal-suffix replay: the newest
+        readable engine snapshot is restored onto a fresh cluster and
+        scheduler, then every journal record appended after it is
+        re-applied through the same batching the live path uses.  The
+        state directory is fingerprinted against the experiment config
+        — replaying a journal against a different machine is refused.
+        """
+        config = config or ServiceConfig()
+        cluster = experiment.build_cluster()
+        scheduler = experiment.build_scheduler()
+        if config.state_dir is None:
+            return cls(cluster, scheduler, config)
+        store = StateStore(config.state_dir, config_fingerprint(experiment.to_json()))
+        engine: Optional[SchedulerSimulation] = None
+        service_state: Optional[Dict[str, Any]] = None
+        covered = 0
+        snapshot = store.latest_snapshot()
+        if snapshot is not None:
+            covered, document = snapshot
+            engine = SchedulerSimulation.restore(
+                cluster, scheduler, document["engine"]
+            )
+            service_state = document.get("service")
+        service = cls(cluster, scheduler, config, engine=engine, store=store)
+        if service_state is not None:
+            service._load_service_state(service_state)
+        records = store.replay(covered)
+        for _seq, body in records:
+            service._replay_record(body)
+        service.recovery = {
+            "snapshot_seq": covered,
+            "replayed_records": len(records),
+            "resumed": snapshot is not None or bool(records),
+        }
+        return service
+
+    def _service_state(self) -> Dict[str, Any]:
+        return {
+            "next_auto_id": self._next_auto_id,
+            "dedup": [
+                [key, kind, payload]
+                for key, (kind, payload) in self._dedup.items()
+            ],
+            "counters": self.counters.to_dict(),
+        }
+
+    def _load_service_state(self, state: Dict[str, Any]) -> None:
+        self._next_auto_id = int(state["next_auto_id"])
+        self._dedup = OrderedDict(
+            (key, (kind, payload)) for key, kind, payload in state["dedup"]
+        )
+        for name, value in state.get("counters", {}).items():
+            if hasattr(self.counters, name):
+                setattr(self.counters, name, value)
+
+    def _register_dedup(self, key: Optional[str], kind: str, payload: Any) -> None:
+        if key is None or self.config.dedup_window == 0:
+            return
+        self._dedup[key] = (kind, payload)
+        self._dedup.move_to_end(key)
+        while len(self._dedup) > self.config.dedup_window:
+            self._dedup.popitem(last=False)
+
+    def _replay_record(self, body: Dict[str, Any]) -> None:
+        """Re-apply one journal record exactly as the live path did.
+
+        All submit groups re-enter as **one** injection batch (the
+        pass-transaction batching is part of the decision record, not
+        an implementation detail), the clock advances to the recorded
+        target, and post-batch mutations re-run in arrival order with
+        their original error outcomes swallowed — an op that failed
+        live fails identically on replay.
+        """
+        jobs: List[Job] = []
+        for group in body["submits"]:
+            for spec in group["jobs"]:
+                jobs.append(Job(**spec))
+        if jobs:
+            self.engine.inject_jobs(jobs)
+            self.counters.batches += 1
+            self.counters.submitted += len(jobs)
+            self.counters.admitted += len(jobs)
+            for job in jobs:
+                if job.job_id >= self._next_auto_id:
+                    self._next_auto_id = job.job_id + 1
+        target = body.get("target")
+        if target is not None and target > self.engine.now:
+            self.engine.advance_to(target)
+        else:
+            self.engine.advance_to(self.engine.now)
+        for entry in body["post"]:
+            kind = entry[0]
+            try:
+                if kind == "cancel":
+                    outcome = self._do_cancel(entry[1])
+                    self._register_dedup(
+                        entry[2],
+                        "cancel",
+                        {"job_id": entry[1], "outcome": outcome["outcome"]},
+                    )
+                elif kind == "advance":
+                    self._do_advance(entry[1])
+            except ProtocolError:
+                pass  # failed live, fails identically here
+        for group in body["submits"]:
+            self._register_dedup(
+                group.get("key"),
+                "submit",
+                [spec["job_id"] for spec in group["jobs"]],
+            )
+        self.counters.journal_records += 1
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -254,12 +435,25 @@ class SchedulerService:
     # ------------------------------------------------------------------
     # client-facing surface (any thread)
     # ------------------------------------------------------------------
-    def submit(self, specs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        """Submit one request's worth of job specs; returns records."""
-        return self._call("submit", specs)
+    def submit(
+        self,
+        specs: List[Dict[str, Any]],
+        idempotency_key: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Submit one request's worth of job specs; returns records.
 
-    def cancel(self, job_id: int) -> Dict[str, Any]:
-        return self._call("cancel", job_id)
+        With an ``idempotency_key``, retrying the same submission after
+        a lost reply returns the original outcome instead of admitting
+        the jobs twice.
+        """
+        key = check_idempotency_key(idempotency_key)
+        return self._call("submit", {"specs": specs, "key": key})
+
+    def cancel(
+        self, job_id: int, idempotency_key: Optional[str] = None
+    ) -> Dict[str, Any]:
+        key = check_idempotency_key(idempotency_key)
+        return self._call("cancel", {"job_id": job_id, "key": key})
 
     def query(self, job_id: int) -> Dict[str, Any]:
         return self._call("query", job_id)
@@ -291,6 +485,7 @@ class SchedulerService:
             "status": status,
             "protocol": PROTOCOL_VERSION,
             "mode": self.config.mode,
+            "durable": self._store is not None,
             "uptime_s": round(time.monotonic() - self._started_mono, 3),
         }
 
@@ -304,6 +499,19 @@ class SchedulerService:
             raise ProtocolError(503, "unavailable", "service is not running")
         op = _Op(kind, payload, time.monotonic())
         with self._cond:
+            if (
+                self.config.max_inbox
+                and len(self._inbox) >= self.config.max_inbox
+            ):
+                # Shed *before* enqueueing: a 429 guarantees the op was
+                # never applied, so any client may retry it safely.
+                self.counters.shed_overload += 1
+                raise ProtocolError(
+                    429,
+                    "overloaded",
+                    f"inbox is full ({self.config.max_inbox} ops queued)",
+                    retry_after=max(self.config.tick_s, 0.05),
+                )
             self._inbox.append(op)
             self._cond.notify_all()
         if not op.done.wait(timeout=_OP_TIMEOUT_S):
@@ -319,6 +527,11 @@ class SchedulerService:
     # ------------------------------------------------------------------
     def _engine_loop(self) -> None:
         wall = self.config.mode == "wall"
+        linger = (
+            self.config.group_commit_s
+            if self._store is not None and not wall
+            else 0.0
+        )
         try:
             while True:
                 with self._cond:
@@ -328,17 +541,38 @@ class SchedulerService:
                                 break  # tick: advance the wall clock
                         else:
                             self._cond.wait()
+                    if linger and self._inbox and not self._stopping:
+                        # Group commit: the upcoming drain pays one
+                        # journal sync no matter how many ops it
+                        # carries, so hold the door briefly while
+                        # arrivals keep coming — each straggler rides
+                        # the same sync and the same scheduling pass.
+                        # The door closes at the deadline, or as soon
+                        # as one straggler-gap passes with no arrival
+                        # (every queued client is already in).
+                        deadline = time.monotonic() + linger
+                        gap = linger / 4
+                        while not self._stopping:
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                break
+                            before = len(self._inbox)
+                            self._cond.wait(timeout=min(remaining, gap))
+                            if len(self._inbox) <= before:
+                                break  # arrivals paused: door closes
                     batch = list(self._inbox)
                     self._inbox.clear()
                     stopping = self._stopping
+                # Graceful drain: ops already accepted into the inbox
+                # are processed even when stopping — _call refuses new
+                # ones the moment _stopping is set, so this in-flight
+                # batch is the last.  An empty batch still ticks the
+                # wall clock.
+                if batch or wall:
+                    self._process(batch, wall)
                 if stopping:
-                    for op in batch:
-                        op.error = ProtocolError(
-                            503, "unavailable", "service shutting down"
-                        )
-                        op.done.set()
+                    self._final_checkpoint()
                     return
-                self._process(batch, wall)
         except BaseException as exc:  # noqa: BLE001 - must unblock waiters
             self._crashed = exc
             with self._cond:
@@ -348,18 +582,51 @@ class SchedulerService:
                 op.error = exc
                 op.done.set()
 
+    def _final_checkpoint(self) -> None:
+        if self._store is None:
+            return
+        try:
+            self._write_snapshot()
+        except Exception:  # noqa: BLE001 - shutdown must not raise
+            pass
+
+    def _write_snapshot(self) -> None:
+        self._store.write_snapshot(
+            {"engine": self.engine.checkpoint(), "service": self._service_state()}
+        )
+        self._records_since_snapshot = 0
+        self.counters.checkpoints += 1
+
     def _wall_target(self) -> float:
         elapsed = time.monotonic() - self._started_mono
         return self.config.start_time + elapsed * self.config.speed
 
     def _process(self, batch: List[_Op], wall: bool) -> None:
+        """Apply one inbox drain: shed, dedup, **journal, then apply**.
+
+        The write-ahead discipline: every mutation the drain will apply
+        (admitted submit batches, cancels, advances) is appended to the
+        journal and fsynced *before* the engine applies it and before
+        any client sees success.  A crash after the fsync replays the
+        record on recovery; a crash before it means no client was ever
+        acknowledged, so the idempotent retry re-submits it.
+        """
+        batch = self._shed_expired(batch)
         submits = [op for op in batch if op.kind == "submit"]
-        others = [op for op in batch if op.kind != "submit"]
+        others = [
+            op
+            for op in batch
+            if op.kind != "submit" and not self._cancel_dedup_hit(op)
+        ]
         target = self._wall_target() if wall else self.engine.now
 
-        admitted: List[Job] = []
-        if submits:
-            admitted = self._admit(submits, default_time=max(target, self.engine.now))
+        fresh, replayed = self._split_dedup(submits)
+        validated = self._validate_submits(
+            fresh, default_time=max(target, self.engine.now)
+        )
+        self._journal_drain(validated, others, target if wall else None)
+
+        admitted = self._inject(validated)
         if wall:
             self.counters.ticks += 1
             if target > self.engine.now:
@@ -371,11 +638,16 @@ class SchedulerService:
             # (same-instant submissions and their pass), nothing more.
             self.engine.advance_to(self.engine.now)
         self._stamp_decisions()
-        for op in submits:
+        for op in fresh:
             if op.error is None:
-                op.result = [
-                    self._record(job.job_id) for job in op.result
-                ]
+                self._register_dedup(
+                    op.payload.get("key"),
+                    "submit",
+                    [job.job_id for job in op.result],
+                )
+                op.result = [self._record(job.job_id) for job in op.result]
+            op.done.set()
+        for op in replayed:
             op.done.set()
         for op in others:
             try:
@@ -385,21 +657,111 @@ class SchedulerService:
             op.done.set()
         if admitted or others:
             self._stamp_decisions()
+        self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        """Snapshot when the journal suffix has grown long enough.
+
+        A failed snapshot is tolerated: the journal remains the source
+        of truth and recovery simply replays a longer suffix from the
+        previous snapshot generation.
+        """
+        if not self._checkpoint_due:
+            return
+        self._checkpoint_due = False
+        try:
+            self._write_snapshot()
+        except Exception:  # noqa: BLE001 - journal still covers the state
+            pass
 
     # ------------------------------------------------------------------
-    def _admit(self, submits: List[_Op], default_time: float) -> List[Job]:
-        """Coalesce every submit op in the drain into one admission batch.
+    def _cancel_dedup_hit(self, op: _Op) -> bool:
+        """Resolve a retried keyed cancel from the dedup window.
 
-        Per-op validation failures (bad spec, duplicate id, late
-        arrival) fail *that op* only; the surviving jobs are injected
-        as one sorted batch.  ``op.result`` temporarily holds the op's
-        Job objects — :meth:`_process` converts them to records after
-        the due passes have run.
+        Returns True when the op was answered here — the stored
+        outcome, not a second application — so it must not be journaled
+        or dispatched again.
         """
-        all_jobs: List[Job] = []
+        if op.kind != "cancel" or not isinstance(op.payload, dict):
+            return False
+        key = op.payload.get("key")
+        hit = self._dedup.get(key) if key is not None else None
+        if hit is None or hit[0] != "cancel":
+            return False
+        self.counters.dedup_hits += 1
+        self._dedup.move_to_end(key)
+        stored = hit[1]
+        try:
+            op.result = {
+                "job_id": stored["job_id"],
+                "outcome": stored["outcome"],
+                "job": self._record(stored["job_id"]),
+            }
+        except ProtocolError as exc:  # pragma: no cover - aged out
+            op.error = exc
+        op.done.set()
+        return True
+
+    def _shed_expired(self, batch: List[_Op]) -> List[_Op]:
+        """Deadline budget: fail ops that aged out waiting in the inbox
+        before any engine work is spent on them."""
+        if not self.config.deadline_s:
+            return batch
+        cutoff = time.monotonic() - self.config.deadline_s
+        kept: List[_Op] = []
+        for op in batch:
+            if op.received < cutoff:
+                self.counters.shed_deadline += 1
+                op.error = ProtocolError(
+                    504,
+                    "deadline_exceeded",
+                    f"op waited past its {self.config.deadline_s}s deadline",
+                )
+                op.done.set()
+            else:
+                kept.append(op)
+        return kept
+
+    def _split_dedup(
+        self, submits: List[_Op]
+    ) -> Tuple[List[_Op], List[_Op]]:
+        """Resolve keyed submits the dedup window has already seen.
+
+        A hit answers from the stored outcome — the original job ids,
+        re-rendered as current records — without touching the engine:
+        exactly-once application under client retries.
+        """
+        fresh: List[_Op] = []
+        replayed: List[_Op] = []
+        for op in submits:
+            key = op.payload.get("key") if isinstance(op.payload, dict) else None
+            hit = self._dedup.get(key) if key is not None else None
+            if hit is not None and hit[0] == "submit":
+                self.counters.dedup_hits += 1
+                self._dedup.move_to_end(key)
+                try:
+                    op.result = [self._record(job_id) for job_id in hit[1]]
+                except ProtocolError as exc:  # pragma: no cover - aged out
+                    op.error = exc
+                replayed.append(op)
+            else:
+                fresh.append(op)
+        return fresh, replayed
+
+    def _validate_submits(
+        self, submits: List[_Op], default_time: float
+    ) -> List[_Op]:
+        """Per-op spec validation, **without** touching the engine.
+
+        Failures (bad spec, duplicate id, late arrival) fail that op
+        only; survivors carry their Job objects in ``op.result`` and
+        their resolved request specs in ``op.payload["resolved"]`` for
+        the journal.  Returns the surviving ops.
+        """
+        validated: List[_Op] = []
         seen_batch: set = set()
         for op in submits:
-            specs = op.payload
+            specs = op.payload.get("specs")
             try:
                 if not isinstance(specs, list) or not specs:
                     raise ProtocolError(
@@ -434,22 +796,84 @@ class SchedulerService:
             except ProtocolError as exc:
                 op.error = exc
                 self.counters.rejected_specs += 1
+                op.done.set()
                 continue
             op.result = jobs  # placeholder; records built post-pass
-            all_jobs.extend(jobs)
+            validated.append(op)
+        return validated
+
+    def _journal_drain(
+        self,
+        validated: List[_Op],
+        others: List[_Op],
+        wall_target: Optional[float],
+    ) -> None:
+        """Append this drain's mutations to the journal and fsync.
+
+        One record per drain — the fsync amortizes over the whole
+        admission batch — and only drains that *mutate* are journaled
+        (query-only drains and empty wall ticks cost nothing).  On a
+        journal write failure every mutating op fails and nothing is
+        applied: the journal is the commit point.
+        """
+        if self._store is None:
+            return
+        mutations = [op for op in others if op.kind in ("cancel", "advance")]
+        if not validated and not mutations:
+            return
+        body = {
+            "target": wall_target,
+            "submits": [
+                {
+                    "key": op.payload.get("key"),
+                    "jobs": [job_to_request_spec(job) for job in op.result],
+                }
+                for op in validated
+            ],
+            "post": [
+                (
+                    ["cancel", op.payload.get("job_id"), op.payload.get("key")]
+                    if op.kind == "cancel"
+                    else ["advance", op.payload]
+                )
+                for op in mutations
+            ],
+        }
+        try:
+            self._store.append(body)
+        except Exception as exc:  # noqa: BLE001 - journal is the commit point
+            failure = ProtocolError(
+                500, "journal_error", f"could not journal the mutation: {exc}"
+            )
+            for op in validated + mutations:
+                op.error = failure
+                op.done.set()
+            validated.clear()
+            for op in mutations:
+                others.remove(op)
+            return
+        self.counters.journal_records += 1
+        self._records_since_snapshot += 1
+        if (
+            self.config.checkpoint_every
+            and self._records_since_snapshot >= self.config.checkpoint_every
+        ):
+            self._checkpoint_due = True
+
+    def _inject(self, validated: List[_Op]) -> List[Job]:
+        """Inject every validated submit as one admission batch."""
+        all_jobs: List[Job] = []
+        for op in validated:
+            all_jobs.extend(op.result)
         if not all_jobs:
             return []
         self.engine.inject_jobs(all_jobs)
         now_mono = time.monotonic()
         self.counters.batches += 1
-        self.counters.submitted += sum(
-            len(op.result) for op in submits if op.error is None
-        )
+        self.counters.submitted += len(all_jobs)
         self.counters.admitted += len(all_jobs)
         self._batch_sizes.append(len(all_jobs))
-        for op in submits:
-            if op.error is not None:
-                continue
+        for op in validated:
             for job in op.result:
                 timing = _Timing(
                     received=op.received,
@@ -482,7 +906,14 @@ class SchedulerService:
     # ------------------------------------------------------------------
     def _dispatch(self, op: _Op) -> Any:
         if op.kind == "cancel":
-            return self._do_cancel(op.payload)
+            payload = op.payload if isinstance(op.payload, dict) else {}
+            result = self._do_cancel(payload.get("job_id"))
+            self._register_dedup(
+                payload.get("key"),
+                "cancel",
+                {"job_id": payload.get("job_id"), "outcome": result["outcome"]},
+            )
+            return result
         if op.kind == "query":
             self.counters.queries += 1
             return self._do_query(op.payload)
@@ -564,6 +995,11 @@ class SchedulerService:
                 "count": len(batch),
                 "mean": round(sum(batch) / len(batch), 3) if batch else None,
                 "max": max(batch) if batch else None,
+            },
+            "durability": {
+                "durable": self._store is not None,
+                "records_since_snapshot": self._records_since_snapshot,
+                "recovery": self.recovery,
             },
         }
 

@@ -1,0 +1,297 @@
+"""Durable state store: write-ahead journal segments plus snapshots.
+
+The service's crash-safety contract is **journal-then-apply**: every
+accepted mutation batch (one inbox drain's submits/cancels/advances)
+is appended to the journal and fsynced *before* the engine applies it
+and before any client sees a success reply.  Recovery is therefore
+mechanical: load the newest readable snapshot, replay every journal
+record with a higher sequence number, and the engine is back at the
+exact pre-crash state — the same pass-transaction batching, the same
+event order.
+
+Layout of a state directory::
+
+    meta.json               schema + config fingerprint (+ creation stamp)
+    journal-000001.jsonl    records n=1.. (segment named by first seq)
+    journal-000042.jsonl    opened by the rotation after snapshot n=41
+    snapshot-000041.json    engine snapshot covering records n<=41
+
+Each journal line is ``{"n": seq, "crc": crc32(body), "rec": body}``
+with canonical (sorted-key, compact) body serialization so the CRC is
+reproducible.  A torn final line — the crash happened mid-append — is
+tolerated and dropped: its batch was never applied, never acknowledged,
+and the client's idempotent retry resubmits it.  A bad line anywhere
+*else* is real corruption and refuses to load.
+
+Snapshots are written atomically (temp file + ``os.replace``) and
+rotation prunes journal segments fully covered by the newest snapshot,
+so steady-state disk usage is one snapshot plus the journal suffix
+written since.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["JournalError", "StateStore", "config_fingerprint"]
+
+JOURNAL_SCHEMA = 1
+
+_SEGMENT_PREFIX = "journal-"
+_SNAPSHOT_PREFIX = "snapshot-"
+
+
+class JournalError(ReproError):
+    """The state directory is corrupt or inconsistent with the config."""
+
+
+def config_fingerprint(config_json: str) -> str:
+    """Stable digest of an experiment configuration document.
+
+    A state directory is only replayable against the configuration
+    that produced it — a different cluster or scheduler would take the
+    journal's mutations down a different decision path — so the store
+    refuses to open under a different fingerprint.
+    """
+    return hashlib.sha256(config_json.encode("utf-8")).hexdigest()
+
+
+def _canonical(body: Dict) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _seq_of(path: Path, prefix: str) -> int:
+    stem = path.name[len(prefix):].split(".", 1)[0]
+    return int(stem)
+
+
+class StateStore:
+    """One service's durable state directory (single writer)."""
+
+    def __init__(self, root: str | os.PathLike, fingerprint: str) -> None:
+        """Open (or create) the state directory.
+
+        ``fingerprint`` is the owning configuration's digest; opening
+        an existing directory under a different one raises
+        :class:`JournalError` instead of silently replaying a journal
+        against the wrong machine.
+        """
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+        self._segment_fd: Optional[int] = None
+        self._segment_path: Optional[Path] = None
+        meta_path = self.root / "meta.json"
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (ValueError, OSError) as exc:
+                raise JournalError(f"unreadable state meta: {exc}") from exc
+            if meta.get("schema") != JOURNAL_SCHEMA:
+                raise JournalError(
+                    f"state dir schema {meta.get('schema')!r} is not "
+                    f"{JOURNAL_SCHEMA}"
+                )
+            if meta.get("fingerprint") != fingerprint:
+                raise JournalError(
+                    "state dir belongs to a different configuration "
+                    f"(fingerprint {meta.get('fingerprint')!r:.20} != "
+                    f"{fingerprint!r:.20}); refusing to replay"
+                )
+        else:
+            self._atomic_write(
+                meta_path,
+                json.dumps(
+                    {"schema": JOURNAL_SCHEMA, "fingerprint": fingerprint},
+                    indent=2,
+                ),
+            )
+        self.next_seq = self._scan_next_seq()
+
+    # ------------------------------------------------------------------
+    # layout helpers
+    # ------------------------------------------------------------------
+    def _segments(self) -> List[Path]:
+        return sorted(
+            self.root.glob(f"{_SEGMENT_PREFIX}*.jsonl"),
+            key=lambda p: _seq_of(p, _SEGMENT_PREFIX),
+        )
+
+    def _snapshots(self) -> List[Path]:
+        return sorted(
+            self.root.glob(f"{_SNAPSHOT_PREFIX}*.json"),
+            key=lambda p: _seq_of(p, _SNAPSHOT_PREFIX),
+        )
+
+    def _scan_next_seq(self) -> int:
+        last = 0
+        for path in self._snapshots():
+            last = max(last, _seq_of(path, _SNAPSHOT_PREFIX))
+        for path in self._segments():
+            for seq, _body in self._read_segment(path, tail_tolerant=True):
+                last = max(last, seq)
+        return last + 1
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # journal writing
+    # ------------------------------------------------------------------
+    def append(self, body: Dict) -> int:
+        """Durably append one mutation record; returns its sequence.
+
+        The record is on disk (written and fdatasync'd) when this
+        returns — the service calls this once per inbox drain with
+        mutations, so the sync cost amortizes over the whole batch.
+        The sync sits on the engine thread's drain latency, so the
+        append path is kept lean: the canonical body is serialized
+        once and spliced into a hand-built envelope whose keys are
+        already in sorted order (``crc`` < ``n`` < ``rec``), and
+        ``fdatasync`` skips the inode-metadata flush ``fsync`` would
+        pay (the record data and the size change it needs are still
+        durable — the WAL contract only needs the bytes readable
+        after a crash).
+        """
+        seq = self.next_seq
+        if self._segment_fd is None:
+            self._open_segment(seq)
+        encoded = _canonical(body)
+        crc = zlib.crc32(encoded.encode("utf-8"))
+        line = f'{{"crc":{crc},"n":{seq},"rec":{encoded}}}\n'
+        os.write(self._segment_fd, line.encode("utf-8"))
+        os.fdatasync(self._segment_fd)
+        self.next_seq = seq + 1
+        return seq
+
+    def _open_segment(self, start_seq: int) -> None:
+        # Always a fresh segment, truncating any existing file of the
+        # same name: a file at this start seq can only hold a torn
+        # remnant (a valid record here would have bumped next_seq past
+        # it), and appending after a torn line would bury the tear
+        # mid-file where the reader rightly treats it as corruption.
+        path = self.root / f"{_SEGMENT_PREFIX}{start_seq:06d}.jsonl"
+        self._segment_fd = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+        )
+        self._segment_path = path
+
+    # ------------------------------------------------------------------
+    # reading / recovery
+    # ------------------------------------------------------------------
+    def _read_segment(
+        self, path: Path, tail_tolerant: bool
+    ) -> Iterator[Tuple[int, Dict]]:
+        try:
+            lines = path.read_text().splitlines()
+        except OSError as exc:
+            raise JournalError(f"unreadable journal segment {path.name}: {exc}")
+        for index, line in enumerate(lines):
+            last = index == len(lines) - 1
+            try:
+                doc = json.loads(line)
+                body = doc["rec"]
+                if doc["crc"] != zlib.crc32(_canonical(body).encode("utf-8")):
+                    raise ValueError("crc mismatch")
+                seq = int(doc["n"])
+            except (ValueError, KeyError, TypeError) as exc:
+                if last and tail_tolerant:
+                    # Torn tail: the crash interrupted this append, so
+                    # the batch was never applied nor acknowledged.
+                    return
+                raise JournalError(
+                    f"corrupt journal record at {path.name}:{index + 1}: {exc}"
+                ) from exc
+            yield seq, body
+
+    def replay(self, after_seq: int) -> List[Tuple[int, Dict]]:
+        """Every durable record with sequence number > ``after_seq``."""
+        records: List[Tuple[int, Dict]] = []
+        segments = self._segments()
+        for index, path in enumerate(segments):
+            if index + 1 < len(segments) and _seq_of(
+                segments[index + 1], _SEGMENT_PREFIX
+            ) <= after_seq + 1:
+                continue  # fully covered by the snapshot
+            for seq, body in self._read_segment(path, tail_tolerant=True):
+                if seq > after_seq:
+                    records.append((seq, body))
+        records.sort(key=lambda item: item[0])
+        expected = after_seq + 1
+        for seq, _body in records:
+            if seq != expected:
+                raise JournalError(
+                    f"journal gap: expected record {expected}, found {seq}"
+                )
+            expected += 1
+        return records
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def write_snapshot(self, document: Dict) -> None:
+        """Atomically persist a snapshot covering all appended records,
+        then rotate: start a fresh segment and prune everything the new
+        snapshot supersedes."""
+        covered = self.next_seq - 1
+        path = self.root / f"{_SNAPSHOT_PREFIX}{covered:06d}.json"
+        self._atomic_write(
+            path, json.dumps({"covered_seq": covered, "snapshot": document})
+        )
+        if self._segment_fd is not None:
+            os.close(self._segment_fd)
+            self._segment_fd = None
+            self._segment_path = None
+        # Keep the newest two snapshots so a corrupted newest one still
+        # leaves a recoverable older generation, and keep the journal
+        # suffix back to the older retained snapshot for its replay.
+        snapshots = self._snapshots()
+        for old in snapshots[:-2]:
+            old.unlink()
+        retained = self._snapshots()
+        retain_from = _seq_of(retained[0], _SNAPSHOT_PREFIX)
+        # A segment is prunable when every record it can contain is
+        # covered by the oldest retained snapshot: its successor
+        # segment starts at or below that snapshot's coverage + 1.
+        segments = self._segments()
+        for index, segment in enumerate(segments):
+            if index + 1 < len(segments) and _seq_of(
+                segments[index + 1], _SEGMENT_PREFIX
+            ) <= retain_from + 1:
+                segment.unlink()
+
+    def latest_snapshot(self) -> Optional[Tuple[int, Dict]]:
+        """Newest readable ``(covered_seq, snapshot)``, or ``None``.
+
+        A snapshot that fails to parse (crash mid-replace cannot cause
+        this — the write is atomic — but disk corruption can) falls
+        back to the next older one; the journal suffix from that older
+        snapshot is still intact because pruning only runs *after* a
+        snapshot write succeeds.
+        """
+        for path in reversed(self._snapshots()):
+            try:
+                doc = json.loads(path.read_text())
+                return int(doc["covered_seq"]), doc["snapshot"]
+            except (ValueError, KeyError, OSError):
+                continue
+        return None
+
+    def close(self) -> None:
+        if self._segment_fd is not None:
+            os.close(self._segment_fd)
+            self._segment_fd = None
+            self._segment_path = None

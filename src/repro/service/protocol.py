@@ -23,8 +23,10 @@ from ..workload.job import Job
 __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "check_idempotency_key",
     "job_from_spec",
     "job_to_record",
+    "job_to_request_spec",
     "promise_to_dict",
     "error_envelope",
 ]
@@ -52,20 +54,55 @@ _REQUIRED_FIELDS = ("nodes", "walltime", "mem_per_node")
 
 
 class ProtocolError(Exception):
-    """A client-visible failure: HTTP status + stable error code."""
+    """A client-visible failure: HTTP status + stable error code.
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    ``retry_after`` (seconds) rides along on load-shedding responses
+    (429) so clients back off by the amount the service asks for
+    instead of guessing.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = int(status)
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
     def to_dict(self) -> Dict[str, Any]:
-        return error_envelope(self.code, self.message)
+        return error_envelope(self.code, self.message, self.retry_after)
 
 
-def error_envelope(code: str, message: str) -> Dict[str, Any]:
-    return {"error": {"code": code, "message": message}}
+def error_envelope(
+    code: str, message: str, retry_after: Optional[float] = None
+) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {"error": {"code": code, "message": message}}
+    if retry_after is not None:
+        envelope["error"]["retry_after"] = retry_after
+    return envelope
+
+
+def check_idempotency_key(key: Any) -> Optional[str]:
+    """Validate a request's idempotency key (``None`` = none given).
+
+    Keys are opaque client-chosen strings; the service deduplicates
+    retries of the same key, so two *different* logical operations must
+    never share one (the client library generates UUIDs).
+    """
+    if key is None:
+        return None
+    if not isinstance(key, str) or not key or len(key) > 200:
+        raise ProtocolError(
+            400,
+            "invalid_key",
+            "idempotency_key must be a non-empty string of at most 200 chars",
+        )
+    return key
 
 
 def _number(spec: Mapping[str, Any], key: str) -> float:
@@ -136,6 +173,28 @@ def job_from_spec(
         raise ProtocolError(400, "invalid_spec", str(exc)) from exc
     except (TypeError, ValueError) as exc:
         raise ProtocolError(400, "invalid_spec", f"malformed job spec: {exc}") from exc
+
+
+def job_to_request_spec(job: Job) -> Dict[str, Any]:
+    """The fully resolved request half of a job, JSON-able.
+
+    This is the write-ahead journal's submit payload: every default
+    (auto id, stamped submit time, runtime ← walltime) is already
+    applied, so replaying the spec reconstructs the identical job no
+    matter what the auto-id counter looks like at replay time.
+    """
+    return {
+        "job_id": job.job_id,
+        "submit_time": job.submit_time,
+        "nodes": job.nodes,
+        "walltime": job.walltime,
+        "runtime": job.runtime,
+        "mem_per_node": job.mem_per_node,
+        "mem_used_per_node": job.mem_used_per_node,
+        "user": job.user,
+        "group": job.group,
+        "tag": job.tag,
+    }
 
 
 def job_to_record(

@@ -30,6 +30,7 @@ status; unknown routes 404; malformed JSON 400.
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -96,13 +97,19 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ProtocolError(
                     400, "invalid_request", 'submit body is {"jobs": [spec, ...]}'
                 )
-            return {"jobs": self.service.submit(body["jobs"])}
+            return {
+                "jobs": self.service.submit(
+                    body["jobs"], body.get("idempotency_key")
+                )
+            }
         if path == "/v1/cancel":
             if not isinstance(body, dict) or "job_id" not in body:
                 raise ProtocolError(
                     400, "invalid_request", 'cancel body is {"job_id": N}'
                 )
-            return self.service.cancel(self._job_id(body["job_id"]))
+            return self.service.cancel(
+                self._job_id(body["job_id"]), body.get("idempotency_key")
+            )
         if path == "/v1/advise":
             return self.service.advise(body)
         if path == "/v1/advance":
@@ -221,13 +228,31 @@ class ServiceDaemon:
         self.service.stop()
 
     def serve_until_interrupt(self) -> None:  # pragma: no cover - CLI path
-        """Foreground mode for ``repro serve``: block until Ctrl-C."""
+        """Foreground mode for ``repro serve``: block until Ctrl-C or
+        SIGTERM.
+
+        Both signals trigger the same graceful drain: the HTTP server
+        stops accepting, the in-flight engine batch completes, a final
+        checkpoint is written (durable services), and the process exits
+        0 — so an orchestrator's ordinary ``SIGTERM`` never loses
+        acknowledged state.
+        """
+        stop = threading.Event()
+        previous = None
         try:
-            while True:
-                threading.Event().wait(3600)
+            previous = signal.signal(
+                signal.SIGTERM, lambda signum, frame: stop.set()
+            )
+        except ValueError:
+            pass  # not the main thread; Ctrl-C handling still works
+        try:
+            while not stop.is_set():
+                stop.wait(3600)
         except KeyboardInterrupt:
             pass
         finally:
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)
             self.stop()
 
     def __enter__(self) -> "ServiceDaemon":

@@ -161,6 +161,66 @@ class Simulator:
         self._queue.cancel(event)
 
     # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def pending(self) -> list[Event]:
+        """Every live calendar event in ``(time, priority, seq)`` order.
+
+        Read-only: the calendar is untouched.  The engine checkpoint
+        layer (:mod:`repro.engine.snapshot`) serializes these.
+        """
+        return self._queue.live_events()
+
+    def clock_state(self) -> dict:
+        """The scalar clock state a checkpoint must carry."""
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "events_processed": self._events_processed,
+        }
+
+    def restore_clock(self, state: dict) -> None:
+        """Set the clock scalars from a checkpoint.
+
+        ``seq`` must be at least as large as every restored event's
+        sequence number, so post-restore scheduling continues the
+        original total order.
+        """
+        if self._running:
+            raise SimulationError("cannot restore a running simulator")
+        self._now = float(state["now"])
+        self._seq = int(state["seq"])
+        self._events_processed = int(state["events_processed"])
+
+    def schedule_raw(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+    ) -> Event:
+        """Re-enter a checkpointed event with its exact original key.
+
+        Restore-only: preserving ``(time, priority, seq)`` verbatim is
+        what makes the restored calendar fire in the identical order —
+        the run loop's total order is the key, nothing else.  ``seq``
+        is taken as given and the counter is not advanced; the caller
+        restores the counter through :meth:`restore_clock`.
+        """
+        if self._running:
+            raise SimulationError("cannot restore events into a running simulator")
+        event = Event(
+            time=float(time),
+            priority=int(priority),
+            seq=int(seq),
+            callback=callback,
+            payload=payload,
+        )
+        self._queue.push(event)
+        return event
+
+    # ------------------------------------------------------------------
     # run loop
     # ------------------------------------------------------------------
     def run(

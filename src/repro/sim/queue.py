@@ -136,6 +136,19 @@ class EventQueue:
             if not event.popped:
                 self._live -= 1
 
+    def live_events(self) -> list[Event]:
+        """Every live event in calendar order, without popping.
+
+        The checkpoint layer serializes the calendar through this; the
+        heap is left untouched, so a snapshot never perturbs the run
+        that produced it.
+        """
+        return [
+            entry[3]
+            for entry in sorted(self._heap)
+            if not entry[3].cancelled
+        ]
+
     def drain(self) -> Iterator[Event]:
         """Pop every live event in order (used by tests)."""
         while self:

@@ -18,6 +18,31 @@ import numpy as np
 __all__ = ["RandomStreams"]
 
 
+def _jsonable(value):
+    """Deep-convert a bit-generator state dict into JSON-able scalars.
+
+    PCG64's state holds 128-bit python ints (JSON-safe) and numpy
+    scalars (not); everything numeric goes through ``int``, nested
+    dicts recurse, and the structure otherwise survives untouched.
+    """
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    return value
+
+
+def _typed(value):
+    """Inverse of :func:`_jsonable` (ndarray markers back to arrays)."""
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.array(value["__ndarray__"], dtype=value["dtype"])
+        return {key: _typed(item) for key, item in value.items()}
+    return value
+
+
 class RandomStreams:
     """Factory for named deterministic random generators."""
 
@@ -45,6 +70,32 @@ class RandomStreams:
             stream = np.random.default_rng(seq)
             self._streams[name] = stream
         return stream
+
+    def state_dict(self) -> Dict:
+        """JSON-able snapshot: root seed + each stream's generator state.
+
+        A stream drawn from a restored set continues *exactly* where
+        the original left off — the bit-generator state is captured,
+        not just the seed — so a checkpointed run that synthesizes
+        randomness (failure traces, chaos kill schedules) resumes its
+        streams mid-sequence instead of replaying them from the start.
+        """
+        return {
+            "seed": self._seed,
+            "streams": {
+                name: _jsonable(gen.bit_generator.state)
+                for name, gen in self._streams.items()
+            },
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict) -> "RandomStreams":
+        """Rebuild a stream-set from :meth:`state_dict` output."""
+        streams = cls(int(state["seed"]))
+        for name, gen_state in state.get("streams", {}).items():
+            gen = streams.get(name)  # seeds it; state overwrite follows
+            gen.bit_generator.state = _typed(gen_state)
+        return streams
 
     def spawn(self, index: int) -> "RandomStreams":
         """Derive an independent child stream-set (for replications).

@@ -1,0 +1,83 @@
+"""Pinned golden digests for the end-to-end differential suites.
+
+The equivalence suites used to run every workload twice — optimized
+stack vs a preserved copy of the pre-optimization code.  The reference
+copies are gone; the anchor is now a *pinned digest* of each run's
+decisions: the complete schedule record, every backfill promise, and
+the cycle count, canonicalized to JSON and hashed.  A digest mismatch
+means the scheduler's decisions changed — exactly what the old
+double-run asserted, at half the cost and without keeping dead code
+alive in the test tree.
+
+``tools/gen_golden.py`` regenerates ``tests/golden/*.json`` from the
+``golden_cases()`` iterator each suite exports.  Regenerating is a
+*deliberate re-baselining*: only do it when a decision change is
+intended and reviewed, never to make a red suite green.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+_cache: Dict[str, Dict[str, str]] = {}
+
+
+def canonical_document(result) -> Dict[str, Any]:
+    """Everything decision-shaped in a :class:`SimulationResult`,
+    reduced to plain JSON types with a stable ordering."""
+    record = [
+        [
+            job.job_id,
+            job.state.value,
+            job.start_time,
+            job.end_time,
+            list(job.assigned_nodes),
+            sorted([pool_id, amount] for pool_id, amount in job.pool_grants.items()),
+            job.dilation,
+        ]
+        for job in sorted(result.jobs, key=lambda j: j.job_id)
+    ]
+    promises = [
+        [promise.job_id, promise.decided_at, promise.promised_start]
+        for _, promise in sorted(result.promises.items())
+    ]
+    return {"record": record, "promises": promises, "cycles": result.cycles}
+
+
+def digest_result(result) -> str:
+    payload = json.dumps(
+        canonical_document(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def load_golden(name: str) -> Dict[str, str]:
+    if name not in _cache:
+        path = GOLDEN_DIR / f"{name}.json"
+        assert path.exists(), (
+            f"golden file {path} is missing — generate it with "
+            f"`PYTHONPATH=src python tools/gen_golden.py --only {name}`"
+        )
+        _cache[name] = json.loads(path.read_text())
+    return _cache[name]
+
+
+def assert_matches_golden(name: str, token: str, result) -> None:
+    golden = load_golden(name)
+    assert token in golden, (
+        f"no golden digest for case {token!r} in {name}.json — the case "
+        f"grid changed; regenerate with tools/gen_golden.py"
+    )
+    digest = digest_result(result)
+    assert digest == golden[token], (
+        f"schedule for case {token!r} diverged from its pinned golden "
+        f"digest ({digest[:12]}… != {golden[token][:12]}…). The "
+        f"scheduler's decisions changed: either a regression, or an "
+        f"intended change that requires re-baselining via "
+        f"tools/gen_golden.py and review of the diff."
+    )

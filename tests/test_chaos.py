@@ -1,0 +1,126 @@
+"""Chaos-harness tests: the crash gate itself, and real process death.
+
+These are integration tests by design — the subprocess cases spawn an
+actual ``repro serve`` daemon and deliver actual signals, because the
+property under test ("SIGKILL loses nothing acknowledged") cannot be
+faked convincingly in-process.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.service.chaos import (
+    CHAOS_SCHEDULERS,
+    run_chaos,
+    run_chaos_process,
+)
+from repro.service.client import ServiceClient
+
+
+class TestInProcessGate:
+    def test_gate_holds_across_seeds_and_schedulers(self, tmp_path):
+        """The acceptance gate, shrunk to test size: every cell of
+        seeds x {easy, conservative} recovers decision-identically."""
+        report = run_chaos(
+            seeds=(1, 2), num_jobs=24, state_root=tmp_path / "chaos"
+        )
+        assert report["ok"], [
+            problem
+            for cell in report["cells"]
+            for problem in cell["problems"]
+        ]
+        assert len(report["cells"]) == 2 * len(CHAOS_SCHEDULERS)
+        # Every cell actually crashed (a gate that never crashes
+        # proves nothing) and the retried windows hit the dedup path.
+        assert all(cell["crashes"] >= 1 for cell in report["cells"])
+        assert any(cell["dedup_hits"] > 0 for cell in report["cells"])
+
+    def test_report_is_json_able(self, tmp_path):
+        import json
+
+        out = tmp_path / "report.json"
+        report = run_chaos(seeds=(1,), num_jobs=16, output=out)
+        assert json.loads(out.read_text())["ok"] == report["ok"]
+
+
+class TestProcessDeath:
+    def test_sigkill_then_restart_is_identical(self):
+        report = run_chaos_process(seed=5, num_jobs=24, kills=1)
+        assert report["ok"], report["problems"]
+        assert report["sigkills"] == 1
+        assert report["final_recovery"]["resumed"]
+        # The final daemon was SIGTERMed: graceful drain, exit 0.
+        assert report["graceful_exit_code"] == 0
+
+    def test_sigterm_drains_and_checkpoints(self, tmp_path):
+        """SIGTERM is the graceful path: the daemon checkpoints and
+        exits 0, and the restarted daemon resumes from the snapshot
+        with zero journal records left to replay."""
+        from repro.service.chaos import _spawn_daemon
+        from repro.service.core import default_service_config
+
+        config = default_service_config()
+        config.workload = dict(config.workload, num_jobs=12)
+        config_path = tmp_path / "experiment.json"
+        config_path.write_text(config.to_json())
+        state_dir = tmp_path / "state"
+
+        process, url = _spawn_daemon(config_path, state_dir)
+        with ServiceClient(url) as client:
+            record = client.submit_one(
+                {"nodes": 1, "walltime": 600.0, "mem_per_node": 4096}
+            )
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=20.0) == 0
+
+        revived, url = _spawn_daemon(config_path, state_dir)
+        try:
+            with ServiceClient(url) as client:
+                recovery = client.metrics()["durability"]["recovery"]
+                assert recovery["resumed"]
+                assert recovery["replayed_records"] == 0
+                assert recovery["snapshot_seq"] >= 1
+                assert (
+                    client.query(record["job_id"])["state"]
+                    == record["state"]
+                )
+        finally:
+            revived.send_signal(signal.SIGTERM)
+            assert revived.wait(timeout=20.0) == 0
+
+    def test_cli_chaos_quick(self, tmp_path):
+        """``repro chaos --quick`` is what CI runs; exit 0 = gate held."""
+        out = tmp_path / "CHAOS_REPORT.json"
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "chaos",
+                "--quick", "--skip-process", "--quiet",
+                "--jobs", "16", "--out", str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert out.exists()
+
+
+class TestLoadExitCodes:
+    def test_unreachable_daemon_exits_4(self):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "load",
+                "--url", "http://127.0.0.1:1",  # nothing listens here
+                "--quick", "--out", "",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 4
+        assert "unreachable" in result.stderr

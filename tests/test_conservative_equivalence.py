@@ -1,13 +1,14 @@
-"""Differential suite: interval-index conservative backfill vs the
-preserved reservation-scan path.
+"""Differential suite: interval-index conservative backfill vs pinned
+golden baselines.
 
 The reservation-aware interval index, the cross-cycle profile cache,
 the release/start folding, and the reservation plan cache (per-job
-resume points) are all required to be **decision-invisible**: every
-simulation must produce bit-identical schedules, reservations
-(promises), and cycle counts to the pre-index conservative pass kept
-verbatim in ``_reference_conservative.py`` (which itself layers on the
-``_reference_profile.py`` sweep equivalence anchor).
+resume points) are all required to be **decision-invisible**.  Each
+simulation's full decision digest (schedule record, promises, cycle
+count — see ``_golden.py``) must match the baseline pinned in
+``tests/golden/conservative_equivalence.json``, which was generated
+from runs verified against the preserved pre-index reservation-scan
+pass before that reference code was retired.
 
 Coverage is deliberately adversarial for the caches:
 
@@ -23,7 +24,7 @@ Coverage is deliberately adversarial for the caches:
 * quantized submit/walltime grids — same-instant event collisions;
 * small reservation depth — queue-truncation boundaries.
 
-Over 200 randomized end-to-end simulations run both stacks in total.
+Over 200 randomized end-to-end simulations are digest-pinned in total.
 """
 
 from __future__ import annotations
@@ -41,7 +42,9 @@ from repro.sched.base import build_scheduler
 from repro.units import GiB, HOUR
 from repro.workload import Job
 
-from ._reference_conservative import reference_conservative_scheduler
+from ._golden import assert_matches_golden
+
+GOLDEN = "conservative_equivalence"
 
 # ----------------------------------------------------------------------
 # builders
@@ -96,47 +99,21 @@ def _jobs(rng: random.Random, num_jobs: int = 36, max_nodes: int = 12,
     return jobs
 
 
-def _schedule_record(result):
-    return [
-        (
-            job.job_id,
-            job.state.value,
-            job.start_time,
-            job.end_time,
-            tuple(job.assigned_nodes),
-            tuple(sorted(job.pool_grants.items())),
-            job.dilation,
-        )
-        for job in sorted(result.jobs, key=lambda j: j.job_id)
-    ]
-
-
-def _run_pair(spec, jobs, new_sched, ref_sched, failures=()):
-    new_result = SchedulerSimulation(
-        Cluster(spec), new_sched,
-        [job.copy_request() for job in jobs], failures=list(failures),
-    ).run()
-    ref_result = SchedulerSimulation(
-        Cluster(spec), ref_sched,
-        [job.copy_request() for job in jobs], failures=list(failures),
-    ).run()
-    assert _schedule_record(new_result) == _schedule_record(ref_result)
-    assert new_result.promises == ref_result.promises
-    assert new_result.cycles == ref_result.cycles
-    return new_result
-
-
-def _pair_for(seed_token: str, **kwargs):
-    kwargs.setdefault("backfill", "conservative")
-    kwargs.setdefault("penalty", {"kind": "linear", "beta": 0.3})
-    new_sched = build_scheduler(**kwargs)
-    ref_kwargs = dict(kwargs)
-    ref_sched = reference_conservative_scheduler(**ref_kwargs)
-    return new_sched, ref_sched
-
-
 def _rng(token: str) -> random.Random:
     return random.Random(zlib.crc32(token.encode()))
+
+
+def _scheduler(**kwargs):
+    kwargs.setdefault("backfill", "conservative")
+    kwargs.setdefault("penalty", {"kind": "linear", "beta": 0.3})
+    return build_scheduler(**kwargs)
+
+
+def _run(spec, jobs, scheduler, failures=()):
+    return SchedulerSimulation(
+        Cluster(spec), scheduler,
+        [job.copy_request() for job in jobs], failures=list(failures),
+    ).run()
 
 
 # ----------------------------------------------------------------------
@@ -144,109 +121,167 @@ def _rng(token: str) -> random.Random:
 # ----------------------------------------------------------------------
 
 
+def _base_case(seed, queue, cluster_kind):
+    token = f"cons-{seed}-{queue}-{cluster_kind}"
+    jobs = _jobs(_rng(token))
+    return token, lambda: _run(_spec(cluster_kind), jobs, _scheduler(queue=queue))
+
+
+def _gated_case(seed, gate):
+    token = f"cons-gate-{seed}-{gate}"
+    jobs = _jobs(_rng(token))
+    return token, lambda: _run(
+        _spec("metered"), jobs,
+        _scheduler(gate=gate,
+                   penalty={"kind": "contention", "beta": 0.3, "kappa": 2.0}),
+    )
+
+
+def _metered_case(seed):
+    token = f"cons-metered-{seed}"
+    jobs = _jobs(_rng(token))
+    return token, lambda: _run(
+        _spec("metered"), jobs,
+        _scheduler(penalty={"kind": "contention", "beta": 0.3, "kappa": 2.0}),
+    )
+
+
+def _fairshare_case(seed):
+    token = f"cons-fs-{seed}"
+    jobs = _jobs(_rng(token))
+    return token, lambda: _run(
+        _spec("thin-global"), jobs, _scheduler(queue="fairshare")
+    )
+
+
+def _overrun_case(seed, cluster_kind):
+    token = f"cons-overrun-{seed}-{cluster_kind}"
+    jobs = _jobs(_rng(token), overrun=True)
+    return token, lambda: _run(
+        _spec(cluster_kind), jobs, _scheduler(kill_policy="none")
+    )
+
+
+def _failure_case(seed):
+    token = f"cons-fail-{seed}"
+    rng = _rng(token)
+    jobs = _jobs(rng)
+    for job in jobs[::5]:
+        job.checkpoint_interval = 600.0
+    failures = [
+        FailureEvent(
+            time=rng.uniform(0.0, 8000.0),
+            node_id=rng.randrange(16),
+            repair_time=rng.uniform(500.0, 4000.0),
+        )
+        for _ in range(rng.randint(1, 4))
+    ]
+    return token, lambda: _run(
+        _spec("thin-global"), jobs, _scheduler(), failures=failures
+    )
+
+
+def _grid_case(seed):
+    token = f"cons-grid-{seed}"
+    rng = _rng(token)
+    jobs = _jobs(rng, quantized=True)
+    queue = rng.choice(["fcfs", "sjf"])
+    return token, lambda: _run(_spec("thin-global"), jobs, _scheduler(queue=queue))
+
+
+def _depth_case(seed, depth):
+    token = f"cons-depth-{seed}-{depth}"
+    jobs = _jobs(_rng(token))
+
+    def run():
+        sched = _scheduler()
+        sched.backfill = ConservativeBackfill(depth=depth)
+        return _run(_spec("thin-hybrid"), jobs, sched)
+
+    return token, run
+
+
+def golden_cases():
+    """Every case in this suite, for tools/gen_golden.py."""
+    for seed in range(18):
+        for queue in ("fcfs", "sjf", "wfp"):
+            for cluster_kind in ("thin-global", "thin-hybrid"):
+                yield _base_case(seed, queue, cluster_kind)
+    for seed in range(10):
+        for gate in ("pressure", "adaptive"):
+            yield _gated_case(seed, gate)
+    for seed in range(10):
+        yield _metered_case(seed)
+    for seed in range(10):
+        yield _fairshare_case(seed)
+    for seed in range(10):
+        for cluster_kind in ("thin-global", "thin-hybrid"):
+            yield _overrun_case(seed, cluster_kind)
+    for seed in range(15):
+        yield _failure_case(seed)
+    for seed in range(10):
+        yield _grid_case(seed)
+    for seed in range(10):
+        for depth in (1, 3):
+            yield _depth_case(seed, depth)
+
+
 class TestConservativeEquivalence:
     @pytest.mark.parametrize("seed", range(18))
     @pytest.mark.parametrize("queue", ["fcfs", "sjf", "wfp"])
     @pytest.mark.parametrize("cluster_kind", ["thin-global", "thin-hybrid"])
-    def test_schedules_identical(self, seed, queue, cluster_kind):
-        token = f"cons-{seed}-{queue}-{cluster_kind}"
-        rng = _rng(token)
-        jobs = _jobs(rng)
-        new_sched, ref_sched = _pair_for(token, queue=queue)
-        _run_pair(_spec(cluster_kind), jobs, new_sched, ref_sched)
+    def test_schedules_match_golden(self, seed, queue, cluster_kind):
+        token, run = _base_case(seed, queue, cluster_kind)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(10))
     @pytest.mark.parametrize("gate", ["pressure", "adaptive"])
-    def test_gated_metered_identical(self, seed, gate):
+    def test_gated_metered_matches_golden(self, seed, gate):
         """Gate vetoes plant at-now reservations, and metered pools
         make duration estimates pressure-dependent — both must break
         the plan replay instead of corrupting it."""
-        token = f"cons-gate-{seed}-{gate}"
-        rng = _rng(token)
-        jobs = _jobs(rng)
-        new_sched, ref_sched = _pair_for(
-            token, gate=gate,
-            penalty={"kind": "contention", "beta": 0.3, "kappa": 2.0},
-        )
-        _run_pair(_spec("metered"), jobs, new_sched, ref_sched)
+        token, run = _gated_case(seed, gate)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(10))
-    def test_metered_ungated_identical(self, seed):
-        token = f"cons-metered-{seed}"
-        rng = _rng(token)
-        jobs = _jobs(rng)
-        new_sched, ref_sched = _pair_for(
-            token, penalty={"kind": "contention", "beta": 0.3, "kappa": 2.0},
-        )
-        _run_pair(_spec("metered"), jobs, new_sched, ref_sched)
+    def test_metered_ungated_matches_golden(self, seed):
+        token, run = _metered_case(seed)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(10))
-    def test_fairshare_identical(self, seed):
+    def test_fairshare_matches_golden(self, seed):
         """Fair-share order() keeps state; the plan cache must track
         the reordering it produces between passes."""
-        token = f"cons-fs-{seed}"
-        rng = _rng(token)
-        jobs = _jobs(rng)
-        new_sched, ref_sched = _pair_for(token, queue="fairshare")
-        _run_pair(_spec("thin-global"), jobs, new_sched, ref_sched)
+        token, run = _fairshare_case(seed)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(10))
     @pytest.mark.parametrize("cluster_kind", ["thin-global", "thin-hybrid"])
-    def test_overrun_kill_none_identical(self, seed, cluster_kind):
+    def test_overrun_kill_none_matches_golden(self, seed, cluster_kind):
         """Overrunning jobs clamp releases; clamped profiles refuse
         rebase and folds, forcing the rebuild path every cycle."""
-        token = f"cons-overrun-{seed}-{cluster_kind}"
-        rng = _rng(token)
-        jobs = _jobs(rng, overrun=True)
-        new_sched, ref_sched = _pair_for(token, kill_policy="none")
-        _run_pair(_spec(cluster_kind), jobs, new_sched, ref_sched)
+        token, run = _overrun_case(seed, cluster_kind)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(15))
-    def test_drained_machine_identical(self, seed):
+    def test_drained_machine_matches_golden(self, seed):
         """Failures drain and repair nodes mid-run (and kill victims,
         some of which restart from checkpoints) — cluster mutations
         that invalidate every cache layer at once."""
-        token = f"cons-fail-{seed}"
-        rng = _rng(token)
-        jobs = _jobs(rng)
-        for job in jobs[:: 5]:
-            job.checkpoint_interval = 600.0
-        failures = [
-            FailureEvent(
-                time=rng.uniform(0.0, 8000.0),
-                node_id=rng.randrange(16),
-                repair_time=rng.uniform(500.0, 4000.0),
-            )
-            for _ in range(rng.randint(1, 4))
-        ]
-        new_sched, ref_sched = _pair_for(token)
-        _run_pair(_spec("thin-global"), jobs, new_sched, ref_sched,
-                  failures=failures)
+        token, run = _failure_case(seed)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(10))
-    def test_collision_grid_identical(self, seed):
+    def test_collision_grid_matches_golden(self, seed):
         """Quantized times: same-instant submissions, estimated ends
         landing exactly on other jobs' reservation boundaries."""
-        token = f"cons-grid-{seed}"
-        rng = _rng(token)
-        jobs = _jobs(rng, quantized=True)
-        new_sched, ref_sched = _pair_for(token, queue=rng.choice(
-            ["fcfs", "sjf"]))
-        _run_pair(_spec("thin-global"), jobs, new_sched, ref_sched)
+        token, run = _grid_case(seed)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(10))
     @pytest.mark.parametrize("depth", [1, 3])
-    def test_shallow_depth_identical(self, seed, depth):
+    def test_shallow_depth_matches_golden(self, seed, depth):
         """Depth-truncated passes: the plan cache window must track
-        the same prefix the reference examines."""
-        token = f"cons-depth-{seed}-{depth}"
-        rng = _rng(token)
-        jobs = _jobs(rng)
-        new_sched = build_scheduler(
-            backfill="conservative", penalty={"kind": "linear", "beta": 0.3}
-        )
-        new_sched.backfill = ConservativeBackfill(depth=depth)
-        ref_sched = reference_conservative_scheduler(
-            depth=depth, penalty={"kind": "linear", "beta": 0.3}
-        )
-        _run_pair(_spec("thin-hybrid"), jobs, new_sched, ref_sched)
+        the same prefix a full-depth reference would examine."""
+        token, run = _depth_case(seed, depth)
+        assert_matches_golden(GOLDEN, token, run())

@@ -1,0 +1,175 @@
+"""State-store (write-ahead journal + snapshot) unit tests.
+
+The durability properties under test are exactly the crash windows
+the service relies on: a torn final line is a never-acknowledged batch
+(dropped silently), mid-file damage is corruption (refused loudly),
+and a snapshot atomically supersedes the journal prefix it covers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.journal import (
+    JournalError,
+    StateStore,
+    config_fingerprint,
+)
+
+FP = config_fingerprint('{"demo": 1}')
+
+
+def store_at(tmp_path, name="state"):
+    return StateStore(tmp_path / name, FP)
+
+
+class TestAppendReplay:
+    def test_round_trip_in_order(self, tmp_path):
+        store = store_at(tmp_path)
+        for value in range(5):
+            store.append({"value": value})
+        store.close()
+        reopened = store_at(tmp_path)
+        records = reopened.replay(after_seq=0)
+        assert [seq for seq, _ in records] == [1, 2, 3, 4, 5]
+        assert [body["value"] for _, body in records] == [0, 1, 2, 3, 4]
+        assert reopened.next_seq == 6
+
+    def test_replay_after_seq_filters(self, tmp_path):
+        store = store_at(tmp_path)
+        for value in range(5):
+            store.append({"value": value})
+        assert [seq for seq, _ in store.replay(after_seq=3)] == [4, 5]
+
+    def test_fresh_store_is_empty(self, tmp_path):
+        store = store_at(tmp_path)
+        assert store.replay(after_seq=0) == []
+        assert store.latest_snapshot() is None
+        assert store.next_seq == 1
+
+
+class TestCrashWindows:
+    def test_torn_tail_is_dropped(self, tmp_path):
+        store = store_at(tmp_path)
+        store.append({"value": 1})
+        store.append({"value": 2})
+        store.close()
+        segment = next(iter(sorted((tmp_path / "state").glob("journal-*"))))
+        text = segment.read_text()
+        lines = text.splitlines()
+        segment.write_text("\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]]))
+        reopened = store_at(tmp_path)
+        assert [seq for seq, _ in reopened.replay(0)] == [1]
+        # The dropped record's sequence number is reused: the batch was
+        # never acknowledged, so the retry takes its place.
+        assert reopened.next_seq == 2
+
+    def test_crc_damage_on_tail_is_dropped(self, tmp_path):
+        store = store_at(tmp_path)
+        store.append({"value": 1})
+        store.append({"value": 2})
+        store.close()
+        segment = next(iter(sorted((tmp_path / "state").glob("journal-*"))))
+        lines = segment.read_text().splitlines()
+        doc = json.loads(lines[-1])
+        doc["rec"]["value"] = 99  # body no longer matches its crc
+        lines[-1] = json.dumps(doc)
+        segment.write_text("\n".join(lines) + "\n")
+        assert [seq for seq, _ in store_at(tmp_path).replay(0)] == [1]
+
+    def test_mid_file_damage_is_corruption(self, tmp_path):
+        store = store_at(tmp_path)
+        for value in range(3):
+            store.append({"value": value})
+        store.close()
+        segment = next(iter(sorted((tmp_path / "state").glob("journal-*"))))
+        lines = segment.read_text().splitlines()
+        lines[1] = "garbage"
+        segment.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt"):
+            store_at(tmp_path)
+
+    def test_restart_never_appends_to_a_torn_segment(self, tmp_path):
+        """Post-crash appends go to a fresh segment, so the tear stays
+        a tail forever instead of becoming mid-file corruption."""
+        store = store_at(tmp_path)
+        store.append({"value": 1})
+        store.close()
+        segment = next(iter(sorted((tmp_path / "state").glob("journal-*"))))
+        segment.write_text(segment.read_text() + '{"torn')
+        second = store_at(tmp_path)
+        second.append({"value": 2})
+        second.close()
+        third = store_at(tmp_path)
+        assert [body["value"] for _, body in third.replay(0)] == [1, 2]
+
+    def test_gap_is_refused(self, tmp_path):
+        store = store_at(tmp_path)
+        for value in range(3):
+            store.append({"value": value})
+        store.close()
+        segment = next(iter(sorted((tmp_path / "state").glob("journal-*"))))
+        lines = segment.read_text().splitlines()
+        segment.write_text("\n".join([lines[0], lines[2]]) + "\n")
+        with pytest.raises(JournalError, match="gap"):
+            store_at(tmp_path).replay(0)
+
+
+class TestSnapshots:
+    def test_snapshot_covers_and_prunes(self, tmp_path):
+        store = store_at(tmp_path)
+        for value in range(4):
+            store.append({"value": value})
+        store.write_snapshot({"engine": "state-at-4"})
+        covered, doc = store.latest_snapshot()
+        assert covered == 4
+        assert doc == {"engine": "state-at-4"}
+        for value in range(4, 6):
+            store.append({"value": value})
+        assert [seq for seq, _ in store.replay(covered)] == [5, 6]
+        store.write_snapshot({"engine": "state-at-6"})
+        store.append({"value": 6})
+        store.write_snapshot({"engine": "state-at-7"})
+        store.close()
+        root = tmp_path / "state"
+        # The newest two snapshot generations are retained.
+        assert [p.name for p in sorted(root.glob("snapshot-*"))] == [
+            "snapshot-000006.json",
+            "snapshot-000007.json",
+        ]
+        # Segments before the older retained snapshot are pruned.
+        reopened = store_at(tmp_path)
+        assert reopened.replay(7) == []
+        assert reopened.next_seq == 8
+
+    def test_unreadable_snapshot_falls_back_to_older(self, tmp_path):
+        store = store_at(tmp_path)
+        store.append({"value": 1})
+        store.write_snapshot({"gen": 1})
+        store.append({"value": 2})
+        store.write_snapshot({"gen": 2})
+        newest = sorted((tmp_path / "state").glob("snapshot-*"))[-1]
+        newest.write_text("not json")
+        covered, doc = store.latest_snapshot()
+        assert (covered, doc) == (1, {"gen": 1})
+        # The journal suffix from the older snapshot must still exist.
+        assert [seq for seq, _ in store.replay(covered)] == [2]
+
+    def test_snapshot_write_is_atomic(self, tmp_path):
+        store = store_at(tmp_path)
+        store.append({"value": 1})
+        store.write_snapshot({"gen": 1})
+        assert not list((tmp_path / "state").glob("*.tmp"))
+
+
+class TestFingerprint:
+    def test_mismatched_fingerprint_refused(self, tmp_path):
+        StateStore(tmp_path / "state", FP).close()
+        with pytest.raises(JournalError, match="different configuration"):
+            StateStore(tmp_path / "state", config_fingerprint("other"))
+
+    def test_fingerprint_is_stable(self):
+        assert config_fingerprint("abc") == config_fingerprint("abc")
+        assert config_fingerprint("abc") != config_fingerprint("abd")

@@ -1,4 +1,4 @@
-"""Targeted differential suite for the per-node plan-cache bound.
+"""Targeted suite for the per-node plan-cache bound.
 
 The early-finish skew regime — realized runtime far below the walltime
 request — is where the reservation plan cache's *time* horizon breaks
@@ -12,9 +12,10 @@ at its cached start instead.
 
 These tests pin both halves of the contract:
 
-* decisions stay bit-identical to the preserved pre-index reference
-  pass (``_reference_conservative.py``) across skewed workloads —
-  the bound is pure acceleration;
+* decisions match the golden digests in
+  ``tests/golden/plan_cache_skew.json`` (baselined from runs verified
+  against the pre-index reference pass) — the bound is pure
+  acceleration;
 * the per-node resume path actually fires in the skew regime (via the
   strategy's ``replay_stats`` counters), so the regression target of
   the ROADMAP item stays covered by an assertion, not a benchmark.
@@ -33,7 +34,9 @@ from repro.sched.base import build_scheduler
 from repro.units import GiB, HOUR
 from repro.workload import Job
 
-from ._reference_conservative import reference_conservative_scheduler
+from ._golden import assert_matches_golden
+
+GOLDEN = "plan_cache_skew"
 
 
 def _spec() -> ClusterSpec:
@@ -68,59 +71,62 @@ def _skewed_jobs(rng: random.Random, num_jobs: int = 40,
     return jobs
 
 
-def _schedule_record(result):
-    return [
-        (
-            job.job_id,
-            job.state.value,
-            job.start_time,
-            job.end_time,
-            tuple(job.assigned_nodes),
-            tuple(sorted(job.pool_grants.items())),
-            job.dilation,
-        )
-        for job in sorted(result.jobs, key=lambda j: j.job_id)
-    ]
-
-
 def _rng(token: str) -> random.Random:
     return random.Random(zlib.crc32(token.encode()))
 
 
-def _run_skew_pair(token: str, **kwargs):
+def _run_skew(token: str, **kwargs):
+    """Run the optimized stack, pin its digest, return replay stats."""
     rng = _rng(token)
     jobs = _skewed_jobs(rng, **kwargs)
-    new_sched = build_scheduler(
+    sched = build_scheduler(
         backfill="conservative", penalty={"kind": "linear", "beta": 0.3}
     )
-    ref_sched = reference_conservative_scheduler(
-        penalty={"kind": "linear", "beta": 0.3}
-    )
-    new_result = SchedulerSimulation(
-        Cluster(_spec()), new_sched, [j.copy_request() for j in jobs]
+    result = SchedulerSimulation(
+        Cluster(_spec()), sched, [j.copy_request() for j in jobs]
     ).run()
-    ref_result = SchedulerSimulation(
-        Cluster(_spec()), ref_sched, [j.copy_request() for j in jobs]
-    ).run()
-    assert _schedule_record(new_result) == _schedule_record(ref_result)
-    assert new_result.promises == ref_result.promises
-    assert new_result.cycles == ref_result.cycles
-    return new_sched.backfill.replay_stats
+    assert_matches_golden(GOLDEN, token, result)
+    return sched.backfill.replay_stats
+
+
+def golden_cases():
+    """Every case in this suite, for tools/gen_golden.py."""
+
+    def case(token, **jobs_kwargs):
+        jobs = _skewed_jobs(_rng(token), **jobs_kwargs)
+
+        def run():
+            sched = build_scheduler(
+                backfill="conservative",
+                penalty={"kind": "linear", "beta": 0.3},
+            )
+            return SchedulerSimulation(
+                Cluster(_spec()), sched, [j.copy_request() for j in jobs]
+            ).run()
+
+        return token, run
+
+    for seed in range(12):
+        yield case(f"skew-{seed}")
+    for seed in range(6):
+        yield case(f"skew-extreme-{seed}", skew=0.02)
+    for seed in range(6):
+        yield case(f"skew-fire-{seed}")
 
 
 class TestPlanCacheSkew:
     @pytest.mark.parametrize("seed", range(12))
-    def test_skewed_workloads_identical(self, seed):
-        """runtime ≪ walltime: decisions must match the reference
-        exactly while the fold horizon sits far past every cached
-        start."""
-        _run_skew_pair(f"skew-{seed}")
+    def test_skewed_workloads_match_golden(self, seed):
+        """runtime ≪ walltime: decisions must match the pinned
+        baseline exactly while the fold horizon sits far past every
+        cached start."""
+        _run_skew(f"skew-{seed}")
 
     @pytest.mark.parametrize("seed", range(6))
-    def test_extreme_skew_identical(self, seed):
+    def test_extreme_skew_matches_golden(self, seed):
         """2% realized runtime — essentially every fold pushes the
         time horizon across the whole standing plan."""
-        _run_skew_pair(f"skew-extreme-{seed}", skew=0.02)
+        _run_skew(f"skew-extreme-{seed}", skew=0.02)
 
     def test_per_node_resume_fires_in_skew_regime(self):
         """The regression target itself: under early-finish skew the
@@ -128,7 +134,7 @@ class TestPlanCacheSkew:
         would have recomputed."""
         fired = 0
         for seed in range(6):
-            stats = _run_skew_pair(f"skew-fire-{seed}")
+            stats = _run_skew(f"skew-fire-{seed}")
             fired += stats["per_node"]
         assert fired > 0, (
             "per-node replay bound never fired on skewed workloads — "

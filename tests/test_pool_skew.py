@@ -1,4 +1,4 @@
-"""Targeted differential suite for the pool-level plan-cache bound.
+"""Targeted suite for the pool-level plan-cache bound.
 
 The per-node replay bound (``tests/test_plan_cache_skew.py``) is
 sentinel-poisoned the moment a scan rejects any breakpoint on *pool
@@ -28,9 +28,9 @@ cached durations revalidate and the door is reachable.
 
 Both halves of the contract are pinned:
 
-* decisions stay bit-identical to the preserved pre-index reference
-  pass (``_reference_conservative.py``) — the bound is pure
-  acceleration;
+* decisions match the golden digests in ``tests/golden/pool_skew.json``
+  (baselined from runs verified against the pre-index reference pass)
+  — the bound is pure acceleration;
 * the pool-level resume path actually fires (``replay_stats["pool"]``),
   so the ROADMAP item stays covered by an assertion, not a benchmark.
 """
@@ -48,7 +48,9 @@ from repro.sched.base import build_scheduler
 from repro.units import GiB, HOUR
 from repro.workload import Job
 
-from ._reference_conservative import reference_conservative_scheduler
+from ._golden import assert_matches_golden
+
+GOLDEN = "pool_skew"
 
 
 def _spec() -> ClusterSpec:
@@ -100,56 +102,69 @@ def _pool_skew_jobs(rng: random.Random, num_jobs: int = 48,
     return jobs
 
 
-def _schedule_record(result):
-    return [
-        (
-            job.job_id,
-            job.state.value,
-            job.start_time,
-            job.end_time,
-            tuple(job.assigned_nodes),
-            tuple(sorted(job.pool_grants.items())),
-            job.dilation,
-        )
-        for job in sorted(result.jobs, key=lambda j: j.job_id)
-    ]
-
-
 def _rng(token: str) -> random.Random:
     return random.Random(zlib.crc32(token.encode()))
 
 
-def _run_pool_skew_pair(token: str, **kwargs):
+def _run_pool_skew(token: str, **kwargs):
+    """Run the optimized stack, pin its digest, return replay stats."""
     rng = _rng(token)
     jobs = _pool_skew_jobs(rng, **kwargs)
     penalty = {"kind": "contention", "beta": 0.3, "kappa": 2.0}
-    new_sched = build_scheduler(backfill="conservative", penalty=penalty)
-    ref_sched = reference_conservative_scheduler(penalty=penalty)
-    new_result = SchedulerSimulation(
-        Cluster(_spec()), new_sched, [j.copy_request() for j in jobs]
+    sched = build_scheduler(backfill="conservative", penalty=penalty)
+    result = SchedulerSimulation(
+        Cluster(_spec()), sched, [j.copy_request() for j in jobs]
     ).run()
-    ref_result = SchedulerSimulation(
-        Cluster(_spec()), ref_sched, [j.copy_request() for j in jobs]
-    ).run()
-    assert _schedule_record(new_result) == _schedule_record(ref_result)
-    assert new_result.promises == ref_result.promises
-    assert new_result.cycles == ref_result.cycles
-    return new_sched.backfill.replay_stats
+    assert_matches_golden(GOLDEN, token, result)
+    return sched.backfill.replay_stats
+
+
+def golden_cases():
+    """Every case in this suite, for tools/gen_golden.py."""
+
+    def case(token, spec_fn, penalty, **jobs_kwargs):
+        jobs = _pool_skew_jobs(_rng(token), **jobs_kwargs)
+
+        def run():
+            sched = build_scheduler(backfill="conservative", penalty=penalty)
+            return SchedulerSimulation(
+                Cluster(spec_fn()), sched, [j.copy_request() for j in jobs]
+            ).run()
+
+        return token, run
+
+    contention = {"kind": "contention", "beta": 0.3, "kappa": 2.0}
+    for seed in range(10):
+        yield case(f"pool-skew-{seed}", _spec, contention)
+    for seed in range(4):
+        yield case(f"pool-skew-dense-{seed}", _spec, contention,
+                   remote_fraction=0.6)
+    for seed in range(6):
+        yield case(f"pool-skew-fire-{seed}", _spec, contention)
+    yield case("pool-skew-rack", _rack_spec, {"kind": "linear", "beta": 0.3})
+
+
+def _rack_spec() -> ClusterSpec:
+    return ClusterSpec(
+        name="pool-skew-rack", num_nodes=16, nodes_per_rack=8,
+        node=NodeSpec(cores=8, local_mem=16 * GiB),
+        pool=PoolSpec(rack_pool=48 * GiB),
+    )
 
 
 class TestPoolSkew:
     @pytest.mark.parametrize("seed", range(10))
-    def test_pool_skewed_workloads_identical(self, seed):
+    def test_pool_skewed_workloads_match_golden(self, seed):
         """Metered pool contention + node-only early finishers: the
         pool-level bound must be decision-invisible while the fold
         horizon sits far past every cached start."""
-        _run_pool_skew_pair(f"pool-skew-{seed}")
+        _run_pool_skew(f"pool-skew-{seed}")
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_dense_remote_identical(self, seed):
+    def test_dense_remote_matches_golden(self, seed):
         """Heavier remote share: more pool-capacity rejections, more
         entries carrying only the count-only bound."""
-        _run_pool_skew_pair(f"pool-skew-dense-{seed}", remote_fraction=0.6)
+        _run_pool_skew(f"pool-skew-dense-{seed}", remote_fraction=0.6)
 
     def test_pool_resume_fires_in_skew_regime(self):
         """The regression target itself: under node-only early-finish
@@ -158,7 +173,7 @@ class TestPoolSkew:
         their prefix."""
         fired = 0
         for seed in range(6):
-            stats = _run_pool_skew_pair(f"pool-skew-fire-{seed}")
+            stats = _run_pool_skew(f"pool-skew-fire-{seed}")
             fired += stats["pool"]
         assert fired > 0, (
             "pool-level replay bound never fired on pool-skewed "
@@ -169,22 +184,14 @@ class TestPoolSkew:
     def test_pool_door_shut_on_rack_pools(self):
         """On a rack-pool machine the allocator's verdict depends on
         placement identity, so the pool door must stay shut (and the
-        schedule must of course still match the reference)."""
-        rng = _rng("pool-skew-rack")
-        jobs = _pool_skew_jobs(rng)
-        spec = ClusterSpec(
-            name="pool-skew-rack", num_nodes=16, nodes_per_rack=8,
-            node=NodeSpec(cores=8, local_mem=16 * GiB),
-            pool=PoolSpec(rack_pool=48 * GiB),
+        schedule must of course still match its golden)."""
+        token = "pool-skew-rack"
+        jobs = _pool_skew_jobs(_rng(token))
+        sched = build_scheduler(
+            backfill="conservative", penalty={"kind": "linear", "beta": 0.3}
         )
-        penalty = {"kind": "linear", "beta": 0.3}
-        new_sched = build_scheduler(backfill="conservative", penalty=penalty)
-        ref_sched = reference_conservative_scheduler(penalty=penalty)
-        new_result = SchedulerSimulation(
-            Cluster(spec), new_sched, [j.copy_request() for j in jobs]
+        result = SchedulerSimulation(
+            Cluster(_rack_spec()), sched, [j.copy_request() for j in jobs]
         ).run()
-        ref_result = SchedulerSimulation(
-            Cluster(spec), ref_sched, [j.copy_request() for j in jobs]
-        ).run()
-        assert _schedule_record(new_result) == _schedule_record(ref_result)
-        assert new_sched.backfill.replay_stats["pool"] == 0
+        assert_matches_golden(GOLDEN, token, result)
+        assert sched.backfill.replay_stats["pool"] == 0

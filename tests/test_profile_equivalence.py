@@ -1,19 +1,20 @@
-"""Equivalence suite: optimized scheduler vs reference semantics.
+"""Equivalence suite: optimized profile vs oracle, schedules vs goldens.
 
 The sweep-based :class:`AvailabilityProfile` rewrite and the backfill
-hot-path optimizations are required to be **bit-identical** to the
-original implementation (kept verbatim in ``_reference_profile.py``).
-Three layers of evidence:
+hot-path optimizations are pinned by three layers of evidence:
 
 * query equivalence — breakpoints / free_at / window_free /
-  earliest_start agree on randomized clusters, running sets, and
+  earliest_start agree with the brute-force :class:`OracleProfile`
+  (``_oracles.py``) on randomized clusters, running sets, and
   reservation patterns, across every placement policy and reach;
 * incremental-mutation equivalence — add/remove_reservation and
   apply_start patch the cached sweep to exactly the state a fresh
-  rebuild would produce;
-* end-to-end equivalence — full simulations produce identical job
-  execution records, promises, and cycle counts over 200+ randomized
-  workload × cluster × policy combinations.
+  rebuild (and the oracle) would produce;
+* end-to-end anchoring — full simulations over 200+ randomized
+  workload × cluster × policy combinations must match the pinned
+  golden digests in ``tests/golden/`` (see ``_golden.py``), which
+  were baselined from runs verified against the original
+  pre-optimization implementation.
 """
 
 from __future__ import annotations
@@ -32,7 +33,10 @@ from repro.sched.placement import placement_for
 from repro.units import GiB, HOUR
 from repro.workload import Job
 
-from ._reference_profile import _ReferenceProfile, reference_scheduler
+from ._golden import assert_matches_golden
+from ._oracles import OracleProfile
+
+GOLDEN = "profile_equivalence"
 
 # ----------------------------------------------------------------------
 # randomized state builders
@@ -132,12 +136,12 @@ def _duration_of(job: Job) -> float:
 
 
 def _pair(rng: random.Random):
-    """A (new, reference) profile pair over identical random state."""
+    """A (new, oracle) profile pair over identical random state."""
     cluster = _random_cluster(rng)
     now = rng.uniform(0.0, 1000.0)
     running = _random_running(rng, cluster, now)
     new = AvailabilityProfile(cluster, running, now, _duration_of)
-    ref = _ReferenceProfile(cluster, running, now, _duration_of)
+    ref = OracleProfile(cluster, running, now, _duration_of)
     for res in _random_reservations(rng, cluster, now):
         new.add_reservation(res)
         ref.add_reservation(res)
@@ -296,7 +300,7 @@ class TestIncrementalMutation:
 
         running.append(job)
         fresh = AvailabilityProfile(cluster, running, now, _duration_of)
-        ref = _ReferenceProfile(cluster, running, now, _duration_of)
+        ref = OracleProfile(cluster, running, now, _duration_of)
         assert new.breakpoints() == fresh.breakpoints() == ref.breakpoints()
         for t in _probe_times(rng, ref, now):
             assert new.free_at(t) == fresh.free_at(t) == ref.free_at(t)
@@ -465,7 +469,7 @@ class TestIncrementalMutation:
 
 
 # ----------------------------------------------------------------------
-# end-to-end schedule equivalence
+# end-to-end schedule anchoring (pinned golden digests)
 # ----------------------------------------------------------------------
 
 
@@ -511,21 +515,6 @@ def _cluster_spec(kind: str) -> ClusterSpec:
     raise AssertionError(kind)
 
 
-def _schedule_record(result):
-    return [
-        (
-            job.job_id,
-            job.state.value,
-            job.start_time,
-            job.end_time,
-            tuple(job.assigned_nodes),
-            tuple(sorted(job.pool_grants.items())),
-            job.dilation,
-        )
-        for job in sorted(result.jobs, key=lambda j: j.job_id)
-    ]
-
-
 def _run_one(spec, jobs, scheduler):
     sim = SchedulerSimulation(
         Cluster(spec), scheduler, [job.copy_request() for job in jobs]
@@ -538,92 +527,124 @@ BACKFILLS = ["easy", "conservative", "none"]
 CLUSTERS = ["thin-global", "thin-hybrid"]
 
 
-class TestEndToEndEquivalence:
+def _base_case(seed, queue, backfill, cluster_kind, memory_aware):
+    token = f"{seed}-{queue}-{backfill}-{cluster_kind}-{memory_aware}"
+    rng = random.Random(zlib.crc32(token.encode()))
+    jobs = _random_jobs(rng, num_jobs=40, max_nodes=12)
+    spec = _cluster_spec(cluster_kind)
+    kwargs = dict(
+        queue=queue, backfill=backfill,
+        penalty={"kind": "linear", "beta": 0.3},
+        memory_aware=memory_aware,
+    )
+    return token, lambda: _run_one(spec, jobs, build_scheduler(**kwargs))
+
+
+def _gated_case(seed, gate):
+    token = f"gate-{seed}-{gate}"
+    rng = random.Random(31_000 + seed)
+    jobs = _random_jobs(rng, num_jobs=40, max_nodes=12)
+    spec = _cluster_spec("metered")
+    kwargs = dict(
+        queue="fcfs", backfill="easy", gate=gate,
+        penalty={"kind": "contention", "beta": 0.3, "kappa": 2.0},
+    )
+    return token, lambda: _run_one(spec, jobs, build_scheduler(**kwargs))
+
+
+def _overrun_case(seed, backfill):
+    token = f"overrun-{seed}-{backfill}"
+    rng = random.Random(41_000 + seed)
+    jobs = []
+    t = 0.0
+    for job_id in range(1, 41):
+        t += rng.expovariate(1.0 / 400.0)
+        walltime = rng.uniform(300.0, 2 * HOUR)
+        jobs.append(Job(
+            job_id=job_id, submit_time=round(t, 3),
+            nodes=rng.randint(1, 12), walltime=walltime,
+            runtime=walltime * rng.uniform(0.5, 2.0),  # overruns!
+            mem_per_node=rng.choice((4, 8, 16, 24)) * GiB,
+        ))
+    spec = _cluster_spec("thin-global")
+    kwargs = dict(
+        queue="fcfs", backfill=backfill, kill_policy="none",
+        penalty={"kind": "linear", "beta": 0.3},
+    )
+    return token, lambda: _run_one(spec, jobs, build_scheduler(**kwargs))
+
+
+def _fairshare_case(seed, backfill):
+    token = f"fairshare-{seed}-{backfill}"
+    rng = random.Random(37_000 + seed)
+    jobs = _random_jobs(rng, num_jobs=40, max_nodes=12)
+    spec = _cluster_spec("thin-global")
+    kwargs = dict(
+        queue="fairshare", backfill=backfill,
+        penalty={"kind": "linear", "beta": 0.3},
+    )
+    return token, lambda: _run_one(spec, jobs, build_scheduler(**kwargs))
+
+
+def golden_cases():
+    """Every end-to-end case in this suite, for tools/gen_golden.py."""
+    for seed in range(6):
+        for queue in QUEUES:
+            for backfill in BACKFILLS:
+                for cluster_kind in CLUSTERS:
+                    for memory_aware in (True, False):
+                        yield _base_case(
+                            seed, queue, backfill, cluster_kind, memory_aware
+                        )
+    for seed in range(6):
+        for gate in ("pressure", "adaptive"):
+            yield _gated_case(seed, gate)
+    for seed in range(6):
+        for backfill in ("easy", "conservative"):
+            yield _overrun_case(seed, backfill)
+    for seed in range(4):
+        for backfill in ("easy", "none"):
+            yield _fairshare_case(seed, backfill)
+
+
+class TestEndToEndGolden:
     """216 base combos (6 seeds × 3 queues × 3 backfills × 2 clusters
-    × 2 memory-awareness modes) plus the gate and fair-share specials —
-    each runs the optimized stack and the reference stack on the same
-    workload and requires identical schedules."""
+    × 2 memory-awareness modes) plus the gate, overrun, and fair-share
+    specials — each runs the optimized stack and requires its full
+    decision digest to match the pinned golden baseline."""
 
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("queue", QUEUES)
     @pytest.mark.parametrize("backfill", BACKFILLS)
     @pytest.mark.parametrize("cluster_kind", CLUSTERS)
     @pytest.mark.parametrize("memory_aware", [True, False])
-    def test_schedules_identical(
+    def test_schedules_match_golden(
         self, seed, queue, backfill, cluster_kind, memory_aware
     ):
-        token = f"{seed}-{queue}-{backfill}-{cluster_kind}-{memory_aware}"
-        rng = random.Random(zlib.crc32(token.encode()))
-        jobs = _random_jobs(rng, num_jobs=40, max_nodes=12)
-        spec = _cluster_spec(cluster_kind)
-        kwargs = dict(
-            queue=queue, backfill=backfill,
-            penalty={"kind": "linear", "beta": 0.3},
-            memory_aware=memory_aware,
-        )
-        new_result = _run_one(spec, jobs, build_scheduler(**kwargs))
-        ref_result = _run_one(spec, jobs, reference_scheduler(**kwargs))
-        assert _schedule_record(new_result) == _schedule_record(ref_result)
-        assert new_result.promises == ref_result.promises
-        assert new_result.cycles == ref_result.cycles
+        token, run = _base_case(seed, queue, backfill, cluster_kind, memory_aware)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("gate", ["pressure", "adaptive"])
-    def test_gated_schedules_identical(self, seed, gate):
+    def test_gated_schedules_match_golden(self, seed, gate):
         """Gates can veto at-now starts, the corner the EASY shadow
         cache must never reuse across."""
-        rng = random.Random(31_000 + seed)
-        jobs = _random_jobs(rng, num_jobs=40, max_nodes=12)
-        spec = _cluster_spec("metered")
-        kwargs = dict(
-            queue="fcfs", backfill="easy", gate=gate,
-            penalty={"kind": "contention", "beta": 0.3, "kappa": 2.0},
-        )
-        new_result = _run_one(spec, jobs, build_scheduler(**kwargs))
-        ref_result = _run_one(spec, jobs, reference_scheduler(**kwargs))
-        assert _schedule_record(new_result) == _schedule_record(ref_result)
-        assert new_result.promises == ref_result.promises
+        token, run = _gated_case(seed, gate)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("backfill", ["easy", "conservative"])
-    def test_overrun_schedules_identical(self, seed, backfill):
+    def test_overrun_schedules_match_golden(self, seed, backfill):
         """kill_policy='none' with overrunning jobs exercises the
         overrun clamp — the corner where a cached profile must refuse
         to rebase."""
-        rng = random.Random(41_000 + seed)
-        jobs = []
-        t = 0.0
-        for job_id in range(1, 41):
-            t += rng.expovariate(1.0 / 400.0)
-            walltime = rng.uniform(300.0, 2 * HOUR)
-            jobs.append(Job(
-                job_id=job_id, submit_time=round(t, 3),
-                nodes=rng.randint(1, 12), walltime=walltime,
-                runtime=walltime * rng.uniform(0.5, 2.0),  # overruns!
-                mem_per_node=rng.choice((4, 8, 16, 24)) * GiB,
-            ))
-        spec = _cluster_spec("thin-global")
-        kwargs = dict(
-            queue="fcfs", backfill=backfill, kill_policy="none",
-            penalty={"kind": "linear", "beta": 0.3},
-        )
-        new_result = _run_one(spec, jobs, build_scheduler(**kwargs))
-        ref_result = _run_one(spec, jobs, reference_scheduler(**kwargs))
-        assert _schedule_record(new_result) == _schedule_record(ref_result)
-        assert new_result.promises == ref_result.promises
+        token, run = _overrun_case(seed, backfill)
+        assert_matches_golden(GOLDEN, token, run())
 
     @pytest.mark.parametrize("seed", range(4))
     @pytest.mark.parametrize("backfill", ["easy", "none"])
-    def test_fairshare_schedules_identical(self, seed, backfill):
+    def test_fairshare_schedules_match_golden(self, seed, backfill):
         """Fair-share keeps order() side effects; the stateless fast
         paths must not change when it observes the queue."""
-        rng = random.Random(37_000 + seed)
-        jobs = _random_jobs(rng, num_jobs=40, max_nodes=12)
-        spec = _cluster_spec("thin-global")
-        kwargs = dict(
-            queue="fairshare", backfill=backfill,
-            penalty={"kind": "linear", "beta": 0.3},
-        )
-        new_result = _run_one(spec, jobs, build_scheduler(**kwargs))
-        ref_result = _run_one(spec, jobs, reference_scheduler(**kwargs))
-        assert _schedule_record(new_result) == _schedule_record(ref_result)
+        token, run = _fairshare_case(seed, backfill)
+        assert_matches_golden(GOLDEN, token, run())

@@ -8,8 +8,8 @@ feasible at the time it returns.
 
 The second half targets the reservation **interval index** in
 isolation: randomized insert/remove/query sequences are checked
-against the brute-force oracle (``_ReferenceProfile``, the original
-rescan-everything implementation), with time values drawn from coarse
+against the brute-force oracle (``OracleProfile`` in ``_oracles.py``,
+a rescan-everything specification), with time values drawn from coarse
 grids so reservation starts, ends, and release times collide at the
 same instant — the tie-order corners the incremental sweep must
 reproduce exactly.
@@ -26,7 +26,7 @@ from repro.sched.placement import placement_for
 from repro.units import GiB
 from repro.workload import Job, JobState
 
-from ._reference_profile import _ReferenceProfile
+from ._oracles import OracleProfile
 
 
 def make_cluster(num_nodes=6, pool=32):
@@ -189,7 +189,7 @@ def _oracle_pair(running):
         job.dilation = 0.0
         jobs.append(job)
     new = AvailabilityProfile(cluster, jobs, now=0.0, duration_of=dur_of)
-    ref = _ReferenceProfile(cluster, jobs, now=0.0, duration_of=dur_of)
+    ref = OracleProfile(cluster, jobs, now=0.0, duration_of=dur_of)
     return cluster, new, ref
 
 

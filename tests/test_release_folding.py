@@ -5,7 +5,7 @@ Three layers:
 * unit — on randomized clusters, completing running jobs one by one
   (in arbitrary order, interleaved with ``apply_start`` folds) keeps
   every profile query bit-identical to a from-scratch rebuild *and*
-  to the reference implementation;
+  to the brute-force oracle (``_oracles.py``);
 * refusal — clamped (overrun) profiles and unknown entries must leave
   the profile untouched and report failure, because a wrong fold
   would silently corrupt every later pass;
@@ -28,7 +28,7 @@ from repro.sched.base import Scheduler, build_scheduler
 from repro.units import GiB, HOUR
 from repro.workload import Job, JobState
 
-from ._reference_profile import _ReferenceProfile
+from ._oracles import OracleProfile
 
 
 def _duration_of(job: Job) -> float:
@@ -89,7 +89,7 @@ def _probe_times(rng, profile, now):
 
 def _assert_equals_rebuild(rng, cluster, running, now, profile):
     fresh = AvailabilityProfile(cluster, running, now, _duration_of)
-    ref = _ReferenceProfile(cluster, running, now, _duration_of)
+    ref = OracleProfile(cluster, running, now, _duration_of)
     assert profile.breakpoints() == fresh.breakpoints() == ref.breakpoints()
     for t in _probe_times(rng, ref, now):
         assert profile.free_at(t) == fresh.free_at(t) == ref.free_at(t)

@@ -43,10 +43,12 @@ _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 
 def _slug(heading: str) -> str:
     """GitHub's anchor slug, simplified: lowercase, punctuation out,
-    spaces to hyphens (inline code/links stripped first)."""
+    each space to a hyphen (inline code/links stripped first).
+    Spaces are NOT collapsed — "Fault tolerance & recovery" slugs to
+    ``fault-tolerance--recovery`` on GitHub, double hyphen and all."""
     text = re.sub(r"[`*_\[\]()]", "", heading).strip().lower()
     text = re.sub(r"[^\w\- ]", "", text)
-    return re.sub(r"\s+", "-", text)
+    return text.replace(" ", "-")
 
 
 def _anchors(path: Path) -> set:

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regenerate the pinned golden digests under ``tests/golden/``.
+
+Each end-to-end differential suite exports a ``golden_cases()``
+iterator of ``(token, run)`` pairs; this tool runs every case through
+the optimized scheduler stack and pins the sha256 digest of its
+canonical decision document (schedule record + promises + cycles, see
+``tests/_golden.py``).
+
+Regenerating is a **deliberate re-baselining**.  The digests assert
+that the scheduler's decisions have not changed; rerunning this tool
+after a decision change makes the suite green by fiat.  Only commit
+regenerated goldens together with the change that intentionally moved
+the decisions, and say so in the commit message.
+
+Usage::
+
+    python tools/gen_golden.py             # all suites
+    python tools/gen_golden.py --only pool_skew
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+#: suite name -> test module exporting GOLDEN + golden_cases()
+SUITES = {
+    "profile_equivalence": "tests.test_profile_equivalence",
+    "conservative_equivalence": "tests.test_conservative_equivalence",
+    "pool_skew": "tests.test_pool_skew",
+    "plan_cache_skew": "tests.test_plan_cache_skew",
+}
+
+
+def generate(name: str, module_name: str) -> Path:
+    from tests._golden import GOLDEN_DIR, digest_result
+
+    module = importlib.import_module(module_name)
+    assert module.GOLDEN == name, (name, module.GOLDEN)
+    digests = {}
+    started = time.monotonic()
+    for token, run in module.golden_cases():
+        if token in digests:
+            raise SystemExit(f"{name}: duplicate case token {token!r}")
+        digests[token] = digest_result(run())
+        done = len(digests)
+        if done % 25 == 0:
+            print(f"  {name}: {done} cases, {time.monotonic() - started:.1f}s",
+                  flush=True)
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    path = GOLDEN_DIR / f"{name}.json"
+    path.write_text(json.dumps(digests, indent=1, sort_keys=True) + "\n")
+    print(f"{name}: pinned {len(digests)} digests -> {path} "
+          f"({time.monotonic() - started:.1f}s)", flush=True)
+    return path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only", action="append", choices=sorted(SUITES),
+        help="regenerate just this suite (repeatable)",
+    )
+    args = parser.parse_args()
+    names = args.only or sorted(SUITES)
+    for name in names:
+        generate(name, SUITES[name])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
