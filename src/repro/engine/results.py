@@ -63,6 +63,10 @@ class SimulationResult:
     events: int = 0
     started_at: float = 0.0  # earliest submit
     finished_at: float = 0.0  # latest terminal time
+    #: Backfill cache/replay counters by ledger ("shadow", "replay") —
+    #: observability of the incremental fast paths, never decision
+    #: state, and deliberately excluded from serialized records.
+    strategy_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def by_state(self, state: JobState) -> List[Job]:

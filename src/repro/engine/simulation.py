@@ -237,6 +237,7 @@ class SchedulerSimulation:
             events=self._sim.events_processed,
             started_at=self.jobs[0].submit_time,
             finished_at=max(finished_times) if finished_times else self._sim.now,
+            strategy_stats=self.scheduler.strategy_stats(),
         )
 
     # ------------------------------------------------------------------
@@ -395,6 +396,7 @@ class SchedulerSimulation:
             events=self._sim.events_processed,
             started_at=self.jobs[0].submit_time if self.jobs else self._sim.now,
             finished_at=max(finished_times) if finished_times else self._sim.now,
+            strategy_stats=self.scheduler.strategy_stats(),
         )
 
     # ------------------------------------------------------------------

@@ -59,11 +59,17 @@ class PerfReport:
     cases: Dict[str, dict] = field(default_factory=dict)
 
     def to_payload(self) -> dict:
+        from ..sched.profile import get_kernel
+
         return {
             "schema": SCHEMA_VERSION,
             "mode": self.mode,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
+            # Which sweep kernel produced these numbers: baselines are
+            # only comparable within a kernel, and a CI runner missing
+            # numpy would otherwise silently bench the scalar anchor.
+            "profile_kernel": get_kernel(),
             "calibration_ms": round(self.calibration_s * 1e3, 3),
             "cases": self.cases,
         }

@@ -215,6 +215,46 @@ class NoBackfill(BackfillStrategy):
         return started
 
 
+class _ShadowPlan:
+    """The cached head shadow plus its fold-perturbation ledger.
+
+    The EASY analogue of the conservative plan ledger
+    (:class:`_ReservationPlan`), for the one number EASY retains
+    across passes: the head's shadow.  ``m_bound`` is the shadow
+    scan's per-node perturbation bound — the largest achievable
+    free-node count at any breakpoint the scan rejected below the
+    shadow, demand-sentinel-poisoned by pool-capacity rejections —
+    and ``p_bound`` the pool-level analogue (the count-only maximum,
+    kept only when pool rejections occurred, ``None`` otherwise).
+    ``fold_nodes`` / ``fold_pool`` accumulate the nodes and pool MiB
+    completion folds returned since the scan; ``mutations`` is
+    re-stamped on every fold the shadow survives, so the hit check in
+    :meth:`EasyBackfill._shadow_of` stays a plain equality.
+    """
+
+    __slots__ = (
+        "profile", "mutations", "head_id", "split", "dur", "shadow",
+        "now", "need", "m_bound", "p_bound", "fold_nodes", "fold_pool",
+    )
+
+    def __init__(
+        self, profile, mutations, head_id, split, dur, shadow, now,
+        need, m_bound, p_bound,
+    ) -> None:
+        self.profile = profile
+        self.mutations = mutations
+        self.head_id = head_id
+        self.split = split
+        self.dur = dur
+        self.shadow = shadow
+        self.now = now
+        self.need = need
+        self.m_bound = m_bound
+        self.p_bound = p_bound
+        self.fold_nodes = 0
+        self.fold_pool = 0
+
+
 class EasyBackfill(BackfillStrategy):
     """EASY backfilling with a memory-aware shadow reservation.
 
@@ -234,10 +274,20 @@ class EasyBackfill(BackfillStrategy):
         # the stamp and the profile rebases to the new instant — a
         # mid-pass ``apply_start`` fold is bit-equivalent to a rebuild,
         # so the cache is re-stamped after a pass's last fold.  The
-        # shadow cache layers on top, keyed by the profile object, its
-        # mutation count, and the head job.
+        # shadow cache layers on top (see :class:`_ShadowPlan`), keyed
+        # by the profile object, its mutation count, and the head job;
+        # completion folds age it through ``on_release`` instead of
+        # unconditionally invalidating it.
         self._profile_cache: Optional[tuple] = None
-        self._shadow_cache: Optional[tuple] = None
+        self._shadow_cache: Optional[_ShadowPlan] = None
+        #: Shadow-cache counters (exposed for tests and audits):
+        #: ``reused`` counts hits, ``recompute`` full head scans,
+        #: ``fold_survived`` completion folds the cached shadow
+        #: provably survived, ``fold_dropped`` folds that voided it.
+        self.shadow_stats = {
+            "reused": 0, "recompute": 0,
+            "fold_survived": 0, "fold_dropped": 0,
+        }
 
     def run(self, ctx: SchedulerContext, sched: Scheduler) -> List[StartDecision]:
         if ctx.cluster.free_node_count == 0 and sched.queue_policy.stateless:
@@ -328,6 +378,104 @@ class EasyBackfill(BackfillStrategy):
             self._profile_cache = (ctx.cluster, ctx.cluster.version, profile)
         return started
 
+    def on_release(
+        self,
+        sched: Scheduler,
+        cluster,
+        job: Job,
+        now: float,
+        version_before: int,
+    ) -> Optional[float]:
+        folded_end = super().on_release(sched, cluster, job, now, version_before)
+        plan = self._shadow_cache
+        if plan is None:
+            return folded_end
+        if folded_end is None:
+            # The fold failed or there was no profile cache: the next
+            # pass rebuilds the profile, so the shadow cannot hit on
+            # its identity stamp anyway.  Drop it eagerly.
+            self._shadow_cache = None
+            return folded_end
+        # The shadow stays coherent only if it was stamped against the
+        # state just before this fold (the fold bumped the mutation
+        # count by one) on the very profile the cache holds.
+        profile = plan.profile
+        if (
+            self._profile_cache is None
+            or self._profile_cache[2] is not profile
+            or plan.mutations != profile.mutation_count - 1
+        ):
+            self._shadow_cache = None
+            return folded_end
+        if self._shadow_survives(sched, cluster, job, folded_end, plan, profile):
+            plan.mutations = profile.mutation_count
+            plan.fold_nodes += len(job.assigned_nodes)
+            plan.fold_pool += sum(job.pool_grants.values())
+            self.shadow_stats["fold_survived"] += 1
+        else:
+            self._shadow_cache = None
+            self.shadow_stats["fold_dropped"] += 1
+        return folded_end
+
+    @staticmethod
+    def _shadow_survives(
+        sched: Scheduler,
+        cluster,
+        job: Job,
+        folded_end: float,
+        plan: _ShadowPlan,
+        profile: AvailabilityProfile,
+    ) -> bool:
+        """Whether the cached shadow provably equals a fresh head scan
+        after folding this completion.
+
+        A release fold moves the folded entry's nodes and grants from
+        a future breakpoint into base availability: states strictly
+        before ``folded_end`` gain exactly those resources, states at
+        or beyond it are bit-identical, and no breakpoint ever
+        *appears*.  So only the scan's rejected prefix can flip:
+
+        * ``shadow is None`` — the head did not fit even the empty
+          machine, and folds do not change machine composition.
+        * The **per-node door**: every rejected breakpoint had at most
+          ``m_bound`` achievable free nodes (sentinel-poisoned to the
+          head's demand by pool rejections), and completion folds have
+          freed ``fold_nodes`` more since; while their sum stays under
+          the demand, every rejection stands.
+        * The **pool door**, for pool-rejecting scans (mirroring the
+          conservative plan's): sound only when the allocator's
+          verdict is node-identity-independent, a pool verdict can
+          flip only if pool availability rose — so zero pool MiB may
+          have folded — and count-limited rejections fall back to the
+          count-only bound ``p_bound``.
+
+        Separately, a fold at the shadow instant itself may remove the
+        very breakpoint the scan accepted.  The instant stays feasible
+        (its state is unchanged), but a fresh scan only visits
+        breakpoints and would answer a different one — the shadow
+        survives a coincident fold only if another release still
+        breaks there.
+        """
+        shadow = plan.shadow
+        if shadow is None:
+            return True
+        folded_nodes = plan.fold_nodes + len(job.assigned_nodes)
+        folded_pool = plan.fold_pool + sum(job.pool_grants.values())
+        if plan.m_bound + folded_nodes < plan.need:
+            pass
+        elif (
+            plan.p_bound is not None
+            and not folded_pool
+            and plan.p_bound + folded_nodes < plan.need
+            and type(sched.resolve_allocator(cluster)) is GlobalPoolAllocator
+        ):
+            pass
+        else:
+            return False
+        if folded_end == shadow and not profile.has_release_at(shadow):
+            return False
+        return True
+
     def _shadow_of(
         self, ctx: SchedulerContext, sched: Scheduler, head: Job
     ) -> Tuple[AvailabilityProfile, "MemorySplit", float, Optional[float]]:
@@ -343,25 +491,31 @@ class EasyBackfill(BackfillStrategy):
         infeasible up to its cached shadow — a fresh scan would return
         the same reservation start.  A shadow equal to the compute
         instant (possible under a gate veto) is never reused, because
-        a fresh scan would move it to the new instant.
+        a fresh scan would move it to the new instant; the same check
+        against the *current* instant guards shadows aged across
+        completion folds (``on_release``), which keep the cache alive
+        while the fold ledger proves a fresh scan unchanged.
         """
         profile = self._cycle_profile(ctx, sched)
-        cache = self._shadow_cache
-        if cache is not None:
-            (c_profile, c_mutations, c_head_id, c_split,
-             c_dur, c_shadow, c_now) = cache
+        plan = self._shadow_cache
+        if plan is not None:
             if (
-                c_profile is profile
-                and c_mutations == profile.mutation_count
-                and c_head_id == head.job_id
-                and (c_shadow is None or c_shadow > c_now)
+                plan.profile is profile
+                and plan.mutations == profile.mutation_count
+                and plan.head_id == head.job_id
+                and (
+                    plan.shadow is None
+                    or (plan.shadow > plan.now and plan.shadow > ctx.now)
+                )
             ):
-                return profile, c_split, c_dur, c_shadow
+                self.shadow_stats["reused"] += 1
+                return profile, plan.split, plan.dur, plan.shadow
         cluster = ctx.cluster
         allocator = sched.resolve_allocator(cluster)
         head_split = sched.split_for(head, cluster)
         head_dur = sched.est_duration(head, cluster, split=head_split)
-        head_res = ctx.transaction.sweep(profile).earliest_start(
+        sweep = ctx.transaction.sweep(profile)
+        head_res = sweep.earliest_start(
             head,
             head_dur,
             head_split.remote,
@@ -373,9 +527,17 @@ class EasyBackfill(BackfillStrategy):
         if head_res is not None:
             shadow = head_res.start
             ctx.record_promise(head.job_id, shadow)
-        self._shadow_cache = (
+        # Pool-level bound: the count-only maximum, kept only when a
+        # pool-capacity rejection occurred (its sentinel poisons
+        # ``m_bound``); mirrors the conservative entry bounds.
+        p_bound: Optional[int] = None
+        if sweep.last_scan_pool_rejects:
+            p_bound = sweep.last_scan_count_reject
+        self.shadow_stats["recompute"] += 1
+        self._shadow_cache = _ShadowPlan(
             profile, profile.mutation_count, head.job_id,
             head_split, head_dur, shadow, ctx.now,
+            head.nodes, sweep.last_scan_max_reject, p_bound,
         )
         return profile, head_split, head_dur, shadow
 

@@ -461,6 +461,23 @@ class Scheduler:
             "memory_aware": str(getattr(self.backfill, "memory_aware", True)).lower(),
         }
 
+    def strategy_stats(self) -> Dict[str, Dict[str, int]]:
+        """Backfill cache/replay counters, keyed by ledger.
+
+        EASY exposes ``shadow_stats`` (the shadow fold ledger),
+        conservative ``replay_stats`` (the retained-plan replay doors).
+        Pure observability — the counters never feed decisions — and
+        copied, so a stored result cannot alias the live dicts.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        shadow = getattr(self.backfill, "shadow_stats", None)
+        if shadow is not None:
+            stats["shadow"] = dict(shadow)
+        replay = getattr(self.backfill, "replay_stats", None)
+        if replay is not None:
+            stats["replay"] = dict(replay)
+        return stats
+
 
 def build_scheduler(
     queue: str = "fcfs",

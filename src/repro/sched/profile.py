@@ -62,13 +62,20 @@ cursor's lifetime is no longer bounded by the pass either:
   (:meth:`SweepCursor._rebase`) — materialized states are pure
   functions of their instant, so advancing the clock only retires the
   grid prefix at or before the new anchor;
-* ``truncate_reservations`` with nothing to drop (the fully-replayed
-  pass) leaves the cursor untouched, which is what lets a chain of
-  replayed passes share one materialization;
-* every mutation the cursor cannot track in place (``apply_start``,
-  ``apply_release``, ``remove_reservation``, ``clear_reservations``,
-  and a truncation that actually drops reservations) still drops it;
-  the next scan rebuilds lazily.
+* ``apply_start`` and ``apply_release`` are grid-local edits, so the
+  cursor absorbs both folds in place (:meth:`SweepCursor._on_apply_start`
+  / :meth:`SweepCursor._on_apply_release`): materialized states before
+  the folded release time gain or lose exactly the folded node set
+  (minus still-active reservation claims, for a release), states at or
+  beyond it only shift their release-timeline index, and the folded
+  time enters or leaves the breakpoint grid;
+* ``remove_reservation`` and a reservation-dropping
+  ``truncate_reservations`` recompute only the materialized states the
+  dropped claims could touch (:meth:`SweepCursor._on_remove`) and
+  retire grid times that stop being breakpoints;
+* only ``clear_reservations`` — the stock pass's bulk teardown, which
+  the retained-plan fast path avoids — still drops the cursor; the
+  next scan rebuilds lazily.
 
 All query results are bitwise identical to the brute-force oracle
 (``tests/_oracles.py``); the equivalence suite enforces this on
@@ -82,10 +89,17 @@ after *now*; the classic "expected to end any moment" convention.
 
 from __future__ import annotations
 
+import os
+
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from itertools import accumulate
 from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+try:  # the vectorized kernel is optional; the scalar path is complete
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the standard image
+    _np = None
 
 from ..workload.job import Job
 
@@ -94,10 +108,77 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..memdis.allocator import PoolAllocator
     from .placement import PlacementPolicy
 
-__all__ = ["Reservation", "AvailabilityProfile", "SweepCursor"]
+__all__ = [
+    "Reservation", "AvailabilityProfile", "SweepCursor",
+    "get_kernel", "set_kernel",
+]
 
 _OVERRUN_GRACE = 1.0  # seconds: expected end for already-overrun jobs
 _EPS = 1e-9
+
+#: Sweep-kernel selection: ``numpy`` vectorizes the cursor's
+#: rejection walks over the materialized breakpoint grid, ``scalar``
+#: is the pure-Python reference the differential suites anchor on,
+#: and ``auto`` (the default) engages the vectorized walks only on
+#: grids of at least :data:`_VEC_FLOOR` breakpoints.  All modes
+#: produce bit-identical decisions and scan statistics; the flag
+#: exists so a kernel regression fails a cheap parity run loudly
+#: instead of leaking through a perf gate.  Selection is sampled per
+#: cursor at construction (one cursor never mixes kernels mid-life).
+_KERNELS = ("auto", "numpy", "scalar")
+
+#: Grid-size floor for the ``auto`` kernel.  Vectorizing a rejection
+#: walk trades a per-element Python loop (~0.1 µs/breakpoint once
+#: materialized) for a handful of fixed-overhead array operations
+#: (~10 µs per scan); the crossover sits near a hundred breakpoints.
+#: The reference 10k-job W-MIX simulations never exceed ~60-breakpoint
+#: grids (measured p99 under 50), so ``auto`` runs them entirely on
+#: the scalar walk — the vector paths are a *scale* layer for
+#: paper-grid clusters with hundreds of concurrent releases, not a
+#: win at every size.  ``numpy`` (forced) ignores the floor so parity
+#: suites exercise the vector code on deliberately tiny grids.
+_VEC_FLOOR = 96
+
+
+def _default_kernel() -> str:
+    name = os.environ.get("REPRO_PROFILE_KERNEL", "")
+    if name:
+        if name not in _KERNELS:
+            raise ValueError(
+                f"REPRO_PROFILE_KERNEL={name!r}: expected one of {_KERNELS}"
+            )
+        if name == "numpy" and _np is None:
+            raise ValueError("REPRO_PROFILE_KERNEL=numpy but numpy is missing")
+        if name == "auto" and _np is None:
+            return "scalar"
+        return name
+    return "auto" if _np is not None else "scalar"
+
+
+_KERNEL = _default_kernel()
+
+
+def get_kernel() -> str:
+    """The sweep-kernel new cursors will use
+    (``auto`` | ``numpy`` | ``scalar``)."""
+    return _KERNEL
+
+
+def set_kernel(name: str) -> str:
+    """Select the sweep kernel for cursors built from here on; returns
+    the previous selection (so tests can restore it).  ``numpy``
+    forces the vector paths on every grid; ``auto`` floor-gates them
+    (:data:`_VEC_FLOOR`); ``scalar`` disables them."""
+    global _KERNEL
+    if name not in _KERNELS:
+        raise ValueError(f"unknown kernel {name!r}: expected one of {_KERNELS}")
+    if name == "numpy" and _np is None:
+        raise ValueError("numpy kernel requested but numpy is missing")
+    if name == "auto" and _np is None:
+        name = "scalar"
+    previous = _KERNEL
+    _KERNEL = name
+    return previous
 
 
 def _release_time(release: tuple) -> float:
@@ -253,6 +334,18 @@ class AvailabilityProfile:
         """
         return self._reservations[index]
 
+    def has_release_at(self, time: float) -> bool:
+        """Whether some release entry breaks exactly at ``time`` (O(log n)).
+
+        Fold-ledger support: a completion fold at a cached scan's
+        accepted breakpoint may remove that instant from the grid
+        entirely — a fresh scan then answers a *different* breakpoint
+        even though the instant itself stays feasible.  Callers aging
+        such a cache must confirm the instant still breaks here.
+        """
+        i = bisect_left(self._rel_times, time)
+        return i < len(self._rel_times) and self._rel_times[i] == time
+
     def first_reservation_start(self) -> Optional[float]:
         """Earliest standing reservation start, or None (O(1)).
 
@@ -267,15 +360,17 @@ class AvailabilityProfile:
     def sweep_cursor(self) -> "SweepCursor":
         """The shared resumable sweep over this profile.
 
-        Created on first use and reused until a mutation the cursor
-        cannot track in place (``apply_start`` / ``apply_release`` /
-        ``remove_reservation`` / ``clear_reservations`` / a
-        reservation-dropping ``truncate_reservations``) drops it;
-        ``add_reservation`` keeps it exact incrementally and
-        ``rebase`` re-anchors it, so under the retained reservation
-        plan one cursor can span many passes.  All cursor queries are
-        bit-identical to the corresponding profile queries — the
-        cursor is pure acceleration.
+        Created on first use and kept exact across every incremental
+        mutation: ``add_reservation`` patches claims in,
+        ``apply_start`` / ``apply_release`` fold release-timeline
+        edits through the materialized states, ``remove_reservation``
+        and a reservation-dropping ``truncate_reservations``
+        recompute only the touched window, and ``rebase`` re-anchors
+        the grid — so one cursor can span many passes and survive
+        completion folds in between.  Only ``clear_reservations``
+        drops it.  All cursor queries are bit-identical to the
+        corresponding profile queries — the cursor is pure
+        acceleration.
         """
         cursor = self._cursor
         if cursor is None:
@@ -347,9 +442,10 @@ class AvailabilityProfile:
 
     def remove_reservation(self, reservation: Reservation) -> None:
         """Withdraw one reservation; later insertion indices shift
-        down.  Raises ``ValueError`` when it is not registered.  Drops
-        a live sweep cursor (the claims are already folded into its
-        states)."""
+        down.  Raises ``ValueError`` when it is not registered.  A
+        live sweep cursor is patched in place: the claims folded into
+        its materialized states are recomputed over the withdrawn
+        window only."""
         # Identity-first: the common case removes the exact object just
         # added (a pass's own claim), skipping field-wise dataclass
         # equality.  Equal reservations are interchangeable for every
@@ -379,7 +475,8 @@ class AvailabilityProfile:
             pos += 1
         del self._res_end_times[pos]
         del self._res_end_refs[pos]
-        self._cursor = None  # claims already folded into cursor states
+        if self._cursor is not None:
+            self._cursor._on_remove((actual,))
 
     def clear_reservations(self) -> None:
         """Drop every reservation at once (pass teardown).
@@ -413,10 +510,9 @@ class AvailabilityProfile:
         the suffix is precisely the tail of the list.
 
         A no-op when nothing needs dropping (the common "every entry
-        replayed" pass) — in particular the live cursor survives.
-        Otherwise the cursor is dropped: its materialized states fold
-        the dropped claims in, and recomputing the affected prefix
-        would cost what the next scans' lazy rebuild costs anyway.
+        replayed" pass).  Otherwise a live cursor is patched in place:
+        the materialized states inside the dropped claims' windows are
+        recomputed and grid times that stop being breakpoints leave.
         """
         reservations = self._reservations
         if keep >= len(reservations):
@@ -426,8 +522,10 @@ class AvailabilityProfile:
             return
         res_index = self._res_index
         bounds = self._res_bounds
+        dropped: List[Reservation] = []
         while len(reservations) > keep:
             res = reservations.pop()
+            dropped.append(res)
             del res_index[id(res)]
             for bound in (res.start, res.end):
                 del bounds[bisect_left(bounds, bound)]
@@ -441,7 +539,8 @@ class AvailabilityProfile:
                 pos += 1
             del self._res_end_times[pos]
             del self._res_end_refs[pos]
-        self._cursor = None
+        if self._cursor is not None:
+            self._cursor._on_remove(dropped)
 
     # ------------------------------------------------------------------
     def apply_start(
@@ -509,7 +608,8 @@ class AvailabilityProfile:
             self._grant_times.insert(gpos, est_end)
             self._grant_maps.insert(gpos, grants)
         self.mutation_count += 1
-        self._cursor = None
+        if self._cursor is not None:
+            self._cursor._on_apply_start(node_set, est_end)
 
     def apply_release(
         self,
@@ -577,7 +677,8 @@ class AvailabilityProfile:
             del self._grant_times[gpos]
             del self._grant_maps[gpos]
         self.mutation_count += 1
-        self._cursor = None
+        if self._cursor is not None:
+            self._cursor._on_apply_release(node_set, est_end)
         return True
 
     # ------------------------------------------------------------------
@@ -1017,9 +1118,15 @@ class SweepCursor:
       live by inserting the new bounds into the grid (fresh states,
       computed directly) and subtracting the new claim from the
       materialized points inside its window — set difference is
-      idempotent, and reservations are never *removed* while a cursor
-      is live (any other mutation drops it), so plain difference is
-      exact without claim counts;
+      idempotent, so the patch is exact without claim counts;
+      withdrawals (:meth:`_on_remove`) recompute the affected window
+      instead, since claim folding is not invertible from the states
+      alone;
+    * the release folds (:meth:`_on_apply_start` /
+      :meth:`_on_apply_release`) patch states with the same float
+      activity predicate :meth:`_state_at` evaluates and keep the
+      grid equal to ``profile.breakpoints()`` — a stale grid time
+      would be a phantom scan candidate and could move decisions;
     * availability between adjacent grid times is constant (every
       release time and reservation bound ≥ *now* is a grid time), so
       evaluating a non-grid instant against the directly computed
@@ -1052,6 +1159,8 @@ class SweepCursor:
     """
 
     __slots__ = ("_p", "_times", "_free", "_counts", "_k",
+                 "_numpy", "_vec_floor", "_times_rev", "_grid_rev",
+                 "_np_rev", "_counts_np", "_nores_cache",
                  "last_scan_max_reject", "last_scan_count_reject",
                  "last_scan_pool_rejects")
 
@@ -1065,6 +1174,19 @@ class SweepCursor:
         self._free: List[FrozenSet[int]] = []
         self._counts: List[int] = []
         self._k: List[int] = []
+        # Vectorized-kernel state (see module doc): the Python lists
+        # stay authoritative; numpy mirrors are rebuilt lazily when a
+        # revision counter says they went stale.  ``_times_rev``
+        # tracks grid-structure edits only (keys the full-grid count
+        # cache), ``_grid_rev`` additionally tracks materialized-state
+        # edits (keys the count mirror).
+        self._numpy = _KERNEL != "scalar" and _np is not None
+        self._vec_floor = 0 if _KERNEL == "numpy" else _VEC_FLOOR
+        self._times_rev = 0
+        self._grid_rev = 0
+        self._np_rev = -1
+        self._counts_np = None
+        self._nores_cache: Optional[tuple] = None
         self.last_scan_max_reject: int = 0
         self.last_scan_count_reject: int = 0
         self.last_scan_pool_rejects: int = 0
@@ -1112,6 +1234,7 @@ class SweepCursor:
             counts.append(len(state))
             ks.append(k)
             i += 1
+        self._grid_rev += 1
 
     def _insert_point(self, pos: int) -> None:
         """Materialize a freshly inserted grid time at ``pos``."""
@@ -1133,6 +1256,8 @@ class SweepCursor:
         reused verbatim; otherwise the anchor is computed directly
         against the same release sweep and reservation set.
         """
+        self._times_rev += 1
+        self._grid_rev += 1
         times = self._times
         drop = bisect_right(times, now)
         materialized = len(self._free)
@@ -1161,6 +1286,8 @@ class SweepCursor:
         already sees it; the subtraction over existing points is
         idempotent for them.
         """
+        self._times_rev += 1
+        self._grid_rev += 1
         times = self._times
         free = self._free
         anchor = times[0]
@@ -1186,6 +1313,349 @@ class SweepCursor:
                     state = state.difference(node_ids)
                     free[j] = state
                     counts[j] = len(state)
+
+    def _on_apply_start(self, node_set: FrozenSet[int], est_end: float) -> None:
+        """Track an ``apply_start`` fold on the live profile, in place.
+
+        Called after the profile's own patch completed.  The fold's
+        effect on a point-in-time state is grid-local and exact:
+        states strictly before the new release lose the started job's
+        nodes (they left the base availability), states at or after it
+        are unchanged (the subtraction and the new release cancel) but
+        their release-timeline index shifts up by one, and the release
+        time joins the breakpoint grid.  The activity predicate is the
+        same float expression :meth:`_state_at` evaluates, so patched
+        entries are bit-identical to direct recomputation.
+        """
+        self._times_rev += 1
+        self._grid_rev += 1
+        times = self._times
+        free = self._free
+        counts = self._counts
+        ks = self._k
+        for j in range(len(free)):
+            if est_end <= times[j] + _EPS:
+                ks[j] += 1
+            else:
+                state = free[j]
+                if not state.isdisjoint(node_set):
+                    state = state - node_set
+                    free[j] = state
+                    counts[j] = len(state)
+        if est_end > times[0]:
+            pos = bisect_left(times, est_end)
+            if pos == len(times) or times[pos] != est_end:
+                times.insert(pos, est_end)
+                if pos < len(free):
+                    self._insert_point(pos)
+
+    def _on_apply_release(self, node_set: FrozenSet[int], est_end: float) -> None:
+        """Track an ``apply_release`` fold on the live profile, in place.
+
+        The inverse of :meth:`_on_apply_start`: states strictly before
+        the removed release gain the completed job's nodes — minus any
+        node a reservation active at that instant still claims — and
+        states at or after it only shift their release-timeline index
+        down.  The removed time leaves the grid unless another release
+        or a reservation bound still lands there (a stale grid time
+        would be a phantom candidate the stock scan never evaluates,
+        which can move ``earliest_start`` decisions).
+        """
+        self._times_rev += 1
+        self._grid_rev += 1
+        times = self._times
+        free = self._free
+        counts = self._counts
+        ks = self._k
+        p = self._p
+        claimants = [
+            res for res in p._reservations
+            if not node_set.isdisjoint(res.node_ids)
+        ]
+        for j in range(len(free)):
+            t = times[j]
+            if est_end <= t + _EPS:
+                ks[j] -= 1
+            else:
+                add = node_set
+                for res in claimants:
+                    if res.start <= t + _EPS and t < res.end - _EPS:
+                        add = add.difference(res.node_ids)
+                        if not add:
+                            break
+                if add:
+                    state = free[j] | add
+                    free[j] = state
+                    counts[j] = len(state)
+        pos = bisect_left(times, est_end)
+        if pos < len(times) and times[pos] == est_end and pos:
+            if not self._is_breakpoint(est_end):
+                del times[pos]
+                if pos < len(free):
+                    del free[pos]
+                    del counts[pos]
+                    del ks[pos]
+
+    def _on_remove(self, dropped: Iterable[Reservation]) -> None:
+        """Track withdrawn reservations on the live profile, in place.
+
+        Claim folding is not invertible from the states alone (two
+        claims may cover the same node), so every materialized state
+        inside a dropped claim's activity window is recomputed against
+        the post-removal profile — only those instants can differ.
+        Dropped bounds leave the grid when nothing else lands there.
+        """
+        self._times_rev += 1
+        self._grid_rev += 1
+        times = self._times
+        free = self._free
+        counts = self._counts
+        ks = self._k
+        for j in range(len(free)):
+            t = times[j]
+            for res in dropped:
+                if res.start <= t + _EPS and t < res.end - _EPS:
+                    state, k = self._state_at(t)
+                    free[j] = state
+                    counts[j] = len(state)
+                    ks[j] = k
+                    break
+        anchor = times[0]
+        for res in dropped:
+            for bound in (res.start, res.end):
+                if bound <= anchor:
+                    continue
+                pos = bisect_left(times, bound)
+                if pos < len(times) and times[pos] == bound:
+                    if not self._is_breakpoint(bound):
+                        del times[pos]
+                        if pos < len(free):
+                            del free[pos]
+                            del counts[pos]
+                            del ks[pos]
+
+    def _is_breakpoint(self, t: float) -> bool:
+        """Whether ``t`` is still a merged-timeline breakpoint of the
+        current profile (some release time or reservation bound)."""
+        p = self._p
+        rel = p._rel_times
+        i = bisect_left(rel, t)
+        if i < len(rel) and rel[i] == t:
+            return True
+        bounds = p._res_bounds
+        i = bisect_left(bounds, t)
+        return i < len(bounds) and bounds[i] == t
+
+    # -- vectorized kernel ---------------------------------------------
+    @staticmethod
+    def _assert_kernel_dtypes(times_arr, counts_arr) -> None:
+        """Guard against silent dtype degradation in the kernel arrays.
+
+        The breakpoint-time vector must stay float64 (an integer array
+        would re-round same-instant grouping and cannot carry ``inf``
+        release times) and every free-count vector must stay integer
+        (a float count would make the `>=` demand compares drift).
+        Checked every time a mirror is (re)built after fold patches —
+        cheap, and a corruption here silently moves decisions.
+        """
+        if times_arr is not None and times_arr.dtype != _np.float64:
+            raise AssertionError(
+                f"kernel breakpoint grid degraded to {times_arr.dtype}"
+            )
+        if counts_arr is not None and not _np.issubdtype(
+            counts_arr.dtype, _np.integer
+        ):
+            raise AssertionError(
+                f"kernel free-count vector degraded to {counts_arr.dtype}"
+            )
+
+    def _sync_counts(self):
+        """The int64 mirror of the materialized free-count prefix,
+        rebuilt when any fold patch or materialization moved it."""
+        if self._np_rev != self._grid_rev:
+            arr = _np.asarray(self._counts, dtype=_np.int64)
+            self._assert_kernel_dtypes(None, arr)
+            self._counts_np = arr
+            self._np_rev = self._grid_rev
+        return self._counts_np
+
+    def _nores_counts(self):
+        """Exact free-count vector over the *whole* grid, valid only
+        while no reservations stand: with releases alone, the state at
+        ``t`` is the cached cumulative union at its release index, so
+        one vectorized searchsorted positions every breakpoint at once
+        and a length table finishes the counts — no per-point set
+        materialization.  Cached until the grid or the release
+        timeline changes (folds bump both counters)."""
+        p = self._p
+        key = (self._times_rev, p.mutation_count)
+        cache = self._nores_cache
+        if cache is not None and cache[0] == key:
+            return cache[1], cache[2]
+        rel = p._rel_times
+        n = len(rel)
+        if n:
+            p._ensure_swept(n - 1)
+        times_np = _np.asarray(self._times, dtype=_np.float64)
+        rel_np = _np.asarray(rel, dtype=_np.float64)
+        ks_all = _np.searchsorted(rel_np, times_np + _EPS, side="right")
+        len_np = _np.empty(n + 1, dtype=_np.int64)
+        len_np[0] = len(p._base_free)
+        for i, state in enumerate(p._rel_cum_free):
+            len_np[i + 1] = len(state)
+        counts_all = len_np[ks_all]
+        self._assert_kernel_dtypes(times_np, counts_all)
+        self._nores_cache = (key, ks_all, counts_all)
+        return ks_all, counts_all
+
+    def _earliest_start_numpy(
+        self,
+        job: Job,
+        duration: float,
+        remote_per_node: int,
+        placement: "PlacementPolicy",
+        allocator: "PoolAllocator",
+        after: Optional[float],
+        memory_aware: bool,
+        not_after: Optional[float],
+        trial: Optional[Reservation],
+        trial_nodes: Optional[FrozenSet[int]],
+        trial_end_eps: float,
+        trial_const: Optional[int],
+        extra: Optional[float],
+    ) -> Optional[Reservation]:
+        """Vectorized no-reservation scan — bit-identical to the
+        scalar loop (candidates in the same order, same rejection
+        statistics), but the count-rejection walk is one searchsorted
+        plus slice reductions over the full-grid count vector instead
+        of a Python loop per breakpoint.
+
+        Only entered when no reservations stand (EASY's shadow scans
+        and trial probes): point-in-time counts are then monotone
+        consequences of the release timeline alone, window-claim
+        state is empty, and a trial overlay subtracts the constant
+        ``trial_const`` while active.  Accepted candidates fetch the
+        exact free set from the shared cumulative sweep in O(1); the
+        materialized prefix is never forced.
+        """
+        p = self._p
+        needed = job.nodes
+        times = self._times
+        now = p._now
+        start = now if after is None else (after if after > now else now)
+        count_reject = 0
+        pool_rejects = 0
+        ks_all, counts_all = self._nores_counts()
+        total = len(times)
+        cap = total if not_after is None else bisect_right(times, not_after)
+        split = bisect_left(times, trial_end_eps) if trial is not None else 0
+
+        def accept(t: float, k: int, fs: FrozenSet[int], cnt: int,
+                   cnt0: int) -> Optional[Reservation]:
+            nonlocal pool_rejects
+            trial_active = trial is not None and t < trial_end_eps
+            free = fs
+            if trial_active and cnt != cnt0:
+                free = fs.difference(trial_nodes)
+            result = self._window_accept(
+                t, t + _EPS, t + duration, t + duration - _EPS, k, free,
+                job, remote_per_node, placement, allocator, memory_aware,
+                trial, trial_active, 0, 0,
+            )
+            if result is None:
+                pool_rejects += 1
+            return result
+
+        def direct(t: float) -> Optional[Reservation]:
+            # Off-grid candidate (``after=`` anchor or the trial's
+            # end): evaluated exactly as the scalar loop does.
+            nonlocal count_reject
+            fs, k = self._state_at(t)
+            cnt0 = len(fs)
+            cnt = cnt0
+            if trial is not None and t < trial_end_eps:
+                cnt -= trial_const
+            if cnt < needed:
+                if cnt > count_reject:
+                    count_reject = cnt
+                return None
+            return accept(t, k, fs, cnt, cnt0)
+
+        def walk_seg(lo: int, hi: int, adj: int) -> Optional[Reservation]:
+            # Consume grid candidates [lo, hi) under a constant trial
+            # adjustment: vector-skip the count rejections (their
+            # exact maximum feeds the replay bound), accept-test the
+            # survivors one by one.
+            nonlocal count_reject
+            j = lo
+            bar = needed + adj
+            while j < hi:
+                seg = counts_all[j:hi]
+                hits = _np.nonzero(seg >= bar)[0]
+                if hits.size == 0:
+                    m = int(seg.max()) - adj
+                    if m > count_reject:
+                        count_reject = m
+                    return None
+                f = int(hits[0])
+                if f:
+                    m = int(seg[:f].max()) - adj
+                    if m > count_reject:
+                        count_reject = m
+                j += f
+                k = int(ks_all[j])
+                fs = p._rel_cum_free[k - 1] if k else p._base_free
+                cnt0 = int(seg[f])
+                result = accept(times[j], k, fs, cnt0 - adj, cnt0)
+                if result is not None:
+                    return result
+                j += 1
+            return None
+
+        def walk(lo: int, hi: int) -> Optional[Reservation]:
+            mid = min(max(split, lo), hi)
+            if lo < mid:
+                result = walk_seg(lo, mid, trial_const or 0)
+                if result is not None:
+                    return result
+                lo = mid
+            return walk_seg(lo, hi, 0)
+
+        def scan() -> Optional[Reservation]:
+            if start == times[0]:
+                j0 = 0
+            else:
+                # Arbitrary resume anchor: evaluate it directly, then
+                # continue on the grid strictly after it.
+                if not_after is not None and start > not_after:
+                    return None
+                result = direct(start)
+                if result is not None:
+                    return result
+                j0 = bisect_right(times, start)
+            trial_end = extra
+            e_pos = None
+            if trial_end is not None:
+                pos = bisect_left(times, trial_end)
+                if pos < total and times[pos] == trial_end:
+                    trial_end = None  # grid already carries this instant
+                elif not_after is not None and trial_end > not_after:
+                    trial_end = None  # beyond the cap: never evaluated
+                else:
+                    e_pos = pos
+            if e_pos is not None:
+                result = walk(j0, min(e_pos, cap))
+                if result is not None:
+                    return result
+                result = direct(trial_end)
+                if result is not None:
+                    return result
+                j0 = e_pos
+            return walk(j0, cap)
+
+        result = scan()
+        self._record_scan(needed, count_reject, pool_rejects)
+        return result
 
     # ------------------------------------------------------------------
     def count_at_anchor(self) -> int:
@@ -1266,6 +1736,20 @@ class SweepCursor:
             if not p._reservations and trial_nodes <= p._base_free:
                 trial_const = len(trial_nodes)
 
+        if (
+            self._numpy
+            and len(times) >= self._vec_floor
+            and not p._reservations
+            and (trial is None or trial_const is not None)
+        ):
+            # No standing reservations (EASY's regime): the whole
+            # count-rejection walk vectorizes over the full grid.
+            return self._earliest_start_numpy(
+                job, duration, remote_per_node, placement, allocator,
+                after, memory_aware, not_after, trial, trial_nodes,
+                trial_end_eps, trial_const, extra,
+            )
+
         counts = self._counts
         free_states = self._free
         ks = self._k
@@ -1292,7 +1776,38 @@ class SweepCursor:
             j = bisect_right(times, start)
         total = len(times)
 
+        # Vectorized skip-runs over the already-materialized count
+        # prefix (reservation regime): a grid candidate below the
+        # demand is rejected before any window state moves, so a jump
+        # across a rejected run — feeding its exact maximum to the
+        # replay bound — is equivalent to rejecting each in turn.  The
+        # mirror is synced once per scan; in-scan materialization only
+        # appends past ``skip_len``, where the scalar loop resumes.
+        skip_np = None
+        skip_len = 0
+        skip_cap: Optional[int] = None
+        if self._numpy and trial is None and total >= self._vec_floor:
+            skip_np = self._sync_counts()
+            skip_len = len(skip_np)
+            if not_after is not None:
+                skip_cap = bisect_right(times, not_after)
+
         while True:
+            if (
+                skip_np is not None
+                and pending_direct is None
+                and j < skip_len
+            ):
+                hi = skip_len if skip_cap is None else min(skip_len, skip_cap)
+                if j < hi:
+                    seg = skip_np[j:hi]
+                    hits = _np.nonzero(seg >= nodes_needed)[0]
+                    f = j + int(hits[0]) if hits.size else hi
+                    if f > j:
+                        m = int(seg[: f - j].max())
+                        if m > count_reject:
+                            count_reject = m
+                        j = f
             # Next candidate in time order, consumed at selection.
             if pending_direct is not None:
                 t = pending_direct

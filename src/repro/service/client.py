@@ -16,9 +16,13 @@ only retries requests that are *safe to repeat*: reads, advances, and
 mutations carrying an idempotency key — which :meth:`submit` and
 :meth:`cancel` generate automatically, so their retries are
 deduplicated server-side and applied exactly once.  Retries use capped
-exponential backoff with jitter; a 429 load-shed response (guaranteed
-not applied) honors the server's ``retry_after`` hint and is retryable
-for every request.
+exponential backoff with jitter.  Shed responses that are guaranteed
+not applied — the 429 inbox-full shed and the 504 deadline shed
+(``deadline_exceeded``, raised *before* any engine work) — honor the
+server's ``retry_after`` hint and are retryable for every request,
+keyed or not.  A 504 ``timeout`` instead reports an op that outlived
+its reply window and may still be applied, so it follows the same
+safe-to-repeat rule as a network error.
 """
 
 from __future__ import annotations
@@ -142,9 +146,19 @@ class ServiceClient:
                     error.get("message", f"HTTP {response.status}"),
                     error.get("retry_after"),
                 )
-                if response.status == 429 and attempt < self._retries:
-                    # A shed request was never applied: always safe to
-                    # retry, keyed or not.
+                if attempt < self._retries and (
+                    response.status == 429
+                    or (
+                        response.status == 504
+                        and (failure.code == "deadline_exceeded" or idempotent)
+                    )
+                ):
+                    # A shed request was never applied (429 inbox-full,
+                    # 504 deadline shed happen *before* any engine
+                    # work): always safe to retry, keyed or not.  A 504
+                    # ``timeout`` is the lost-reply ambiguity over HTTP
+                    # — the op may still apply after the reply window —
+                    # so it retries only when repeating is safe.
                     self._sleep_backoff(attempt, failure.retry_after)
                     attempt += 1
                     continue

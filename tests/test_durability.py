@@ -10,6 +10,7 @@ replay through :meth:`SchedulerService.open`.
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 import time
@@ -431,3 +432,128 @@ class TestExactlyOnceOverHTTP:
             first.join(timeout=10.0)
             second.join(timeout=10.0)
             assert service.counters.shed_overload >= 2
+
+
+class _ScriptedServer:
+    """A socket stand-in for the daemon that plays a fixed script —
+    one action per accepted request: ``"sever"`` closes the connection
+    without replying (the lost-reply shape), ``(status, payload)``
+    answers that JSON response.  Every reply closes the connection, so
+    each script step is one client attempt."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(5.0)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._sock.close()
+        self._thread.join(timeout=5.0)
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self.port}"
+
+    def _serve(self):
+        while self.script:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with conn:
+                conn.settimeout(5.0)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+                if b"\r\n\r\n" not in data:
+                    continue
+                head, _, body = data.partition(b"\r\n\r\n")
+                length = 0
+                for line in head.split(b"\r\n")[1:]:
+                    name, _, value = line.partition(b":")
+                    if name.strip().lower() == b"content-length":
+                        length = int(value)
+                while len(body) < length:
+                    body += conn.recv(65536)
+                self.requests.append(head.split(b"\r\n")[0].decode())
+                action = self.script.pop(0)
+                if action == "sever":
+                    continue  # close with the reply still owed
+                status, payload = action
+                reply = json.dumps(payload).encode()
+                conn.sendall(
+                    b"HTTP/1.1 %d X\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: %d\r\nConnection: close\r\n\r\n%b"
+                    % (status, len(reply), reply)
+                )
+
+
+def _shed(code):
+    return (504, {"error": {"code": code, "message": "shed"}})
+
+
+class TestSevered504Retry:
+    def test_severed_then_deadline_shed_then_applied(self):
+        """The compound failure: the first attempt's connection is
+        severed before the reply (network-error retry path), the
+        reconnected retry is deadline-shed with 504 — guaranteed
+        unapplied, so it must retry too — and the third attempt
+        lands."""
+        record = {"jobs": [{"job_id": 1, "state": "pending"}]}
+        script = ["sever", _shed("deadline_exceeded"), (200, record)]
+        with _ScriptedServer(script) as server:
+            with ServiceClient(
+                server.url, retries=2, backoff_s=0.001
+            ) as client:
+                jobs = client.submit([dict(SPEC)])
+        assert jobs == record["jobs"]
+        assert len(server.requests) == 3
+
+    def test_unkeyed_deadline_shed_retries(self):
+        """``advise`` carries no idempotency key, but a deadline shed
+        happens before any engine work — retry regardless."""
+        script = [_shed("deadline_exceeded"), (200, {"ok": True})]
+        with _ScriptedServer(script) as server:
+            with ServiceClient(
+                server.url, retries=1, backoff_s=0.001
+            ) as client:
+                assert client.advise(dict(SPEC)) == {"ok": True}
+        assert len(server.requests) == 2
+
+    def test_ambiguous_504_timeout_not_blindly_retried(self):
+        """A 504 ``timeout`` reports an op that may still be applied
+        after the reply window: without a safe-to-repeat guarantee the
+        client must surface it, not resend."""
+        with _ScriptedServer([_shed("timeout")]) as server:
+            with ServiceClient(
+                server.url, retries=3, backoff_s=0.001
+            ) as client:
+                with pytest.raises(ServiceError) as err:
+                    client._request(
+                        "POST", "/v1/submit", {"jobs": []}, idempotent=False
+                    )
+        assert err.value.status == 504
+        assert err.value.code == "timeout"
+        assert len(server.requests) == 1
+
+    def test_keyed_504_timeout_retries_safely(self):
+        """A keyed submit is deduplicated server-side, so even the
+        ambiguous timeout may be repeated."""
+        record = {"jobs": [{"job_id": 7, "state": "pending"}]}
+        script = [_shed("timeout"), (200, record)]
+        with _ScriptedServer(script) as server:
+            with ServiceClient(
+                server.url, retries=1, backoff_s=0.001
+            ) as client:
+                assert client.submit([dict(SPEC)]) == record["jobs"]
+        assert len(server.requests) == 2

@@ -17,6 +17,8 @@ reproduce exactly.
 
 from __future__ import annotations
 
+import math
+
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
@@ -319,3 +321,294 @@ class TestIntervalIndexVsOracle:
         else:
             assert bounded == full
             assert bounded.start <= cap
+
+
+# ----------------------------------------------------------------------
+# divergence hunt: interleaved fold / mutate / scan sequences
+# ----------------------------------------------------------------------
+
+#: Fold release instants: on the same colliding grid as the
+#: reservation edges, plus ``inf`` — a job with no walltime bound puts
+#: an infinite float into the breakpoint grid, which the vectorized
+#: kernel must carry without poisoning searchsorted or prefix sweeps.
+_FOLD_ENDS = [float(v) for v in range(60, 660, 60)] + [math.inf]
+
+
+def _fuzz_cluster():
+    return Cluster(ClusterSpec(
+        num_nodes=8, nodes_per_rack=4,
+        node=NodeSpec(cores=8, local_mem=16 * GiB),
+        pool=PoolSpec(rack_pool=24 * GiB, global_pool=32 * GiB),
+    ))
+
+
+def _fuzz_dur(job):
+    return job.walltime
+
+
+def _start_job(cluster, job_id, node_ids, grants, start, est_end):
+    """Allocate ``node_ids`` on the live cluster and return the
+    matching RUNNING job, releasing at exactly ``est_end``."""
+    job = Job(job_id=job_id, submit_time=0.0, nodes=len(node_ids),
+              walltime=est_end - start, runtime=est_end - start,
+              mem_per_node=8 * GiB)
+    job.state = JobState.RUNNING
+    job.start_time = start
+    job.assigned_nodes = list(node_ids)
+    job.pool_grants = dict(grants)
+    job.dilation = 0.0
+    cluster.allocate_nodes(job_id, node_ids, 8 * GiB)
+    if grants:
+        cluster.allocate_pool(job_id, grants)
+    return job
+
+
+def _draw_grants(data, cluster, label):
+    grants = {}
+    for pool in cluster.all_pools():
+        gib = data.draw(st.integers(0, 4), label=f"{label}_{pool.pool_id}")
+        amount = min(pool.free, gib * GiB)
+        if amount > 0:
+            grants[pool.pool_id] = amount
+    return grants
+
+
+def _fresh_pair(cluster, running, held):
+    """Rebuild both references from the current world state, re-adding
+    the held reservations in their surviving insertion order."""
+    fresh = AvailabilityProfile(cluster, running, 0.0, _fuzz_dur)
+    ref = OracleProfile(cluster, running, 0.0, _fuzz_dur)
+    for res in held:
+        fresh.add_reservation(res)
+        ref.add_reservation(res)
+    return fresh, ref
+
+
+def _assert_fold_state(cluster, running, held, profile):
+    """The fold-patched profile AND its live cursor must be
+    bit-identical to a from-scratch rebuild and the oracle."""
+    fresh, ref = _fresh_pair(cluster, running, held)
+    assert profile.breakpoints() == fresh.breakpoints() == ref.breakpoints()
+    probes = list(GRID)
+    probes += [t + 1e-10 for t in GRID[:4]]
+    probes += [t - 1e-10 for t in GRID[1:4]]
+    for t in probes:
+        assert profile.free_at(t) == fresh.free_at(t) == ref.free_at(t), (
+            f"free_at({t})"
+        )
+        for dur in (1e-9, 60.0, 400.0):
+            assert (
+                profile.window_free(t, dur)
+                == fresh.window_free(t, dur)
+                == ref.window_free(t, dur)
+            ), f"window_free({t}, {dur})"
+    cursor = profile.sweep_cursor()
+    refc = fresh.sweep_cursor()
+    assert list(cursor._times) == list(refc._times)
+    last = len(refc._times) - 1
+    cursor._materialize_to(last)
+    refc._materialize_to(last)
+    assert list(cursor._free) == list(refc._free)
+    assert list(cursor._counts) == list(refc._counts)
+    assert list(cursor._k) == list(refc._k)
+
+
+_OPS = ("start", "release", "add", "remove", "truncate", "scan")
+
+
+class TestFoldDivergenceHunt:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_fold_sequences_match_oracle(self, data):
+        """Drive one profile + live cursor through interleaved
+        apply_start / apply_release / add / remove / truncate /
+        earliest_start sequences on the colliding grid (zero-length
+        reservations and ``inf`` release times included); after every
+        mutation the whole state must equal a fresh rebuild and the
+        rescan-everything oracle."""
+        cluster = _fuzz_cluster()
+        running = []
+        next_id = 900
+        for i in range(data.draw(st.integers(0, 3), label="initial_jobs")):
+            free = list(cluster.sorted_free_ids())
+            if not free:
+                break
+            count = data.draw(st.integers(1, min(3, len(free))),
+                              label=f"init_count_{i}")
+            start = data.draw(st.sampled_from([-120.0, -60.0, 0.0]),
+                              label=f"init_start_{i}")
+            est_end = data.draw(st.sampled_from(_FOLD_ENDS),
+                                label=f"init_end_{i}")
+            grants = _draw_grants(data, cluster, f"init_grant_{i}")
+            running.append(_start_job(cluster, next_id, free[:count],
+                                      grants, start, est_end))
+            next_id += 1
+        profile = AvailabilityProfile(cluster, running, 0.0, _fuzz_dur)
+        held = []
+        next_res = 0
+        ops = data.draw(st.lists(st.sampled_from(_OPS),
+                                 min_size=3, max_size=10), label="ops")
+        for step, op in enumerate(ops):
+            # A random materialized depth: folds must be exact over
+            # full, partial, and empty prefixes alike.
+            cursor = profile.sweep_cursor()
+            depth = data.draw(st.integers(0, len(cursor._times)),
+                              label=f"depth_{step}")
+            if depth:
+                cursor._materialize_to(depth - 1)
+            if op == "start":
+                free = list(cluster.sorted_free_ids())
+                if not free:
+                    continue
+                count = data.draw(st.integers(1, min(3, len(free))),
+                                  label=f"count_{step}")
+                est_end = data.draw(st.sampled_from(_FOLD_ENDS),
+                                    label=f"end_{step}")
+                grants = _draw_grants(data, cluster, f"grant_{step}")
+                job = _start_job(cluster, next_id, free[:count], grants,
+                                 0.0, est_end)
+                next_id += 1
+                running.append(job)
+                profile.apply_start(job.assigned_nodes, job.pool_grants,
+                                    est_end)
+            elif op == "release":
+                if not running:
+                    continue
+                victim = running.pop(
+                    data.draw(st.integers(0, len(running) - 1),
+                              label=f"victim_{step}")
+                )
+                cluster.release_nodes(victim.job_id, victim.assigned_nodes)
+                cluster.release_pool(victim.job_id)
+                assert profile.apply_release(
+                    victim.assigned_nodes, victim.pool_grants,
+                    victim.start_time + victim.walltime,
+                )
+            elif op == "add":
+                spec = data.draw(
+                    st.tuples(grid_times, grid_durations,
+                              st.integers(0, 7), st.integers(1, 4),
+                              st.integers(0, 6), st.booleans()),
+                    label=f"spec_{step}",
+                )
+                res = _make_reservation(next_res, spec)
+                next_res += 1
+                profile.add_reservation(res)
+                held.append(res)
+            elif op == "remove":
+                if not held:
+                    continue
+                victim = held.pop(
+                    data.draw(st.integers(0, len(held) - 1),
+                              label=f"res_victim_{step}")
+                )
+                profile.remove_reservation(victim)
+            elif op == "truncate":
+                if not held:
+                    continue
+                keep = data.draw(st.integers(0, len(held)),
+                                 label=f"keep_{step}")
+                profile.truncate_reservations(keep)
+                del held[keep:]
+            else:  # scan
+                nodes = data.draw(st.integers(1, 8), label=f"nodes_{step}")
+                dur = data.draw(grid_durations.filter(lambda d: d > 0),
+                                label=f"dur_{step}")
+                remote = data.draw(st.integers(0, 6), label=f"remote_{step}")
+                job = Job(job_id=1, submit_time=0.0, nodes=nodes,
+                          walltime=dur * 2, runtime=dur,
+                          mem_per_node=16 * GiB + remote * GiB)
+                _, ref = _fresh_pair(cluster, running, held)
+                got = profile.earliest_start(
+                    job, dur, remote * GiB,
+                    FirstFitPlacement(), GlobalPoolAllocator())
+                want = ref.earliest_start(
+                    job, dur, remote * GiB,
+                    FirstFitPlacement(), GlobalPoolAllocator())
+                assert got == want, f"scan at step {step}"
+            _assert_fold_state(cluster, running, held, profile)
+
+
+class TestFoldRegressions:
+    """Named pins for the fold-divergence corners the hunt guards.
+
+    Each test is a deterministic instance of a trap class the
+    interleaved fuzz above explores statistically — kept separate so a
+    reintroduced bug names its failure mode instead of a shrunk blob.
+    """
+
+    def test_release_fold_drops_phantom_breakpoint(self):
+        """Folding a completion must delete its grid time from the
+        live cursor when nothing else breaks there: a phantom
+        candidate instant between true breakpoints can change which
+        window earliest_start accepts."""
+        cluster = _fuzz_cluster()
+        a = _start_job(cluster, 900, [0, 1], {}, 0.0, 120.0)
+        b = _start_job(cluster, 901, [2], {}, 0.0, 240.0)
+        running = [a, b]
+        profile = AvailabilityProfile(cluster, running, 0.0, _fuzz_dur)
+        cursor = profile.sweep_cursor()
+        cursor._materialize_to(len(cursor._times) - 1)
+        running.remove(a)
+        cluster.release_nodes(a.job_id, a.assigned_nodes)
+        assert profile.apply_release(a.assigned_nodes, {}, 120.0)
+        assert 120.0 not in profile.sweep_cursor()._times
+        _assert_fold_state(cluster, running, [], profile)
+
+    def test_release_fold_restores_only_unclaimed_nodes(self):
+        """A release whose nodes overlap an active reservation claim
+        must restore only the unclaimed part of the set into the
+        materialized states."""
+        cluster = _fuzz_cluster()
+        a = _start_job(cluster, 900, [0, 1], {}, 0.0, 300.0)
+        running = [a]
+        profile = AvailabilityProfile(cluster, running, 0.0, _fuzz_dur)
+        res = Reservation(job_id=100, start=60.0, end=600.0,
+                          node_ids=(0,), pool_grants=())
+        profile.add_reservation(res)
+        cursor = profile.sweep_cursor()
+        cursor._materialize_to(len(cursor._times) - 1)
+        running.remove(a)
+        cluster.release_nodes(a.job_id, a.assigned_nodes)
+        assert profile.apply_release(a.assigned_nodes, {}, 300.0)
+        free, _ = profile.free_at(120.0)
+        assert 0 not in free and 1 in free
+        _assert_fold_state(cluster, running, [res], profile)
+
+    def test_inf_walltime_survives_fold(self):
+        """An unbounded job puts ``inf`` into the float grid; folding
+        a finite completion around it must keep every state exact."""
+        cluster = _fuzz_cluster()
+        forever = _start_job(cluster, 900, [0], {}, 0.0, math.inf)
+        a = _start_job(cluster, 901, [1, 2], {}, -60.0, 120.0)
+        running = [forever, a]
+        profile = AvailabilityProfile(cluster, running, 0.0, _fuzz_dur)
+        cursor = profile.sweep_cursor()
+        cursor._materialize_to(len(cursor._times) - 1)
+        assert math.inf in cursor._times
+        running.remove(a)
+        cluster.release_nodes(a.job_id, a.assigned_nodes)
+        assert profile.apply_release(a.assigned_nodes, {}, 120.0)
+        assert math.inf in profile.sweep_cursor()._times
+        _assert_fold_state(cluster, running, [], profile)
+
+    def test_zero_length_reservation_keeps_fold_instant(self):
+        """A zero-length reservation pins its instant as a breakpoint:
+        folding a release at the same instant must keep the grid time
+        (the reservation edge still breaks there) while removing the
+        release entry."""
+        cluster = _fuzz_cluster()
+        a = _start_job(cluster, 900, [0, 1], {}, 0.0, 120.0)
+        b = _start_job(cluster, 901, [2], {}, 0.0, 240.0)
+        running = [a, b]
+        profile = AvailabilityProfile(cluster, running, 0.0, _fuzz_dur)
+        res = Reservation(job_id=100, start=120.0, end=120.0,
+                          node_ids=(3,), pool_grants=())
+        profile.add_reservation(res)
+        cursor = profile.sweep_cursor()
+        cursor._materialize_to(len(cursor._times) - 1)
+        running.remove(a)
+        cluster.release_nodes(a.job_id, a.assigned_nodes)
+        assert profile.apply_release(a.assigned_nodes, {}, 120.0)
+        assert 120.0 in profile.sweep_cursor()._times
+        _assert_fold_state(cluster, running, [res], profile)

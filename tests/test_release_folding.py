@@ -24,7 +24,7 @@ import pytest
 from repro.cluster import Cluster, ClusterSpec, NodeSpec, PoolSpec
 from repro.engine.simulation import SchedulerSimulation
 from repro.sched import AvailabilityProfile
-from repro.sched.base import Scheduler, build_scheduler
+from repro.sched.base import Scheduler, SchedulerContext, build_scheduler
 from repro.units import GiB, HOUR
 from repro.workload import Job, JobState
 
@@ -99,6 +99,34 @@ def _assert_equals_rebuild(rng, cluster, running, now, profile):
             == fresh.window_free(t, dur)
             == ref.window_free(t, dur)
         )
+    _assert_cursor_equals_rebuild(profile, fresh)
+
+
+def _materialize_random_prefix(rng, profile):
+    """Force a live cursor with a random materialized depth, so folds
+    exercise the in-place patch over full, partial, and empty
+    prefixes alike."""
+    cursor = profile.sweep_cursor()
+    depth = rng.randint(0, len(cursor._times))
+    if depth:
+        cursor._materialize_to(depth - 1)
+
+
+def _assert_cursor_equals_rebuild(profile, fresh):
+    """The fold-patched cursor must equal a fresh profile's cursor on
+    every materialized per-breakpoint state, not just on query results:
+    grid times, free sets, counts, and release-timeline indices."""
+    cursor = profile._cursor
+    assert cursor is not None, "fold dropped the live sweep cursor"
+    assert cursor is profile.sweep_cursor()
+    ref = fresh.sweep_cursor()
+    assert list(cursor._times) == list(ref._times)
+    last = len(ref._times) - 1
+    cursor._materialize_to(last)
+    ref._materialize_to(last)
+    assert list(cursor._free) == list(ref._free)
+    assert list(cursor._counts) == list(ref._counts)
+    assert list(cursor._k) == list(ref._k)
 
 
 class TestApplyReleaseUnit:
@@ -120,6 +148,7 @@ class TestApplyReleaseUnit:
         profile = AvailabilityProfile(cluster, running, now, _duration_of)
 
         while running:
+            _materialize_random_prefix(rng, profile)
             victim = running.pop(rng.randrange(len(running)))
             cluster.release_nodes(victim.job_id, victim.assigned_nodes)
             cluster.release_pool(victim.job_id)
@@ -146,6 +175,7 @@ class TestApplyReleaseUnit:
         profile = AvailabilityProfile(cluster, running, now, _duration_of)
 
         for _ in range(6):
+            _materialize_random_prefix(rng, profile)
             if running and rng.random() < 0.5:
                 victim = running.pop(rng.randrange(len(running)))
                 cluster.release_nodes(victim.job_id, victim.assigned_nodes)
@@ -317,3 +347,212 @@ class TestEngineFoldingDifferential:
         ).run()
         assert _schedule_record(fold) == _schedule_record(deaf)
         assert fold.promises == deaf.promises
+
+
+# ---------------------------------------------------------------------------
+# The EASY shadow fold ledger: completion folds a release provably
+# cannot affect must keep the cached shadow alive (no head rescan),
+# and every door failure must drop it — with the surviving shadow
+# always equal to what a fresh scan would answer.
+# ---------------------------------------------------------------------------
+
+def _shadow_cluster(pool: int = 64 * GiB) -> Cluster:
+    return Cluster(ClusterSpec(
+        name="shadow", num_nodes=8, nodes_per_rack=8,
+        node=NodeSpec(cores=8, local_mem=16 * GiB),
+        pool=PoolSpec(global_pool=pool),
+    ))
+
+
+def _shadow_running(cluster, job_id, node_ids, walltime, pool=0):
+    job = Job(job_id=job_id, submit_time=0.0, nodes=len(node_ids),
+              walltime=walltime, runtime=walltime, mem_per_node=8 * GiB)
+    cluster.allocate_nodes(job_id, list(node_ids), 8 * GiB)
+    grants = {}
+    if pool:
+        grants = {"global": pool}
+        cluster.allocate_pool(job_id, grants)
+    job.state = JobState.RUNNING
+    job.start_time = 0.0
+    job.assigned_nodes = list(node_ids)
+    job.pool_grants = grants
+    job.dilation = 0.0
+    return job
+
+
+def _shadow_head(nodes, mem=8 * GiB):
+    return Job(job_id=500, submit_time=0.0, nodes=nodes, walltime=HOUR,
+               runtime=HOUR, mem_per_node=mem)
+
+
+def _shadow_ctx(cluster, queue, running, now):
+    return SchedulerContext(cluster=cluster, now=now, queue=queue,
+                            running=running, start_job=lambda d: None)
+
+
+def _complete(sched, cluster, job, running, now):
+    """Engine-faithful completion: resources released first, then the
+    notification hook, with the pre-release version stamp."""
+    version_before = cluster.version
+    cluster.release_nodes(job.job_id, job.assigned_nodes)
+    cluster.release_pool(job.job_id)
+    running.remove(job)
+    return sched.backfill.on_release(sched, cluster, job, now, version_before)
+
+
+def _fresh_shadow(cluster, running, head, now):
+    """What a from-scratch EASY pass would answer for the head."""
+    sched = build_scheduler(backfill="easy")
+    ctx = _shadow_ctx(cluster, [head], running, now)
+    _profile, _split, _dur, shadow = sched.backfill._shadow_of(
+        ctx, sched, head)
+    return shadow
+
+
+class TestShadowFoldLedger:
+    def test_fold_below_demand_survives(self):
+        """A completion freeing fewer nodes than the shadow scan's
+        slack keeps the cached shadow alive across the fold."""
+        cluster = _shadow_cluster()
+        running = [
+            _shadow_running(cluster, 1, (0, 1, 2, 3), 600.0),
+            _shadow_running(cluster, 2, (4, 5), 1200.0),
+        ]
+        sched = build_scheduler(backfill="easy")
+        head = _shadow_head(6)
+        ctx = _shadow_ctx(cluster, [head], running, 0.0)
+        *_, shadow = sched.backfill._shadow_of(ctx, sched, head)
+        assert shadow == 600.0
+        # Job 2's fold frees 2 nodes; rejected breakpoints peaked at
+        # 2 achievable, and 2 + 2 < 6.
+        assert _complete(sched, cluster, running[1], running, 10.0) == 1200.0
+        stats = sched.backfill.shadow_stats
+        assert stats["fold_survived"] == 1 and stats["fold_dropped"] == 0
+        ctx2 = _shadow_ctx(cluster, [head], running, 10.0)
+        *_, again = sched.backfill._shadow_of(ctx2, sched, head)
+        assert again == 600.0
+        assert stats["reused"] == 1 and stats["recompute"] == 1
+        assert again == _fresh_shadow(cluster, running, head, 10.0)
+
+    def test_fold_breaching_demand_drops(self):
+        """A fold whose freed nodes could tip a rejected breakpoint
+        over the head's demand voids the shadow; the recompute then
+        matches a from-scratch pass."""
+        cluster = _shadow_cluster()
+        running = [
+            _shadow_running(cluster, 1, (0, 1, 2), 500.0),
+            _shadow_running(cluster, 2, (3, 4, 5), 900.0),
+        ]
+        sched = build_scheduler(backfill="easy")
+        head = _shadow_head(6)
+        ctx = _shadow_ctx(cluster, [head], running, 0.0)
+        *_, shadow = sched.backfill._shadow_of(ctx, sched, head)
+        assert shadow == 900.0
+        # Job 1 frees 3 nodes against a rejected peak of 5: 5 + 3 >= 6.
+        assert _complete(sched, cluster, running[0], running, 10.0) == 500.0
+        stats = sched.backfill.shadow_stats
+        assert stats["fold_dropped"] == 1
+        assert sched.backfill._shadow_cache is None
+        ctx2 = _shadow_ctx(cluster, [head], running, 10.0)
+        *_, again = sched.backfill._shadow_of(ctx2, sched, head)
+        assert stats["recompute"] == 2 and stats["reused"] == 0
+        assert again == _fresh_shadow(cluster, running, head, 10.0)
+
+    def test_coincident_fold_needs_surviving_breakpoint(self):
+        """A fold at the shadow instant itself survives only while
+        another release still breaks there — the accepted breakpoint
+        must not vanish from the grid."""
+        cluster = _shadow_cluster()
+        running = [
+            _shadow_running(cluster, 1, (0,), 600.0),
+            _shadow_running(cluster, 2, (1, 2, 3), 600.0),
+            _shadow_running(cluster, 3, (4, 5), 4 * HOUR),
+        ]
+        sched = build_scheduler(backfill="easy")
+        head = _shadow_head(4)
+        ctx = _shadow_ctx(cluster, [head], running, 0.0)
+        *_, shadow = sched.backfill._shadow_of(ctx, sched, head)
+        assert shadow == 600.0
+        # Job 1 folds exactly at the shadow, but job 2 still releases
+        # there: 2 + 1 < 4 and the breakpoint stands.
+        assert _complete(sched, cluster, running[0], running, 10.0) == 600.0
+        stats = sched.backfill.shadow_stats
+        assert stats["fold_survived"] == 1
+        ctx2 = _shadow_ctx(cluster, [head], running, 10.0)
+        *_, again = sched.backfill._shadow_of(ctx2, sched, head)
+        assert again == 600.0 == _fresh_shadow(cluster, running, head, 10.0)
+        assert stats["reused"] == 1
+
+    def test_pool_door_survives_node_only_folds(self):
+        """A pool-rejecting shadow scan poisons the per-node bound;
+        the pool door still proves node-only folds harmless, while a
+        pool-carrying fold voids it."""
+        cluster = _shadow_cluster(pool=16 * GiB)
+        running = [
+            _shadow_running(cluster, 1, (0, 1, 2, 3, 4), 600.0,
+                            pool=16 * GiB),
+            _shadow_running(cluster, 2, (5,), 1200.0),
+        ]
+        sched = build_scheduler(backfill="easy")
+        # 24 GiB per node on 16 GiB nodes: 8 GiB remote each.  At the
+        # anchor two nodes are free (count passes) but the pool is
+        # exhausted — a pure pool-capacity rejection.
+        head = _shadow_head(2, mem=24 * GiB)
+        ctx = _shadow_ctx(cluster, [head], running, 0.0)
+        *_, shadow = sched.backfill._shadow_of(ctx, sched, head)
+        assert shadow == 600.0
+        plan = sched.backfill._shadow_cache
+        assert plan.m_bound >= plan.need  # sentinel-poisoned
+        assert plan.p_bound is not None
+        # Node-only fold: zero pool MiB returns, count-only bound holds.
+        assert _complete(sched, cluster, running[1], running, 10.0) == 1200.0
+        stats = sched.backfill.shadow_stats
+        assert stats["fold_survived"] == 1
+        ctx2 = _shadow_ctx(cluster, [head], running, 10.0)
+        *_, again = sched.backfill._shadow_of(ctx2, sched, head)
+        assert again == 600.0 == _fresh_shadow(cluster, running, head, 10.0)
+        assert stats["reused"] == 1
+        # The pool-carrying fold raises pool availability below the
+        # shadow: the premise is gone, the cache must drop.
+        assert _complete(sched, cluster, running[0], running, 20.0) == 600.0
+        assert stats["fold_dropped"] == 1
+        assert sched.backfill._shadow_cache is None
+
+    def test_shadow_none_survives_every_fold(self):
+        """A head that cannot fit even the empty machine stays
+        infeasible through any completion: folds never change machine
+        composition."""
+        cluster = _shadow_cluster()
+        running = [
+            _shadow_running(cluster, 1, (0, 1, 2, 3), 600.0),
+            _shadow_running(cluster, 2, (4, 5), 1200.0),
+        ]
+        sched = build_scheduler(backfill="easy")
+        head = _shadow_head(20)
+        ctx = _shadow_ctx(cluster, [head], running, 0.0)
+        *_, shadow = sched.backfill._shadow_of(ctx, sched, head)
+        assert shadow is None
+        _complete(sched, cluster, running[0], running, 10.0)
+        _complete(sched, cluster, running[0], running, 20.0)
+        stats = sched.backfill.shadow_stats
+        assert stats["fold_survived"] == 2
+        ctx2 = _shadow_ctx(cluster, [head], running, 20.0)
+        *_, again = sched.backfill._shadow_of(ctx2, sched, head)
+        assert again is None
+        assert stats["reused"] == 1 and stats["recompute"] == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ledger_fires_end_to_end(self, seed):
+        """In real simulations (already decision-differentialed above)
+        the survival path must actually carry shadows across folds."""
+        rng = random.Random(90_000 + seed)
+        jobs = _random_jobs(rng)
+        sched = build_scheduler(backfill="easy",
+                                penalty={"kind": "linear", "beta": 0.3})
+        result = SchedulerSimulation(
+            Cluster(_spec()), sched, [j.copy_request() for j in jobs],
+        ).run()
+        stats = result.strategy_stats["shadow"]
+        assert stats == sched.backfill.shadow_stats
+        assert stats["recompute"] > 0
+        assert stats["fold_survived"] + stats["fold_dropped"] > 0
