@@ -32,6 +32,8 @@ def test_perf_harness_smoke():
         "conservative_pass",
         "e2e_easy",
         "e2e_conservative",
+        "trace_scan_kernel",
+        "trace_replay",
     }
     for name, case in payload["cases"].items():
         assert case["events"] > 0, name

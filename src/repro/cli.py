@@ -11,6 +11,14 @@ Four subcommands::
         parallel, with on-disk result caching so repeated sweeps skip
         completed cells.  See :mod:`repro.runner`.
 
+    dismem-sched replay (--trace T.swf | --generate N) [--segments K]
+                        [--workers W] [--verify]
+        Trace-scale SWF replay: streaming ingest, rolling (bounded-
+        memory) aggregation, checkpointed segments scheduled across a
+        worker pool, stitched per-job records.  ``--verify`` proves the
+        sharded run bit-identical to an uninterrupted one (exit 3 on
+        mismatch).  See docs/PERF.md "Trace-scale methodology".
+
     dismem-sched demo [--jobs N] [--seed S]
         A built-in fat-vs-thin comparison on the W-MIX workload — the
         30-second tour of what the library shows.
@@ -139,10 +147,55 @@ def demo_grid() -> "ScenarioGrid":
     )
 
 
+def trace_kth_grid() -> "ScenarioGrid":
+    """The large-cluster trace bench grid (KTH/ANL-style profile).
+
+    W-KTH floods a 256-node thin machine with small heavy-tailed jobs,
+    so backfill windows fragment into hundreds of availability
+    breakpoints — the regime where ``REPRO_PROFILE_KERNEL=auto``
+    switches the breakpoint kernel onto its vectorized path.  Axes
+    cover pool budget and remote penalty at trace-realistic depth.
+    """
+    from .runner import ScenarioGrid
+
+    return ScenarioGrid(
+        name="trace-kth",
+        base={
+            "workload": {"reference": "W-KTH", "num_jobs": 2000,
+                         "seed": 7, "load": 0.9},
+            "cluster": {"kind": "thin", "num_nodes": 256, "nodes_per_rack": 16,
+                        "local_mem": "128GiB", "fat_local_mem": "512GiB",
+                        "reach": "global"},
+            "scheduler": {"queue": "fcfs", "backfill": "easy",
+                          "placement": "first_fit",
+                          "penalty": {"kind": "linear", "beta": 0.3}},
+            "class_local_mem": 512 * GiB,
+        },
+        axes={
+            "cluster.pool_fraction": [0.25, 0.5],
+            "scheduler.penalty.beta": [0.1, 0.3],
+        },
+    )
+
+
+#: Grids addressable as ``repro sweep --grid <name>`` without a file.
+BUILTIN_GRIDS = {
+    "demo": demo_grid,
+    "trace-kth": trace_kth_grid,
+}
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .runner import ScenarioGrid, SweepRunner, rows_table
 
-    if args.grid:
+    if args.grid and args.grid in BUILTIN_GRIDS:
+        grid = BUILTIN_GRIDS[args.grid]()
+    elif args.grid:
+        if not Path(args.grid).is_file():
+            print(f"error: {args.grid!r} is neither a grid JSON file nor a "
+                  f"built-in grid ({', '.join(sorted(BUILTIN_GRIDS))})",
+                  file=sys.stderr)
+            return 1
         grid = ScenarioGrid.from_file(args.grid)
     else:
         grid = demo_grid()
@@ -189,6 +242,109 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         Path(args.out).write_text(json.dumps(payload, indent=2, default=str))
         print(f"sweep results written to {args.out}")
     print(report.status_line())
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import math
+    import tempfile
+
+    from .runner.replay import (
+        ReplaySpec,
+        append_replay_history,
+        generate_trace,
+        replay_trace,
+    )
+
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    work_dir = (
+        Path(args.work_dir)
+        if args.work_dir
+        else Path(tempfile.mkdtemp(prefix="trace-replay-"))
+    )
+    work_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.generate:
+        trace = work_dir / f"{args.reference.lower()}-{args.generate}.swf"
+        if trace.is_file():
+            if progress:
+                progress(f"reusing generated trace {trace}")
+        else:
+            info = generate_trace(
+                trace,
+                args.generate,
+                reference=args.reference,
+                seed=args.seed,
+                cluster_nodes=args.nodes,
+                include_memory=not args.no_memory,
+            )
+            if progress:
+                progress(
+                    f"generated {info['jobs']} jobs -> {info['path']} "
+                    f"({info['bytes']:,} bytes)"
+                )
+    else:
+        trace = Path(args.trace)
+        if not trace.is_file():
+            print(f"error: trace {trace} not found", file=sys.stderr)
+            return 1
+
+    synthesize = args.no_memory or args.synth_mem
+    spec = ReplaySpec(
+        trace=str(trace),
+        cluster={"kind": "thin", "num_nodes": args.nodes, "nodes_per_rack": 16,
+                 "local_mem": "128GiB", "fat_local_mem": "512GiB",
+                 "pool_fraction": 0.5, "reach": "global",
+                 "name": f"TRACE-THIN-{args.nodes}"},
+        scheduler={"penalty": {"kind": "linear", "beta": 0.3}},
+        seed=args.seed,
+        cores_per_node=args.cores_per_node,
+        keep_failed=args.keep_failed,
+        mem_synth={"kind": "lognormal", "mu": math.log(4096.0), "sigma": 0.9,
+                   "low": 128, "high": 128 * 1024} if synthesize else None,
+        usage_ratio_synth={"kind": "uniform", "low": 0.5, "high": 0.95}
+        if synthesize else None,
+    )
+    payload = replay_trace(
+        spec,
+        segments=args.segments,
+        workers=args.workers,
+        out_dir=work_dir / "segments",
+        verify=args.verify,
+        progress=progress,
+    )
+
+    sharded = payload["chains"]["sharded"]
+    summary = sharded["summary"]
+    row = {
+        "jobs": sharded["records"],
+        "segments": payload["segments_planned"],
+        "workers": payload["workers"],
+        "makespan_h": f"{summary['makespan'] / 3600.0:.1f}",
+        "wait_mean_s": f"{summary['wait_mean']:.0f}",
+        "bsld_mean": f"{summary['bsld_mean']:.2f}",
+        "jobs_per_hour": f"{summary['throughput_jobs_per_hour']:.0f}",
+        "elapsed_s": payload["elapsed_s"],
+    }
+    print(ascii_table(list(row.keys()), [[str(v) for v in row.values()]]))
+    print(f"stitched records: {work_dir / 'segments' / 'sharded.stitched.jsonl'}"
+          f" (sha256 {sharded['sha256'][:16]}…)")
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+        print(f"replay report written to {args.out}")
+    if args.history:
+        append_replay_history(payload, args.history)
+    if args.verify:
+        verdict = payload["verify"]
+        status = "IDENTICAL" if verdict["identical"] else "MISMATCH"
+        print(f"sharded vs unsharded: {status} "
+              f"(sha256 {'ok' if verdict['sha256_match'] else 'DIFFERS'}, "
+              f"stats {'ok' if verdict['stats_match'] else 'DIFFER'})")
+        if not verdict["identical"]:
+            return 3
     return 0
 
 
@@ -526,7 +682,8 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a scenario grid (parallel, cached)"
     )
     p_sweep.add_argument(
-        "--grid", help="scenario grid JSON (default: built-in 12-cell demo)"
+        "--grid", help="scenario grid JSON path or a built-in name "
+        "(demo, trace-kth; default: the 12-cell demo)"
     )
     p_sweep.add_argument("--workers", type=_positive_int, default=1,
                          help="process count (default 1 = serial)")
@@ -545,6 +702,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress lines")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="checkpointed shard-parallel SWF trace replay (bounded memory)",
+    )
+    source = p_replay.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", metavar="PATH",
+                        help="SWF trace file to replay")
+    source.add_argument("--generate", type=_positive_int, metavar="N",
+                        help="generate an N-job synthetic archive-shaped "
+                        "trace into the work dir and replay it")
+    p_replay.add_argument("--reference", default="W-KTH",
+                          help="reference mix for --generate "
+                          "(default W-KTH)")
+    p_replay.add_argument("--segments", type=_positive_int, default=4,
+                          help="resumable checkpoint segments (default 4)")
+    p_replay.add_argument("--workers", type=_positive_int, default=2,
+                          help="process pool size; independent chains "
+                          "overlap across workers (default 2)")
+    p_replay.add_argument("--seed", type=int, default=0,
+                          help="replay + generation seed (default 0)")
+    p_replay.add_argument("--nodes", type=_positive_int, default=256,
+                          help="thin-cluster node count (default 256)")
+    p_replay.add_argument("--cores-per-node", type=_positive_int, default=1,
+                          help="SWF processors per node (default 1)")
+    p_replay.add_argument("--keep-failed", action="store_true",
+                          help="keep SWF status-0 (failed) entries as jobs")
+    p_replay.add_argument("--no-memory", action="store_true",
+                          help="--generate: write -1 memory columns (forces "
+                          "the deterministic synthesis path on replay)")
+    p_replay.add_argument("--synth-mem", action="store_true",
+                          help="synthesize memory for traces lacking the "
+                          "memory columns (implied by --no-memory)")
+    p_replay.add_argument("--verify", action="store_true",
+                          help="also run an unsharded chain and prove the "
+                          "sharded replay bit-identical (exit 3 on "
+                          "mismatch)")
+    p_replay.add_argument("--work-dir", metavar="DIR",
+                          help="segment artifact directory; reuse it to "
+                          "resume an interrupted replay (default: a fresh "
+                          "temp dir)")
+    p_replay.add_argument("--out", default="TRACE_REPLAY.json",
+                          help="report JSON path (default TRACE_REPLAY.json; "
+                          "'' disables writing)")
+    p_replay.add_argument("--history",
+                          default="benchmarks/perf/workers_history.jsonl",
+                          metavar="PATH",
+                          help="perf history JSONL to append the run to "
+                          "(default %(default)s; skipped when the directory "
+                          "is absent; '' disables)")
+    p_replay.add_argument("--quiet", action="store_true",
+                          help="suppress progress lines")
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_demo = sub.add_parser("demo", help="built-in fat-vs-thin comparison")
     p_demo.add_argument("--jobs", type=int, default=400)

@@ -5,18 +5,42 @@ Everything downstream (metrics, audits, reports, benches) consumes a
 result deliberately stores the *jobs themselves* (with their execution
 records) rather than extracted arrays, so late-added metrics never
 require engine changes.
+
+Trace-scale runs cannot afford that: a million-job replay would hold a
+million Job objects (plus ledger entries and promises) to the end.  The
+**rolling-aggregation mode** lives here too — :class:`RollingResults`
+ingests each job *as it reaches a terminal state*, folds it into exact
+online accumulators (:class:`RollingStats`), optionally spills the full
+per-job record to a JSONL sink, and lets the engine evict the object.
+Peak memory becomes O(active jobs), not O(trace length).
+
+Determinism contract: :func:`job_record` + :func:`canonical_json` are
+the *only* serialization of a terminal job, and ``RollingStats`` folds
+records (not live objects), so a fold over spilled JSONL lines is
+bit-identical to the fold performed live — which is what lets sharded
+replay prove itself field-for-field equal to an uninterrupted run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import json
+import math
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, IO, List, Optional
 
 from ..cluster.spec import ClusterSpec
 from ..memdis.ledger import MemoryLedger
 from ..workload.job import Job, JobState
 
-__all__ = ["Promise", "Sample", "SimulationResult"]
+__all__ = [
+    "Promise",
+    "Sample",
+    "SimulationResult",
+    "RollingStats",
+    "RollingResults",
+    "job_record",
+    "canonical_json",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +91,10 @@ class SimulationResult:
     #: observability of the incremental fast paths, never decision
     #: state, and deliberately excluded from serialized records.
     strategy_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Set when the run executed in rolling-aggregation mode: the exact
+    #: online accumulators over every terminal job.  ``jobs`` then holds
+    #: only whatever was still live at the end (normally nothing).
+    rolling: Optional["RollingStats"] = None
 
     # ------------------------------------------------------------------
     def by_state(self, state: JobState) -> List[Job]:
@@ -111,3 +139,247 @@ class SimulationResult:
             "killed": len(self.killed),
             "rejected": len(self.rejected),
         }
+
+
+# ----------------------------------------------------------------------
+# Rolling-aggregation mode (trace-scale, bounded memory)
+# ----------------------------------------------------------------------
+
+#: Bounded-slowdown floor, matching :meth:`Job.bounded_slowdown`.
+_BSLD_TAU = 10.0
+
+
+def job_record(job: Job, promise: Optional[Promise] = None) -> dict:
+    """The canonical per-job terminal record.
+
+    Captures the full request *and* execution record — everything a
+    late-added metric could want — in JSON-able form.  This is the unit
+    of the sharded-replay identity proof, so every field the engine
+    writes must appear here.
+    """
+    return {
+        "job_id": job.job_id,
+        "submit": job.submit_time,
+        "nodes": job.nodes,
+        "walltime": job.walltime,
+        "runtime": job.runtime,
+        "mem_per_node": job.mem_per_node,
+        "mem_used_per_node": job.mem_used_per_node,
+        "user": job.user,
+        "group": job.group,
+        "tag": job.tag,
+        "restart_of": job.restart_of,
+        "restart_count": job.restart_count,
+        "state": job.state.value,
+        "start": job.start_time,
+        "end": job.end_time,
+        "assigned_nodes": list(job.assigned_nodes),
+        "local_grant_per_node": job.local_grant_per_node,
+        "remote_per_node": job.remote_per_node,
+        "pool_grants": dict(job.pool_grants),
+        "dilation": job.dilation,
+        "kill_reason": job.kill_reason,
+        "promise": (
+            [promise.decided_at, promise.promised_start]
+            if promise is not None
+            else None
+        ),
+    }
+
+
+def canonical_json(doc: dict) -> str:
+    """One-line canonical JSON: sorted keys, no whitespace.
+
+    Python's float repr round-trips exactly, so a record folded after a
+    JSON round trip is arithmetically identical to the live one — the
+    property the stitching identity check rests on.
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class RollingStats:
+    """Exact online accumulators over terminal-job records.
+
+    Every value is a plain sum / min / max / count — mergeable across
+    shards for progress reporting, and, because :meth:`add_record`
+    consumes the serialized record, a sequential fold over spilled
+    JSONL reproduces the live fold bit-for-bit.
+    """
+
+    jobs: int = 0
+    completed: int = 0
+    killed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    finished: int = 0  # completed + killed (ran on the machine)
+    promises: int = 0
+    first_submit: float = math.inf
+    last_end: float = -math.inf
+    wait_sum: float = 0.0
+    wait_max: float = 0.0
+    response_sum: float = 0.0
+    response_max: float = 0.0
+    bsld_sum: float = 0.0
+    bsld_max: float = 0.0
+    node_seconds: float = 0.0
+    local_grant_node_seconds: float = 0.0
+    pool_mib_seconds: float = 0.0
+    remote_fraction_sum: float = 0.0
+    dilation_sum: float = 0.0
+
+    def add(self, job: Job, promise: Optional[Promise] = None) -> dict:
+        """Fold one live job; returns the record it was folded from."""
+        rec = job_record(job, promise)
+        self.add_record(rec)
+        return rec
+
+    def add_record(self, rec: dict) -> None:
+        self.jobs += 1
+        state = rec["state"]
+        if state == "completed":
+            self.completed += 1
+        elif state == "killed":
+            self.killed += 1
+        elif state == "rejected":
+            self.rejected += 1
+        elif state == "cancelled":
+            self.cancelled += 1
+        if rec["promise"] is not None:
+            self.promises += 1
+        self.first_submit = min(self.first_submit, rec["submit"])
+        start, end = rec["start"], rec["end"]
+        if end is not None:
+            self.last_end = max(self.last_end, end)
+        if state not in ("completed", "killed") or start is None or end is None:
+            return
+        self.finished += 1
+        wait = start - rec["submit"]
+        response = end - rec["submit"]
+        bsld = max(1.0, response / max(_BSLD_TAU, rec["runtime"]))
+        span = end - start
+        self.wait_sum += wait
+        self.wait_max = max(self.wait_max, wait)
+        self.response_sum += response
+        self.response_max = max(self.response_max, response)
+        self.bsld_sum += bsld
+        self.bsld_max = max(self.bsld_max, bsld)
+        self.node_seconds += rec["nodes"] * span
+        self.local_grant_node_seconds += (
+            rec["nodes"] * rec["local_grant_per_node"] * span
+        )
+        self.pool_mib_seconds += sum(rec["pool_grants"].values()) * span
+        denom = rec["mem_per_node"]
+        self.remote_fraction_sum += (
+            rec["remote_per_node"] / denom if denom else 0.0
+        )
+        self.dilation_sum += rec["dilation"]
+
+    def merge(self, other: "RollingStats") -> None:
+        """Fold another shard's accumulators into this one.
+
+        Sums are associative in exact arithmetic but not in floats; use
+        merged stats for *progress*, and re-fold the stitched record
+        stream (:meth:`add_record` per line, in order) when bit-level
+        identity with an unsharded run matters.
+        """
+        for f in dataclass_fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.name == "first_submit":
+                self.first_submit = min(mine, theirs)
+            elif f.name in ("last_end", "wait_max", "response_max", "bsld_max"):
+                setattr(self, f.name, max(mine, theirs))
+            else:
+                setattr(self, f.name, mine + theirs)
+
+    @property
+    def makespan(self) -> float:
+        if self.jobs == 0 or not math.isfinite(self.last_end):
+            return 0.0
+        return self.last_end - self.first_submit
+
+    def to_dict(self) -> dict:
+        """Exact (unrounded) accumulator values, JSON-able."""
+        out = {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+        # Infinities are not JSON; empty-fold sentinels map to None.
+        if not math.isfinite(out["first_submit"]):
+            out["first_submit"] = None
+        if not math.isfinite(out["last_end"]):
+            out["last_end"] = None
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RollingStats":
+        stats = cls()
+        for f in dataclass_fields(cls):
+            if f.name in doc and doc[f.name] is not None:
+                setattr(stats, f.name, doc[f.name])
+        return stats
+
+    def summary_dict(self) -> dict:
+        """Headline derived metrics (means over finished jobs)."""
+        n = max(1, self.finished)
+        return {
+            "jobs": self.jobs,
+            "completed": self.completed,
+            "killed": self.killed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "wait_mean": self.wait_sum / n,
+            "wait_max": self.wait_max,
+            "response_mean": self.response_sum / n,
+            "bsld_mean": self.bsld_sum / n,
+            "bsld_max": self.bsld_max,
+            "mean_remote_fraction": self.remote_fraction_sum / n,
+            "mean_dilation": self.dilation_sum / n,
+            "node_seconds": self.node_seconds,
+            "makespan": self.makespan,
+            "throughput_jobs_per_hour": (
+                self.finished / (self.makespan / 3600.0)
+                if self.makespan > 0
+                else 0.0
+            ),
+        }
+
+
+class RollingResults:
+    """Terminal-job sink for rolling-aggregation runs.
+
+    The engine calls :meth:`ingest` exactly once per job reaching a
+    terminal state (in event order); the sink folds the job into
+    :class:`RollingStats` and, when spilling, appends the canonical
+    record to a JSONL stream.  Sharded replay stitches those streams
+    and re-folds them to prove identity with an unsharded run.
+    """
+
+    def __init__(
+        self,
+        spill_path: Optional[str] = None,
+        spill: Optional[IO[str]] = None,
+    ) -> None:
+        if spill_path is not None and spill is not None:
+            raise ValueError("pass spill_path or spill, not both")
+        self.stats = RollingStats()
+        self.records = 0
+        self._sink: Optional[IO[str]] = spill
+        self._owns_sink = False
+        if spill_path is not None:
+            self._sink = open(spill_path, "w", encoding="utf-8")
+            self._owns_sink = True
+
+    def ingest(self, job: Job, promise: Optional[Promise] = None) -> None:
+        rec = self.stats.add(job, promise)
+        if self._sink is not None:
+            self._sink.write(canonical_json(rec) + "\n")
+        self.records += 1
+
+    def close(self) -> None:
+        if self._sink is not None and self._owns_sink:
+            self._sink.close()
+        self._sink = None
+
+    def __enter__(self) -> "RollingResults":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -51,7 +51,8 @@ contract.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import math
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..cluster.cluster import Cluster
 from ..cluster.node import NodeState
@@ -70,7 +71,7 @@ from ..sim.events import Event, EventPriority
 from ..workload.job import Job, JobState
 from . import lifecycle
 from .failures import FailureEvent
-from .results import Promise, Sample, SimulationResult
+from .results import Promise, RollingResults, Sample, SimulationResult
 
 __all__ = ["SchedulerSimulation"]
 
@@ -113,12 +114,25 @@ class SchedulerSimulation:
         online: bool = False,
         # Clock origin for an online engine with no initial jobs.
         start_time: float = 0.0,
+        # Streaming admission: an iterator of PENDING jobs in
+        # non-decreasing submit order.  The engine keeps exactly one
+        # un-admitted job buffered and admits it when the previous
+        # submission fires, so the calendar — and peak memory — never
+        # hold the whole trace.  Decisions are identical to passing the
+        # same jobs as a list (submit events still precede every
+        # scheduling pass at their instant).
+        job_source: Optional[Iterable[Job]] = None,
+        # Rolling aggregation: fold each job into the sink the moment
+        # it turns terminal, then evict it from the engine.  Peak RSS
+        # becomes O(active jobs); pair with ``job_source`` — with a
+        # pre-built list the list itself already dominates memory.
+        rolling: Optional[RollingResults] = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
         self.online = online
         self.jobs: List[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
-        if not self.jobs and not online:
+        if not self.jobs and not online and job_source is None:
             raise ConfigurationError("no jobs to simulate")
         ids = [job.job_id for job in self.jobs]
         if len(set(ids)) != len(ids):
@@ -144,8 +158,38 @@ class SchedulerSimulation:
                     f"failure trace references node {event.node_id}; "
                     f"cluster has {cluster.num_nodes}"
                 )
+        if job_source is not None and self.failures:
+            # Failure continuations race chained submissions at shared
+            # instants; list admission is the anchored path for failure
+            # traces, streaming is for (failure-free) archive replay.
+            raise ConfigurationError(
+                "job_source cannot be combined with a failure trace; "
+                "pass the workload as a list instead"
+            )
+
+        # Streaming source: pull the first job early — the clock origin
+        # must not start after the first submission.
+        self._job_source: Optional[Iterator[Job]] = None
+        self._source_next: Optional[Job] = None
+        self._source_done = True
+        self._source_last_submit = -math.inf
+        if job_source is not None:
+            self._job_source = iter(job_source)
+            self._source_done = False
+            first = next(self._job_source, None)
+            if first is None:
+                self._source_done = True
+            else:
+                self._validate_source_job(first)
+                self._source_next = first
 
         origin = self.jobs[0].submit_time if self.jobs else float(start_time)
+        if self._source_next is not None and not online:
+            origin = (
+                min(origin, self._source_next.submit_time)
+                if self.jobs
+                else self._source_next.submit_time
+            )
         self._sim = Simulator(start_time=origin)
         self._max_job_id = max((job.job_id for job in self.jobs), default=0)
         self._jobs_by_id: Dict[int, Job] = {job.job_id: job for job in self.jobs}
@@ -162,6 +206,14 @@ class SchedulerSimulation:
         self._ran = False
         self._batch_starts = batch_starts
         self._txn: Optional[PassTransaction] = None
+        self._admitted = len(self.jobs)
+        self._first_submit: Optional[float] = (
+            self.jobs[0].submit_time if self.jobs else None
+        )
+        self._rolling = rolling
+        # Rolling mode drops the grant ledger: it grows O(trace) and
+        # exists for post-hoc audits, which rolling runs trade away.
+        self._ledger_enabled = rolling is None
         if online:
             # Arm the calendar immediately: initial jobs and failures
             # enter it now, and advance_to() does the stepping run()
@@ -180,6 +232,107 @@ class SchedulerSimulation:
                     priority=EventPriority.KILL,
                     payload=failure,
                 )
+            self._admit_next_from_source()
+
+    # ------------------------------------------------------------------
+    # streaming admission
+    # ------------------------------------------------------------------
+    @property
+    def source_exhausted(self) -> bool:
+        """True when no streaming source is attached or it has fully
+        drained into the calendar (checkpoints require this)."""
+        return self._job_source is None or (
+            self._source_done and self._source_next is None
+        )
+
+    @property
+    def admitted_count(self) -> int:
+        """Jobs ever admitted (initial + injected + streamed)."""
+        return self._admitted
+
+    def attach_source(self, source: Iterable[Job]) -> None:
+        """Attach a streaming job source to a live engine.
+
+        Used by sharded replay: a restored engine gets the next trace
+        segment's stream attached *after* its calendar has been
+        re-entered, so the chained submit events draw sequence numbers
+        strictly after every restored event — exactly where an
+        uninterrupted run would have allocated them.
+        """
+        if not self.source_exhausted:
+            raise SimulationError("engine already has an active job source")
+        if self.failures:
+            raise ConfigurationError(
+                "job_source cannot be combined with a failure trace; "
+                "pass the workload as a list instead"
+            )
+        self._job_source = iter(source)
+        self._source_done = False
+        self._source_next = None
+        first = next(self._job_source, None)
+        if first is None:
+            self._source_done = True
+            return
+        self._validate_source_job(first)
+        self._source_next = first
+        self._admit_next_from_source()
+
+    def _validate_source_job(self, job: Job) -> None:
+        if job.state is not JobState.PENDING:
+            raise ConfigurationError(
+                f"job {job.job_id} is {job.state.value}; a job source must "
+                "yield fresh PENDING jobs"
+            )
+        if job.submit_time < self._source_last_submit:
+            raise ConfigurationError(
+                f"job source is not submit-ordered: job {job.job_id} at "
+                f"t={job.submit_time} after t={self._source_last_submit}"
+            )
+        self._source_last_submit = job.submit_time
+
+    def _pull_from_source(self) -> Optional[Job]:
+        if self._job_source is None or self._source_done:
+            return None
+        job = next(self._job_source, None)
+        if job is None:
+            self._source_done = True
+            return None
+        self._validate_source_job(job)
+        return job
+
+    def _admit_next_from_source(self) -> None:
+        """Admit the buffered source job; buffer its successor.
+
+        Keeping exactly one un-admitted job in hand means the calendar
+        always contains the next submission (so the run loop never
+        starves) while memory holds O(active) jobs, not the trace.
+        """
+        job = self._source_next
+        if job is None:
+            return
+        self._source_next = self._pull_from_source()
+        if job.job_id in self._jobs_by_id:
+            raise ConfigurationError(
+                f"duplicate job id {job.job_id} from job source"
+            )
+        if job.submit_time < self._sim.now:
+            raise ConfigurationError(
+                f"job {job.job_id} submits at t={job.submit_time}, before "
+                f"the engine clock t={self._sim.now} (late arrival)"
+            )
+        self.jobs.append(job)
+        self._jobs_by_id[job.job_id] = job
+        if job.job_id > self._max_job_id:
+            self._max_job_id = job.job_id
+        self._admitted += 1
+        if self._first_submit is None or job.submit_time < self._first_submit:
+            self._first_submit = job.submit_time
+        self._submit_events[job.job_id] = self._sim.schedule_at(
+            job.submit_time,
+            self._on_submit,
+            priority=EventPriority.SUBMIT,
+            payload=job,
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -209,6 +362,7 @@ class SchedulerSimulation:
                 priority=EventPriority.KILL,
                 payload=failure,
             )
+        self._admit_next_from_source()
         if self.sample_interval is not None:
             if self.sample_interval <= 0:
                 raise ConfigurationError("sample_interval must be positive")
@@ -217,14 +371,23 @@ class SchedulerSimulation:
             )
         self._sim.run(until=until, max_events=self.max_events)
 
-        if until is None and self._terminal_count != len(self.jobs):
+        if until is None and self._terminal_count != self._admitted:
             stuck = [j.job_id for j in self.jobs if not j.state.terminal]
             raise SimulationError(
                 f"simulation drained its calendar with non-terminal jobs {stuck[:10]}"
             )
+        return self._build_result()
+
+    def _build_result(self) -> SimulationResult:
         finished_times = [
             job.end_time for job in self.jobs if job.end_time is not None
         ]
+        finished_at = max(finished_times) if finished_times else self._sim.now
+        rolling_stats = None
+        if self._rolling is not None:
+            rolling_stats = self._rolling.stats
+            if math.isfinite(rolling_stats.last_end):
+                finished_at = max(finished_at, rolling_stats.last_end)
         return SimulationResult(
             jobs=self.jobs,
             cluster_spec=self.cluster.spec,
@@ -235,9 +398,14 @@ class SchedulerSimulation:
             failures=self.failures,
             cycles=self._cycles,
             events=self._sim.events_processed,
-            started_at=self.jobs[0].submit_time,
-            finished_at=max(finished_times) if finished_times else self._sim.now,
+            started_at=(
+                self._first_submit
+                if self._first_submit is not None
+                else self._sim.now
+            ),
+            finished_at=finished_at,
             strategy_stats=self.scheduler.strategy_stats(),
+            rolling=rolling_stats,
         )
 
     # ------------------------------------------------------------------
@@ -309,6 +477,9 @@ class SchedulerSimulation:
             self._jobs_by_id[job.job_id] = job
             if job.job_id > self._max_job_id:
                 self._max_job_id = job.job_id
+            self._admitted += 1
+            if self._first_submit is None or job.submit_time < self._first_submit:
+                self._first_submit = job.submit_time
             self._submit_events[job.job_id] = self._sim.schedule_at(
                 job.submit_time,
                 self._on_submit,
@@ -343,7 +514,7 @@ class SchedulerSimulation:
                     del self._queue[index]
                     break
             lifecycle.cancel_job(job, now)
-            self._terminal_count += 1
+            self._finalize_terminal(job)
             return "cancelled"
         # RUNNING: exactly the node-failure kill path, minus the drain.
         end_event = self._end_events.pop(job_id, None)
@@ -351,7 +522,7 @@ class SchedulerSimulation:
             self._sim.cancel(end_event)
         self._release(job)
         lifecycle.kill_job(job, now, reason="cancelled")
-        self._terminal_count += 1
+        self._finalize_terminal(job)
         self._request_pass()
         return "killed"
 
@@ -381,23 +552,7 @@ class SchedulerSimulation:
         drains first, so its record matches an offline run's exactly).
         """
         self._require_online()
-        finished_times = [
-            job.end_time for job in self.jobs if job.end_time is not None
-        ]
-        return SimulationResult(
-            jobs=self.jobs,
-            cluster_spec=self.cluster.spec,
-            scheduler_info=self.scheduler.describe(),
-            ledger=self._ledger,
-            promises=self._promises,
-            samples=self._samples,
-            failures=self.failures,
-            cycles=self._cycles,
-            events=self._sim.events_processed,
-            started_at=self.jobs[0].submit_time if self.jobs else self._sim.now,
-            finished_at=max(finished_times) if finished_times else self._sim.now,
-            strategy_stats=self.scheduler.strategy_stats(),
-        )
+        return self._build_result()
 
     # ------------------------------------------------------------------
     # checkpoint/restore (crash-safe service support)
@@ -414,15 +569,26 @@ class SchedulerSimulation:
 
     @classmethod
     def restore(
-        cls, cluster: Cluster, scheduler: Scheduler, snapshot: Dict
+        cls,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        snapshot: Dict,
+        *,
+        rolling: Optional[RollingResults] = None,
+        job_source: Optional[Iterable[Job]] = None,
     ) -> "SchedulerSimulation":
         """Rebuild a live online engine from :meth:`checkpoint` output.
 
         ``cluster`` and ``scheduler`` must be fresh instances built
-        from the configuration that produced the snapshot."""
+        from the configuration that produced the snapshot.  ``rolling``
+        re-arms rolling aggregation on the restored engine (each shard
+        folds its own window); ``job_source`` attaches the next trace
+        segment's stream after the calendar is re-entered."""
         from .snapshot import restore_engine  # deferred: import cycle
 
-        return restore_engine(cluster, scheduler, snapshot)
+        return restore_engine(
+            cluster, scheduler, snapshot, rolling=rolling, job_source=job_source
+        )
 
     # ------------------------------------------------------------------
     # event handlers
@@ -430,9 +596,14 @@ class SchedulerSimulation:
     def _on_submit(self, event: Event) -> None:
         job: Job = event.payload
         self._submit_events.pop(job.job_id, None)
+        # Chain the next streamed submission into the calendar.  Its
+        # submit time is >= this one's, and SUBMIT priority beats the
+        # SCHEDULE pass at any shared instant, so decisions match the
+        # pre-built-list path event for event.
+        self._admit_next_from_source()
         if not self.scheduler.fits_machine(job, self.cluster):
             lifecycle.reject_job(job, self._sim.now)
-            self._terminal_count += 1
+            self._finalize_terminal(job)
             return
         self._queue.append(job)
         self._request_pass()
@@ -442,7 +613,7 @@ class SchedulerSimulation:
         self._end_events.pop(job.job_id, None)
         self._release(job)
         lifecycle.complete_job(job, self._sim.now)
-        self._terminal_count += 1
+        self._finalize_terminal(job)
         self._request_pass()
 
     def _on_kill(self, event: Event) -> None:
@@ -450,7 +621,7 @@ class SchedulerSimulation:
         self._end_events.pop(job.job_id, None)
         self._release(job)
         lifecycle.kill_job(job, self._sim.now, reason="walltime")
-        self._terminal_count += 1
+        self._finalize_terminal(job)
         self._request_pass()
 
     def _on_node_failure(self, event: Event) -> None:
@@ -472,7 +643,7 @@ class SchedulerSimulation:
                 self._sim.cancel(end_event)
             self._release(victim)
             lifecycle.kill_job(victim, self._sim.now, reason="node_failure")
-            self._terminal_count += 1
+            self._finalize_terminal(victim)
             self._maybe_resubmit_from_checkpoint(victim)
         self.cluster.take_down(failure.node_id)
         self._sim.schedule_at(
@@ -529,6 +700,7 @@ class SchedulerSimulation:
         )
         self.jobs.append(continuation)
         self._jobs_by_id[continuation.job_id] = continuation
+        self._admitted += 1
         self._sim.schedule_at(
             self._sim.now,
             self._on_submit,
@@ -585,7 +757,7 @@ class SchedulerSimulation:
                 pool_capacity=snap["pool_capacity"],
             )
         )
-        if self._terminal_count < len(self.jobs):
+        if self._terminal_count < self._admitted or not self.source_exhausted:
             self._sim.schedule_after(
                 self.sample_interval, self._on_sample, priority=EventPriority.SAMPLE
             )
@@ -593,6 +765,20 @@ class SchedulerSimulation:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _finalize_terminal(self, job: Job) -> None:
+        """Every terminal transition funnels through here exactly once.
+
+        In rolling mode the job is folded into the sink (with its
+        promise, which is consumed) and evicted from the engine — the
+        step that bounds peak memory at O(active jobs).
+        """
+        self._terminal_count += 1
+        if self._rolling is None:
+            return
+        self._rolling.ingest(job, self._promises.pop(job.job_id, None))
+        self._jobs_by_id.pop(job.job_id, None)
+        _remove_by_identity(self.jobs, job)
+
     def _request_pass(self) -> None:
         if not self._pass_requested:
             self._pass_requested = True
@@ -633,7 +819,7 @@ class SchedulerSimulation:
         except Exception:
             self.cluster.release_nodes(job.job_id, decision.node_ids)
             raise
-        if self._txn is None:
+        if self._txn is None and self._ledger_enabled:
             self._ledger.record_grant(
                 now,
                 job.job_id,
@@ -675,17 +861,18 @@ class SchedulerSimulation:
         """
         decisions = txn.decisions
         now = self._sim.now
-        self._ledger.record_grant_batch(
-            now,
-            (
+        if self._ledger_enabled:
+            self._ledger.record_grant_batch(
+                now,
                 (
-                    decision.job.job_id,
-                    decision.split.local * decision.job.nodes,
-                    decision.plan,
-                )
-                for decision in decisions
-            ),
-        )
+                    (
+                        decision.job.job_id,
+                        decision.split.local * decision.job.nodes,
+                        decision.plan,
+                    )
+                    for decision in decisions
+                ),
+            )
         # Started jobs left PENDING at lifecycle.start_job; one filter
         # preserves the order of the survivors exactly as repeated
         # identity removals did.
@@ -703,7 +890,8 @@ class SchedulerSimulation:
         version_before = self.cluster.version
         self.cluster.release_nodes(job.job_id, job.assigned_nodes)
         self.cluster.release_pool(job.job_id)
-        self._ledger.record_release(self._sim.now, job.job_id)
+        if self._ledger_enabled:
+            self._ledger.record_release(self._sim.now, job.job_id)
         _remove_by_identity(self._running, job)
         # Let the scheduler fold the release into any cached
         # availability profile in place (the version stamp proves

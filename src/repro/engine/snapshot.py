@@ -92,6 +92,14 @@ def checkpoint_engine(sim: "SchedulerSimulation") -> Dict:
         raise SimulationError("checkpoint requires an online engine")
     if sim._txn is not None:  # pragma: no cover - misuse guard
         raise SimulationError("cannot checkpoint mid-pass")
+    if not sim.source_exhausted:
+        # The snapshot cannot carry an un-drained iterator; sharded
+        # replay checkpoints only after a segment's stream has fully
+        # entered the calendar (boundaries sit past the segment's last
+        # submission, so this holds by construction).
+        raise SimulationError(
+            "cannot checkpoint while a job source is still streaming"
+        )
 
     events: List[Dict] = []
     for event in sim._sim.pending():
@@ -170,13 +178,25 @@ def checkpoint_engine(sim: "SchedulerSimulation") -> Dict:
         "max_job_id": sim._max_job_id,
         "cycles": sim._cycles,
         "terminal_count": sim._terminal_count,
+        # Rolling-mode engines evict terminal jobs, so the job list no
+        # longer implies these; carried explicitly (absent in pre-trace
+        # snapshots, where the job list is authoritative).
+        "admitted": sim._admitted,
+        "first_submit": sim._first_submit,
         "batch_starts": sim._batch_starts,
         "max_events": sim.max_events,
         "queue_policy": sim.scheduler.queue_policy.state_dict(),
     }
 
 
-def restore_engine(cluster, scheduler, snapshot: Dict) -> "SchedulerSimulation":
+def restore_engine(
+    cluster,
+    scheduler,
+    snapshot: Dict,
+    *,
+    rolling=None,
+    job_source=None,
+) -> "SchedulerSimulation":
     """Rebuild a live online engine from a snapshot document.
 
     ``cluster`` and ``scheduler`` must be *fresh* instances built from
@@ -187,6 +207,12 @@ def restore_engine(cluster, scheduler, snapshot: Dict) -> "SchedulerSimulation":
     exact original keys, and stateful queue-policy accounting
     reloaded.  Scheduler caches start cold, which is
     decision-transparent.
+
+    ``rolling`` re-arms rolling aggregation (sharded replay gives each
+    shard its own sink).  ``job_source`` attaches a streaming source
+    *after* the calendar is re-entered and the clock restored, so the
+    chained submit events take sequence numbers strictly after every
+    restored event — the same keys an uninterrupted run would assign.
     """
     from .simulation import SchedulerSimulation  # deferred: import cycle
 
@@ -204,6 +230,7 @@ def restore_engine(cluster, scheduler, snapshot: Dict) -> "SchedulerSimulation":
         batch_starts=snapshot.get("batch_starts", True),
         online=True,
         start_time=float(snapshot["clock"]["now"]),
+        rolling=rolling,
     )
 
     jobs = [_job_from_dict(doc) for doc in snapshot["jobs"]]
@@ -217,6 +244,11 @@ def restore_engine(cluster, scheduler, snapshot: Dict) -> "SchedulerSimulation":
     sim._max_job_id = int(snapshot["max_job_id"])
     sim._cycles = int(snapshot["cycles"])
     sim._terminal_count = int(snapshot["terminal_count"])
+    sim._admitted = int(snapshot.get("admitted", len(jobs)))
+    first_submit = snapshot.get("first_submit")
+    if first_submit is None and jobs:
+        first_submit = min(job.submit_time for job in jobs)
+    sim._first_submit = first_submit
     sim.failures = [
         FailureEvent(
             time=doc["time"],
@@ -297,4 +329,6 @@ def restore_engine(cluster, scheduler, snapshot: Dict) -> "SchedulerSimulation":
     policy_state = snapshot.get("queue_policy")
     if policy_state is not None:
         scheduler.queue_policy.load_state(policy_state, by_id.get)
+    if job_source is not None:
+        sim.attach_source(job_source)
     return sim

@@ -41,13 +41,22 @@ _CALIBRATION_N = 1_000_000
 
 @dataclass
 class PerfCase:
-    """One named measurement unit."""
+    """One named measurement unit.
+
+    ``extra`` (optional) runs once after the repeats and returns a dict
+    merged into the case's payload record — the hook trace-scale cases
+    use to surface kernel mode, grid-size percentiles, and scalar/numpy
+    split timings next to the gated wall-clock numbers.  Extra keys are
+    informational: :func:`compare_reports` only reads ``normalized``,
+    so they never participate in the regression gate.
+    """
 
     name: str
     description: str
     run_once: Callable[[], Tuple[float, int]]
     repeats: int = 5
     tags: Tuple[str, ...] = ()
+    extra: Optional[Callable[[], dict]] = None
 
 
 @dataclass
@@ -117,7 +126,7 @@ def run_perf(
                     f"  {case.name} [{i + 1}/{repeats}] {elapsed * 1e3:.1f} ms"
                 )
         median_s = statistics.median(runs)
-        report.cases[case.name] = {
+        record = {
             "description": case.description,
             "repeats": repeats,
             "runs_ms": [round(r * 1e3, 3) for r in runs],
@@ -130,6 +139,9 @@ def run_perf(
                 round(median_s / calibration_s, 4) if calibration_s > 0 else None
             ),
         }
+        if case.extra is not None:
+            record.update(case.extra())
+        report.cases[case.name] = record
     return report
 
 

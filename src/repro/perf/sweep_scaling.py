@@ -299,7 +299,11 @@ def workers_trend(history_path: str | Path = DEFAULT_HISTORY_PATH) -> Optional[d
     baseline delta.  Returns ``None`` when the history has no records
     — callers print nothing rather than an empty table.
     """
-    records = _read_history(history_path)
+    # Only records carrying usable rungs participate: the history file
+    # is shared with non-ladder streams (trace-replay records have
+    # ``rungs: []`` by construction), and an aborted ladder run
+    # contributes nothing either way.
+    records = [r for r in _read_history(history_path) if _valid_rungs(r)]
     if not records:
         return None
     by_platform: Dict[str, List[dict]] = {}

@@ -23,8 +23,15 @@ from .aggregate import (
     summary_from_record,
 )
 from .cache import CACHE_VERSION, ResultCache
+from .replay import (
+    ReplaySpec,
+    SegmentBounds,
+    generate_trace,
+    plan_segments,
+    replay_trace,
+)
 from .scenario import Scenario, ScenarioGrid, build_cluster_spec, scenario_key
-from .sweep import SweepReport, SweepRunner, default_workers, run_scenario
+from .sweep import PoolTask, SweepReport, SweepRunner, default_workers, run_scenario
 
 __all__ = [
     "Scenario",
@@ -33,8 +40,14 @@ __all__ = [
     "scenario_key",
     "SweepRunner",
     "SweepReport",
+    "PoolTask",
     "run_scenario",
     "default_workers",
+    "ReplaySpec",
+    "SegmentBounds",
+    "plan_segments",
+    "replay_trace",
+    "generate_trace",
     "ResultCache",
     "CACHE_VERSION",
     "summary_from_record",

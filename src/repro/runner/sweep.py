@@ -23,7 +23,13 @@ from ..units import parse_mem
 from .cache import ResultCache
 from .scenario import Scenario, ScenarioGrid
 
-__all__ = ["SweepRunner", "SweepReport", "run_scenario", "default_workers"]
+__all__ = [
+    "SweepRunner",
+    "SweepReport",
+    "PoolTask",
+    "run_scenario",
+    "default_workers",
+]
 
 ProgressFn = Callable[[str], None]
 
@@ -77,6 +83,23 @@ def _execute_indexed(item: Tuple[int, Scenario]) -> Tuple[int, Dict[str, Any], f
     start = time.perf_counter()
     record = run_scenario(scenario)
     return index, record, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class PoolTask:
+    """One node of a :meth:`SweepRunner.run_task_graph` dependency graph.
+
+    ``func`` must be a module-level (picklable) callable; ``args`` its
+    positional arguments.  ``after`` names tasks that must complete
+    before this one is dispatched — the shape sharded trace replay
+    needs, where segment *i* of a chain consumes segment *i-1*'s
+    checkpoint while unrelated chains run concurrently.
+    """
+
+    key: str
+    func: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    after: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -196,6 +219,82 @@ class SweepRunner:
             elapsed=time.perf_counter() - start,
             workers=self.workers,
         )
+
+    # ------------------------------------------------------------------
+    def run_task_graph(self, tasks: Sequence[PoolTask]) -> Dict[str, Any]:
+        """Execute a dependency graph of tasks; return ``{key: result}``.
+
+        Ready tasks (all ``after`` dependencies completed) are
+        dispatched to the sweep's process pool as slots free up, so
+        independent chains overlap while each chain's internal order is
+        preserved.  With ``workers == 1`` the graph runs serially in
+        topological order — results are identical either way (each task
+        owns its outputs; the graph only sequences them).
+
+        A worker exception propagates to the caller with the failing
+        task's key attached; tasks already dispatched run to completion,
+        tasks not yet dispatched are abandoned.
+        """
+        by_key = {task.key: task for task in tasks}
+        if len(by_key) != len(tasks):
+            raise ValueError("task graph has duplicate keys")
+        for task in tasks:
+            for dep in task.after:
+                if dep not in by_key:
+                    raise ValueError(
+                        f"task {task.key!r} depends on unknown task {dep!r}"
+                    )
+
+        results: Dict[str, Any] = {}
+        done: set = set()
+
+        if self.workers == 1 or len(tasks) == 1:
+            remaining = list(tasks)
+            while remaining:
+                ready = [t for t in remaining if all(d in done for d in t.after)]
+                if not ready:
+                    raise ValueError("task graph has a cycle")
+                for task in ready:
+                    start = time.perf_counter()
+                    results[task.key] = task.func(*task.args)
+                    done.add(task.key)
+                    remaining.remove(task)
+                    if self.progress is not None:
+                        self.progress(
+                            f"  [{len(done)}/{len(tasks)}] {task.key} "
+                            f"({time.perf_counter() - start:.1f}s)"
+                        )
+            return results
+
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        pending = dict(by_key)
+        inflight: Dict[str, Any] = {}
+        with context.Pool(processes=min(self.workers, len(tasks))) as pool:
+            while pending or inflight:
+                for key, task in list(pending.items()):
+                    if all(dep in done for dep in task.after):
+                        inflight[key] = pool.apply_async(task.func, task.args)
+                        del pending[key]
+                if not inflight:
+                    raise ValueError("task graph has a cycle")
+                settled = [key for key, res in inflight.items() if res.ready()]
+                if not settled:
+                    time.sleep(0.005)
+                    continue
+                for key in settled:
+                    try:
+                        results[key] = inflight.pop(key).get()
+                    except Exception as exc:
+                        raise RuntimeError(f"task {key!r} failed: {exc}") from exc
+                    done.add(key)
+                    if self.progress is not None:
+                        self.progress(f"  [{len(done)}/{len(tasks)}] {key}")
+        return results
 
     # ------------------------------------------------------------------
     def _execute(self, pending: List[Tuple[int, Scenario]]):

@@ -110,7 +110,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "Reservation", "AvailabilityProfile", "SweepCursor",
-    "get_kernel", "set_kernel",
+    "get_kernel", "set_kernel", "set_scan_observer",
 ]
 
 _OVERRUN_GRACE = 1.0  # seconds: expected end for already-overrun jobs
@@ -128,15 +128,20 @@ _EPS = 1e-9
 _KERNELS = ("auto", "numpy", "scalar")
 
 #: Grid-size floor for the ``auto`` kernel.  Vectorizing a rejection
-#: walk trades a per-element Python loop (~0.1 µs/breakpoint once
+#: walk trades a per-element Python loop (~0.3 µs/breakpoint once
 #: materialized) for a handful of fixed-overhead array operations
-#: (~10 µs per scan); the crossover sits near a hundred breakpoints.
-#: The reference 10k-job W-MIX simulations never exceed ~60-breakpoint
-#: grids (measured p99 under 50), so ``auto`` runs them entirely on
-#: the scalar walk — the vector paths are a *scale* layer for
-#: paper-grid clusters with hundreds of concurrent releases, not a
-#: win at every size.  ``numpy`` (forced) ignores the floor so parity
-#: suites exercise the vector code on deliberately tiny grids.
+#: (~30 µs per scan).  Re-measured on the trace-scale bench
+#: (``trace_scan_kernel``: saturated 1024-node machine, near-machine-
+#: width shadow scans walking the full grid): below the floor the
+#: scalar walk always wins; between ~100 and ~400 breakpoints the two
+#: are within host noise of each other; from ~450 up the vector walk
+#: wins 1.5–2.2× and the gap widens with grid size.  The reference
+#: 10k-job W-MIX simulations never exceed ~60-breakpoint grids
+#: (measured p99 under 50), so ``auto`` runs them entirely on the
+#: scalar walk — the vector paths are a *scale* layer for paper-grid
+#: clusters with hundreds of concurrent releases, not a win at every
+#: size.  ``numpy`` (forced) ignores the floor so parity suites
+#: exercise the vector code on deliberately tiny grids.
 _VEC_FLOOR = 96
 
 
@@ -156,6 +161,28 @@ def _default_kernel() -> str:
 
 
 _KERNEL = _default_kernel()
+
+#: Optional per-scan observer (see :func:`set_scan_observer`).  ``None``
+#: in normal operation — the cursor's hot path pays one identity check.
+_SCAN_OBSERVER: Optional[Callable[[int], None]] = None
+
+
+def set_scan_observer(
+    observer: Optional[Callable[[int], None]],
+) -> Optional[Callable[[int], None]]:
+    """Install a callback receiving every cursor scan's grid size.
+
+    The perf harness uses this to report breakpoint-grid percentiles —
+    the quantity that decides whether the ``auto`` kernel's vector
+    paths engage (:data:`_VEC_FLOOR`) — without instrumenting the
+    scheduler.  Pass ``None`` to uninstall; returns the previous
+    observer so callers can restore it.  The observer must not mutate
+    scheduler state.
+    """
+    global _SCAN_OBSERVER
+    previous = _SCAN_OBSERVER
+    _SCAN_OBSERVER = observer
+    return previous
 
 
 def get_kernel() -> str:
@@ -1706,6 +1733,8 @@ class SweepCursor:
             raise ValueError("trial overlay must start at the profile instant")
         nodes_needed = job.nodes
         times = self._times
+        if _SCAN_OBSERVER is not None:
+            _SCAN_OBSERVER(len(times))
         now = p._now
         start = now if after is None else (after if after > now else now)
         # Rejection statistics: ``count_reject`` is the largest

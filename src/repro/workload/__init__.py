@@ -10,7 +10,15 @@ from .models import (
     Distribution,
 )
 from .synthetic import SyntheticWorkload, WorkloadParams
-from .swf import read_swf, write_swf, jobs_from_swf_text, jobs_to_swf_text, SWFFields
+from .swf import (
+    read_swf,
+    write_swf,
+    iter_swf,
+    jobs_from_swf_text,
+    jobs_to_swf_text,
+    SWFFields,
+    SWFCursor,
+)
 from .reference import reference_workload, REFERENCE_WORKLOADS
 from .filters import (
     scale_load,
@@ -33,6 +41,8 @@ __all__ = [
     "WorkloadParams",
     "read_swf",
     "write_swf",
+    "iter_swf",
+    "SWFCursor",
     "jobs_from_swf_text",
     "jobs_to_swf_text",
     "SWFFields",

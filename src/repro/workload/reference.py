@@ -11,6 +11,16 @@ characterizes them quantitatively):
   memory footprint that exceeds thin-node local capacity, so
   scheduling policy and pool sizing dominate.
 
+A fourth mix targets *trace-scale* replay rather than memory
+intensity:
+
+* ``W-KTH`` — archive-trace shaped (KTH SP2 / ANL Intrepid style):
+  floods of small power-of-two jobs with heavy-tailed runtimes, loose
+  walltime estimates, and bursty arrivals.  Deep backfill queues and
+  fragmented free-windows are exactly the regime where the scheduler's
+  vectorized breakpoint kernel has hundreds of breakpoints to chew on,
+  so this mix drives the large-cluster replay benches.
+
 Each factory returns :class:`~repro.workload.synthetic.WorkloadParams`
 pre-capped to the target machine and calibrated to a requested offered
 load; generation still requires a seed via ``RandomStreams``.
@@ -110,10 +120,41 @@ def _w_data(num_jobs: int, max_nodes: int, max_mem_per_node: int) -> WorkloadPar
     )
 
 
+def _w_kth(num_jobs: int, max_nodes: int, max_mem_per_node: int) -> WorkloadParams:
+    params = _base_params(num_jobs, max_nodes, max_mem_per_node)
+    return replace(
+        params,
+        # Archive shape: many small power-of-two jobs, runtimes spanning
+        # seconds to a day, estimates far above actuals, bursty arrivals.
+        nodes=power_of_two_nodes(max(1, max_nodes // 4), tail_weight=0.04),
+        runtime=LogNormal(
+            mu=math.log(15 * 60.0), sigma=1.8, low=30.0, high=24 * HOUR
+        ),
+        estimate_inflation=Uniform(1.5, 8.0),
+        exact_estimate_prob=0.05,
+        interarrival=Weibull(shape=0.65, scale=30.0),
+        memory_classes=[
+            MemoryClass(
+                "compute",
+                0.9,
+                LogNormal(mu=math.log(2 * GiB), sigma=0.8, low=128, high=16 * GiB),
+                usage_ratio=Uniform(0.5, 0.95),
+            ),
+            MemoryClass(
+                "data",
+                0.1,
+                LogNormal(mu=math.log(24 * GiB), sigma=0.7, low=4 * GiB, high=128 * GiB),
+                usage_ratio=Uniform(0.6, 1.0),
+            ),
+        ],
+    )
+
+
 REFERENCE_WORKLOADS: Dict[str, Callable[[int, int, int], WorkloadParams]] = {
     "W-COMP": _w_comp,
     "W-MIX": _w_mix,
     "W-DATA": _w_data,
+    "W-KTH": _w_kth,
 }
 
 

@@ -9,6 +9,23 @@ traces lack memory columns — supports *memory synthesis*: missing
 requested/used memory fields are drawn from a caller-supplied
 distribution so memory-aware policies stay exercised.
 
+Trace-scale traces (month-long, million-job archives) do not fit the
+"read the whole file into a list" model, so the parser is built around
+:func:`iter_swf`, a chunked streaming iterator that never materializes
+the trace.  Three properties make the stream safe to shard and resume:
+
+* **Chunk-boundary-invariant synthesis** — the synthesis RNG for line
+  *N* is derived from ``(root seed, N)`` alone, so the same line yields
+  the same job whether the file is read in chunks of 1, 64, or whole.
+* **Resumable** — an :class:`SWFCursor` carries ``(lineno, emitted)``;
+  feeding the tail of a file plus the cursor of the consumed prefix
+  continues the stream bit-identically (fallback job ids and synthesis
+  included).
+* **Torn-tail tolerance** — a final line without a trailing newline
+  that fails numeric parsing (a truncated download, a writer killed
+  mid-line) is dropped instead of raised; mid-file garbage still
+  raises :class:`TraceFormatError`.
+
 Field map (1-based, per the SWF standard):
 
 ==  =============================  =========================================
@@ -28,9 +45,11 @@ Field map (1-based, per the SWF standard):
 from __future__ import annotations
 
 import io
+import zlib
 from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
-from typing import Iterable, List, Optional, TextIO, Tuple
+from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, Union
 
 import numpy as np
 
@@ -41,13 +60,25 @@ from .models import Distribution
 
 __all__ = [
     "SWFFields",
+    "SWFCursor",
+    "iter_swf",
     "read_swf",
     "write_swf",
     "jobs_from_swf_text",
     "jobs_to_swf_text",
+    "swf_line_submit",
 ]
 
 _NUM_FIELDS = 18
+
+#: Stream name whose crc32 keys the per-line synthesis seed — the same
+#: name the pre-streaming parser drew its (sequential) generator from.
+_SYNTH_STREAM = "swf-mem-synth"
+_SYNTH_KEY = zlib.crc32(_SYNTH_STREAM.encode("utf-8"))
+
+#: Default lines per chunk pulled from the underlying stream.  Purely a
+#: throughput knob: results are chunk-size-invariant by construction.
+DEFAULT_CHUNK_LINES = 8192
 
 
 @dataclass
@@ -72,6 +103,23 @@ class SWFFields:
         return int(round(mib * 1024.0 / self.cores_per_node))
 
 
+@dataclass
+class SWFCursor:
+    """Resumable position in an SWF stream.
+
+    ``lineno`` counts physical lines consumed (1-based for the next
+    line), ``emitted`` counts jobs yielded so far — the state that
+    feeds fallback job ids and the per-line synthesis seed, so a
+    stream resumed from a cursor is bit-identical to one long read.
+    """
+
+    lineno: int = 0
+    emitted: int = 0
+
+    def copy(self) -> "SWFCursor":
+        return SWFCursor(lineno=self.lineno, emitted=self.emitted)
+
+
 def _parse_line(line: str, lineno: int) -> List[float]:
     parts = line.split()
     if len(parts) < _NUM_FIELDS:
@@ -82,6 +130,219 @@ def _parse_line(line: str, lineno: int) -> List[float]:
         return [float(p) for p in parts[:_NUM_FIELDS]]
     except ValueError as exc:
         raise TraceFormatError(f"line {lineno}: non-numeric SWF field: {exc}") from exc
+
+
+def _emits(vals: List[float], fields: SWFFields) -> bool:
+    """Whether a parsed data line produces a job under ``fields``.
+
+    Mirrors the archive conventions: non-positive processor counts fall
+    back to the allocated column, zero-runtime and cancelled (status 5)
+    entries are dropped, failed (status 0) entries are dropped unless
+    ``keep_failed``.
+    """
+    procs_req = vals[7] if vals[7] > 0 else vals[4]
+    if procs_req <= 0 or vals[3] <= 0:
+        return False
+    if vals[10] == 5:  # cancelled before start
+        return False
+    if vals[10] == 0 and not fields.keep_failed:  # failed
+        return False
+    return True
+
+
+def _synth_rng(seed: int, lineno: int) -> np.random.Generator:
+    """Per-line synthesis generator: a pure function of (seed, line).
+
+    Spawn-key derivation keeps the stream independent of every named
+    :class:`RandomStreams` stream while making each line's draws
+    invariant to how the trace was chunked or where a shard resumed.
+    """
+    seq = np.random.SeedSequence(entropy=seed, spawn_key=(_SYNTH_KEY, lineno))
+    return np.random.default_rng(seq)
+
+
+def _build_job(
+    vals: List[float],
+    lineno: int,
+    emitted: int,
+    fields: SWFFields,
+    mem_synth: Optional[Distribution],
+    usage_ratio_synth: Optional[Distribution],
+    synth_seed: int,
+) -> Job:
+    (
+        job_num,
+        submit,
+        _wait,
+        run_time,
+        _procs_alloc,
+        _avg_cpu,
+        used_kb,
+        procs_req,
+        req_time,
+        req_kb,
+        _status,
+        user_id,
+        group_id,
+        _app,
+        _queue,
+        _partition,
+        _prec,
+        _think,
+    ) = vals
+    if procs_req <= 0:
+        procs_req = _procs_alloc
+
+    nodes = fields.procs_to_nodes(int(procs_req))
+    walltime = req_time if req_time > 0 else run_time
+    runtime = min(run_time, walltime)
+
+    rng: Optional[np.random.Generator] = None
+    if req_kb > 0:
+        mem_req = max(1, fields.kb_per_proc_to_mib_per_node(req_kb))
+    elif mem_synth is not None:
+        rng = _synth_rng(synth_seed, lineno)
+        mem_req = max(1, int(round(mem_synth.sample(rng))))
+    else:
+        mem_req = 1
+    if used_kb > 0:
+        mem_used = min(mem_req, max(1, fields.kb_per_proc_to_mib_per_node(used_kb)))
+    elif usage_ratio_synth is not None:
+        if rng is None:
+            rng = _synth_rng(synth_seed, lineno)
+        ratio = min(1.0, max(0.0, usage_ratio_synth.sample(rng)))
+        mem_used = max(1, int(round(mem_req * ratio)))
+    else:
+        mem_used = mem_req
+
+    return Job(
+        job_id=int(job_num) if job_num > 0 else emitted + 1,
+        submit_time=max(0.0, submit),
+        nodes=nodes,
+        walltime=float(walltime),
+        runtime=float(runtime),
+        mem_per_node=mem_req,
+        mem_used_per_node=mem_used,
+        user=f"user{int(user_id)}" if user_id >= 0 else "user0",
+        group=f"group{int(group_id)}" if group_id >= 0 else "group0",
+    )
+
+
+def swf_line_submit(
+    line: str, lineno: int, fields: Optional[SWFFields] = None
+) -> Optional[float]:
+    """Submit time of a raw SWF line iff it would emit a job, else None.
+
+    The shard planner's cheap single pass: classifies a line (header,
+    blank, skipped, emitting) without constructing a :class:`Job` or
+    touching synthesis.  Raises :class:`TraceFormatError` exactly where
+    :func:`iter_swf` would.
+    """
+    fields = fields or SWFFields()
+    stripped = line.strip()
+    if not stripped or stripped.startswith(";"):
+        return None
+    vals = _parse_line(stripped, lineno)
+    if not _emits(vals, fields):
+        return None
+    return max(0.0, vals[1])
+
+
+def _line_chunks(lines: Iterator[str], chunk_lines: int) -> Iterator[List[str]]:
+    while True:
+        chunk = list(islice(lines, chunk_lines))
+        if not chunk:
+            return
+        yield chunk
+
+
+def iter_swf(
+    source: Union[str, Path, TextIO, Iterable[str]],
+    fields: Optional[SWFFields] = None,
+    mem_synth: Optional[Distribution] = None,
+    usage_ratio_synth: Optional[Distribution] = None,
+    streams: Optional[RandomStreams] = None,
+    chunk_lines: int = DEFAULT_CHUNK_LINES,
+    header: Optional[dict] = None,
+    cursor: Optional[SWFCursor] = None,
+) -> Iterator[Job]:
+    """Stream jobs out of an SWF source without materializing the trace.
+
+    ``source`` may be a path (opened and closed internally), an open
+    text file, or any iterable of lines.  Lines are pulled in chunks of
+    ``chunk_lines``; the chunk size is invisible in the output.  Header
+    comments are written into ``header`` (in place) as they stream by;
+    ``cursor`` is advanced in place per line so a caller can record a
+    resume point at any moment — see :class:`SWFCursor`.
+
+    Jobs are yielded in **file order**, not submit order; archive
+    traces are submit-sorted already, and :func:`read_swf` re-sorts for
+    callers that need the guarantee.
+
+    ``streams`` contributes only its root seed: synthesis draws are
+    derived per line from ``(seed, lineno)``, never from a shared
+    sequential generator, which is what makes the stream chunk- and
+    shard-invariant.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8", errors="replace") as fh:
+            yield from iter_swf(
+                fh,
+                fields=fields,
+                mem_synth=mem_synth,
+                usage_ratio_synth=usage_ratio_synth,
+                streams=streams,
+                chunk_lines=chunk_lines,
+                header=header,
+                cursor=cursor,
+            )
+        return
+
+    fields = fields or SWFFields()
+    synth_seed = (streams or RandomStreams(0)).seed
+    cursor = cursor if cursor is not None else SWFCursor()
+    chunk_lines = max(1, int(chunk_lines))
+
+    lines = iter(source)
+    for chunk in _line_chunks(lines, chunk_lines):
+        for i, raw in enumerate(chunk):
+            cursor.lineno += 1
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(";"):
+                if header is not None:
+                    body = line.lstrip("; ")
+                    if ":" in body:
+                        key, _, value = body.partition(":")
+                        header[key.strip()] = value.strip()
+                continue
+            try:
+                vals = _parse_line(line, cursor.lineno)
+            except TraceFormatError:
+                if raw.endswith("\n"):
+                    raise
+                # No newline terminator: only the physically last line
+                # of a stream can lack one.  Confirm nothing follows,
+                # then treat it as a torn tail (truncated download,
+                # writer killed mid-line) and end the stream cleanly.
+                rest = chunk[i + 1] if i + 1 < len(chunk) else next(lines, None)
+                if rest is not None:
+                    raise
+                return
+            if not _emits(vals, fields):
+                continue
+            job = _build_job(
+                vals,
+                cursor.lineno,
+                cursor.emitted,
+                fields,
+                mem_synth,
+                usage_ratio_synth,
+                synth_seed,
+            )
+            cursor.emitted += 1
+            yield job
 
 
 def jobs_from_swf_text(
@@ -98,85 +359,21 @@ def jobs_from_swf_text(
     field 7 is missing.  Both default to "requested == synthesized,
     used == requested".  Jobs with non-positive runtime or processor
     count are skipped (archive traces contain cancelled entries).
+
+    Thin collector over :func:`iter_swf`; jobs come back sorted by
+    ``(submit_time, job_id)``.
     """
-    fields = fields or SWFFields()
-    streams = streams or RandomStreams(0)
-    rng: np.random.Generator = streams.get("swf-mem-synth")
-
     header: dict = {}
-    jobs: List[Job] = []
-    for lineno, raw in enumerate(io.StringIO(text), start=1):
-        line = raw.strip()
-        if not line:
-            continue
-        if line.startswith(";"):
-            body = line.lstrip("; ")
-            if ":" in body:
-                key, _, value = body.partition(":")
-                header[key.strip()] = value.strip()
-            continue
-        vals = _parse_line(line, lineno)
-        (
-            job_num,
-            submit,
-            _wait,
-            run_time,
-            _procs_alloc,
-            _avg_cpu,
-            used_kb,
-            procs_req,
-            req_time,
-            req_kb,
-            status,
-            user_id,
-            group_id,
-            _app,
-            _queue,
-            _partition,
-            _prec,
-            _think,
-        ) = vals
-
-        if procs_req <= 0:
-            procs_req = _procs_alloc
-        if procs_req <= 0 or run_time <= 0:
-            continue
-        if status == 5:  # cancelled before start
-            continue
-        if status == 0 and not fields.keep_failed:  # failed
-            continue
-
-        nodes = fields.procs_to_nodes(int(procs_req))
-        walltime = req_time if req_time > 0 else run_time
-        runtime = min(run_time, walltime)
-
-        if req_kb > 0:
-            mem_req = max(1, fields.kb_per_proc_to_mib_per_node(req_kb))
-        elif mem_synth is not None:
-            mem_req = max(1, int(round(mem_synth.sample(rng))))
-        else:
-            mem_req = 1
-        if used_kb > 0:
-            mem_used = min(mem_req, max(1, fields.kb_per_proc_to_mib_per_node(used_kb)))
-        elif usage_ratio_synth is not None:
-            ratio = min(1.0, max(0.0, usage_ratio_synth.sample(rng)))
-            mem_used = max(1, int(round(mem_req * ratio)))
-        else:
-            mem_used = mem_req
-
-        jobs.append(
-            Job(
-                job_id=int(job_num) if job_num > 0 else len(jobs) + 1,
-                submit_time=max(0.0, submit),
-                nodes=nodes,
-                walltime=float(walltime),
-                runtime=float(runtime),
-                mem_per_node=mem_req,
-                mem_used_per_node=mem_used,
-                user=f"user{int(user_id)}" if user_id >= 0 else "user0",
-                group=f"group{int(group_id)}" if group_id >= 0 else "group0",
-            )
+    jobs = list(
+        iter_swf(
+            io.StringIO(text),
+            fields=fields,
+            mem_synth=mem_synth,
+            usage_ratio_synth=usage_ratio_synth,
+            streams=streams,
+            header=header,
         )
+    )
     jobs.sort(key=lambda j: (j.submit_time, j.job_id))
     return jobs, header
 
@@ -188,15 +385,26 @@ def read_swf(
     usage_ratio_synth: Optional[Distribution] = None,
     streams: Optional[RandomStreams] = None,
 ) -> Tuple[List[Job], dict]:
-    """Parse an SWF file; see :func:`jobs_from_swf_text`."""
-    text = Path(path).read_text()
-    return jobs_from_swf_text(
-        text,
-        fields=fields,
-        mem_synth=mem_synth,
-        usage_ratio_synth=usage_ratio_synth,
-        streams=streams,
+    """Parse an SWF file; see :func:`jobs_from_swf_text`.
+
+    Streams through :func:`iter_swf` line-chunk by line-chunk — the
+    file is never held in memory twice (once as text, once as jobs)
+    the way the pre-streaming reader did; only the job list itself is
+    materialized.
+    """
+    header: dict = {}
+    jobs = list(
+        iter_swf(
+            path,
+            fields=fields,
+            mem_synth=mem_synth,
+            usage_ratio_synth=usage_ratio_synth,
+            streams=streams,
+            header=header,
+        )
     )
+    jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+    return jobs, header
 
 
 def jobs_to_swf_text(
@@ -215,8 +423,22 @@ def jobs_to_swf_text(
     """
     fields = fields or SWFFields()
     out = io.StringIO()
+    _write_swf_stream(out, jobs, fields, header, include_memory)
+    return out.getvalue()
+
+
+def _write_swf_stream(
+    out: TextIO,
+    jobs: Iterable[Job],
+    fields: SWFFields,
+    header: Optional[dict],
+    include_memory: bool,
+) -> int:
+    """Write jobs to an open stream; returns the number of lines."""
+    lines = 0
     for key, value in (header or {}).items():
         out.write(f"; {key}: {value}\n")
+        lines += 1
     for job in jobs:
         wait = job.start_time - job.submit_time if job.start_time is not None else -1
         if job.state.name == "COMPLETED":
@@ -262,7 +484,8 @@ def jobs_to_swf_text(
             -1,
         ]
         out.write(" ".join(str(v) for v in row) + "\n")
-    return out.getvalue()
+        lines += 1
+    return lines
 
 
 def write_swf(
@@ -272,8 +495,8 @@ def write_swf(
     header: Optional[dict] = None,
     include_memory: bool = True,
 ) -> None:
-    Path(path).write_text(
-        jobs_to_swf_text(
-            jobs, fields=fields, header=header, include_memory=include_memory
-        )
-    )
+    """Write jobs to ``path`` as SWF, streaming — works for any
+    iterable, including generators yielding millions of jobs."""
+    fields = fields or SWFFields()
+    with open(path, "w", encoding="utf-8") as out:
+        _write_swf_stream(out, jobs, fields, header, include_memory)

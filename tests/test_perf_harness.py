@@ -39,6 +39,8 @@ class TestCaseRegistry:
             "conservative_pass",
             "e2e_easy",
             "e2e_conservative",
+            "trace_scan_kernel",
+            "trace_replay",
         ]
 
     def test_unknown_case_rejected(self):
