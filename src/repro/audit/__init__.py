@@ -1,0 +1,34 @@
+"""Deep-audit subsystem: invariant validation, presets, explanations.
+
+This package grows :mod:`repro.engine.audit` (raise-on-first-violation,
+used inline by every integration test) into a first-class audit layer:
+
+* :mod:`repro.audit.policy` — the single source of truth for *when*
+  conditional invariants apply (promise enforcement, FCFS ordering),
+  previously duplicated as caller-side heuristics;
+* :mod:`repro.audit.validator` — :func:`deep_audit`, a structured
+  validator that recomputes per-instant node and pool occupancy from
+  scratch and reports every violation as an :class:`AuditViolation`
+  instead of raising on the first;
+* :mod:`repro.audit.explain` — per-job "why this start time"
+  explanations with the binding constraint and bounding breakpoint;
+* :mod:`repro.audit.presets` — the curated adversarial scenario
+  library behind ``repro audit`` (imported lazily: it pulls in the
+  engine, which itself delegates to :mod:`repro.audit.policy`).
+"""
+
+from .explain import JobExplanation, explain_job, explain_schedule
+from .policy import fairshare_order_applies, fcfs_order_applies, promises_apply
+from .validator import AuditReport, AuditViolation, deep_audit
+
+__all__ = [
+    "AuditReport",
+    "AuditViolation",
+    "deep_audit",
+    "explain_job",
+    "explain_schedule",
+    "JobExplanation",
+    "fairshare_order_applies",
+    "fcfs_order_applies",
+    "promises_apply",
+]

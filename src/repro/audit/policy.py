@@ -1,0 +1,107 @@
+"""When do conditional audit invariants apply?
+
+Several invariants are only sound for particular policy stacks — a
+promise is a hard guarantee under EASY backfill but advisory under
+recompute-style conservative, FCFS non-overtaking only holds without
+backfill, and so on.  The predicates here are the single source of
+truth for those applicability rules; :mod:`repro.engine.audit`, the
+deep validator, and the test suites all consult them instead of
+re-deriving the conditions inline (they used to be caller-side
+heuristics, duplicated and drifting).
+
+Every predicate takes the ``scheduler_info`` mapping produced by
+:meth:`repro.sched.base.Scheduler.describe` — plain strings, so the
+policy layer stays import-free and usable from anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = [
+    "promises_apply",
+    "conservative_promises_advisory",
+    "fcfs_order_applies",
+    "fairshare_order_applies",
+]
+
+
+def promises_apply(
+    scheduler_info: Mapping[str, str], *, has_failures: bool = False
+) -> bool:
+    """Promises are hard guarantees only for EASY backfill under FCFS
+    order (later arrivals cannot overtake), bounded runtimes (estimates
+    are upper bounds), memory-aware reservations (a memory-blind shadow
+    is exactly the promise the paper shows being broken), and no start
+    gate (a gate may deliberately hold a job past its promised start).
+
+    Conservative backfill here is *recompute-style* — the reservation
+    schedule is rebuilt every cycle, and greedy earliest-start
+    schedules are not monotone under early completions (a
+    higher-priority job shifting earlier can legitimately push a
+    lower-priority reservation later), so its promises are advisory:
+    see :func:`conservative_promises_advisory`.
+
+    A node failure can legally delay a promised start (the shadow was
+    computed on capacity that then died), hence ``has_failures``.
+    """
+    return (
+        scheduler_info.get("backfill") == "easy"
+        and scheduler_info.get("queue") == "fcfs"
+        and scheduler_info.get("kill") != "none"
+        and scheduler_info.get("memory_aware") != "false"
+        and scheduler_info.get("gate") == "always"
+        and not has_failures
+    )
+
+
+def conservative_promises_advisory(
+    scheduler_info: Mapping[str, str], *, has_failures: bool = False
+) -> bool:
+    """Conservative promises under the otherwise-strict conditions.
+
+    The deep validator still *checks* them — a conservative reservation
+    overshooting its promise is worth surfacing — but reports the
+    result as an advisory, not an error, because the recompute-style
+    schedule may legitimately move a reservation later (see
+    :func:`promises_apply`).
+    """
+    return (
+        scheduler_info.get("backfill") == "conservative"
+        and scheduler_info.get("queue") == "fcfs"
+        and scheduler_info.get("kill") != "none"
+        and scheduler_info.get("memory_aware") != "false"
+        and scheduler_info.get("gate") == "always"
+        and not has_failures
+    )
+
+
+def fcfs_order_applies(scheduler_info: Mapping[str, str]) -> bool:
+    """Strict FCFS non-overtaking holds only without backfill (any
+    backfill exists precisely to overtake) and without a gate (a gate
+    holds individual jobs out of order)."""
+    return (
+        scheduler_info.get("backfill") == "none"
+        and scheduler_info.get("queue") == "fcfs"
+        and scheduler_info.get("gate") == "always"
+    )
+
+
+def fairshare_order_applies(
+    scheduler_info: Mapping[str, str], *, has_failures: bool = False
+) -> bool:
+    """Same-user submit-order monotonicity under fairshare queueing.
+
+    Sound only without backfill: the no-backfill scan stops at the
+    first blocked job, and two jobs of one user always appear in
+    submit order within a pass (equal usage at equal instants ties to
+    submit time), so the later one can never start first.  With
+    backfill the later, smaller job may legitimately overtake its
+    sibling.
+    """
+    return (
+        scheduler_info.get("queue") == "fairshare"
+        and scheduler_info.get("backfill") == "none"
+        and scheduler_info.get("gate") == "always"
+        and not has_failures
+    )

@@ -1,0 +1,433 @@
+"""Curated adversarial scenario presets for the deep auditor.
+
+Each preset is a deterministic scenario builder engineered to stress
+one failure surface of the scheduler stack — drain storms under node
+failures, pool-exhaustion cliffs, same-instant submission collisions,
+walltime overruns with killing disabled, cancellations racing
+backfill, and a KTH trace slice.  Presets exist to give the deep
+validator (:mod:`repro.audit.validator`) adversarial ground to stand
+on: every preset must audit clean under every supported backfill
+policy, and the CI ``audit-presets`` job re-proves that on every
+change.
+
+The registry is data-driven: :data:`PRESETS` maps names to builders,
+:func:`run_preset` merges default / quick / caller parameters and
+executes the scenario (offline, or through the online engine when the
+scenario needs mid-run cancellations), and :func:`run_audit_suite`
+sweeps presets x backfills into the machine-readable
+``AUDIT_REPORT.json`` document consumed by CI.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster import Cluster, ClusterSpec
+from ..engine import SchedulerSimulation
+from ..engine.failures import FailureEvent, exponential_failure_trace
+from ..engine.results import SimulationResult
+from ..sched.base import build_scheduler
+from ..sim.rng import RandomStreams
+from ..units import GiB
+from ..workload.job import Job
+from ..workload.reference import generate_reference_jobs
+from .validator import deep_audit
+
+__all__ = [
+    "PRESET_NAMES",
+    "PRESETS",
+    "Preset",
+    "PresetRun",
+    "preset_params",
+    "run_audit_suite",
+    "run_preset",
+]
+
+
+@dataclass(frozen=True)
+class PresetRun:
+    """A fully materialized scenario, ready to execute.
+
+    ``cancels`` forces the online engine (mid-run ``cancel_job``
+    calls have no offline equivalent); everything else runs offline.
+    """
+
+    cluster: ClusterSpec
+    jobs: Sequence[Job]
+    scheduler: Mapping[str, object] = field(default_factory=dict)
+    failures: Sequence[FailureEvent] = ()
+    cancels: Sequence[Tuple[float, int]] = ()  # (time, job_id), any order
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Registry entry: builder plus parameter defaults.
+
+    ``quick`` overlays ``defaults`` when the caller asks for the
+    CI-sized variant; explicit caller params overlay both.
+    """
+
+    name: str
+    summary: str
+    build: Callable[[Mapping[str, object]], PresetRun]
+    defaults: Mapping[str, object]
+    quick: Mapping[str, object] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def _thin(nodes: int, pool_fraction: float = 0.5, reach: str = "global") -> ClusterSpec:
+    return ClusterSpec.thin_node(
+        num_nodes=nodes,
+        local_mem="128GiB",
+        fat_local_mem="512GiB",
+        pool_fraction=pool_fraction,
+        reach=reach,
+    )
+
+
+def _build_drain_storm(p: Mapping[str, object]) -> PresetRun:
+    """Node failures mid-run: kills, repairs, and re-scheduling churn.
+
+    The failure trace drains nodes while the queue is loaded, so the
+    auditor's downtime / oversubscription sweeps see nodes leaving and
+    rejoining under pressure.
+    """
+    nodes = int(p["nodes"])
+    jobs = generate_reference_jobs(
+        "W-MIX", int(p["seed"]), num_jobs=int(p["num_jobs"]), cluster_nodes=nodes
+    )
+    horizon = max(job.submit_time for job in jobs) * 1.5 + 50_000.0
+    failures = exponential_failure_trace(
+        num_nodes=nodes,
+        horizon=horizon,
+        mtbf=float(p["mtbf"]),
+        mean_repair=float(p["mean_repair"]),
+        streams=RandomStreams(int(p["seed"]) + 1),
+    )
+    return PresetRun(cluster=_thin(nodes), jobs=jobs, failures=failures)
+
+
+def _build_pool_cliff(p: Mapping[str, object]) -> PresetRun:
+    """Remote-heavy jobs sized against a deliberately small pool.
+
+    Demands are fractions of the exact pool capacity, so the schedule
+    repeatedly walks up to (and must never cross) the capacity cliff
+    while local-only filler keeps nodes busy around it.
+    """
+    nodes = int(p["nodes"])
+    spec = _thin(nodes, pool_fraction=float(p["pool_fraction"]))
+    capacity = spec.pool.global_pool
+    local = spec.node.local_mem
+    rng = random.Random(int(p["seed"]))
+    jobs: List[Job] = []
+    t = 0.0
+    for job_id in range(int(p["num_jobs"])):
+        t += rng.expovariate(1.0 / 300.0)
+        runtime = rng.uniform(600.0, 7_200.0)
+        walltime = runtime * rng.uniform(1.1, 1.8)
+        if job_id % 3 != 2:
+            # Cliff walker: total remote demand is capacity/k, so a
+            # handful of concurrent walkers exhausts the pool exactly.
+            width = rng.choice((2, 4))
+            share = rng.choice((1, 2, 3, 4))
+            remote_per_node = (capacity // share) // width
+            mem = local + min(remote_per_node, 384 * GiB)
+        else:
+            width = rng.randint(1, 4)
+            mem = rng.randint(8 * GiB, local)
+        jobs.append(
+            Job(
+                job_id=job_id,
+                submit_time=round(t, 3),
+                nodes=width,
+                walltime=walltime,
+                runtime=runtime,
+                mem_per_node=mem,
+                user=f"user{job_id % 5}",
+                tag="cliff" if job_id % 3 != 2 else "filler",
+            )
+        )
+    return PresetRun(cluster=spec, jobs=jobs)
+
+
+def _build_collision_grid(p: Mapping[str, object]) -> PresetRun:
+    """Batches of jobs submitted at *identical* instants.
+
+    Same-instant submission is where event ordering, same-pass
+    transactional starts, and ledger same-instant netting all have to
+    agree; the grid quantizes every submit onto a coarse lattice to
+    maximize those coincidences.
+    """
+    nodes = int(p["nodes"])
+    batch = int(p["batch"])
+    interval = float(p["interval"])
+    rng = random.Random(int(p["seed"]))
+    jobs: List[Job] = []
+    for job_id in range(int(p["num_jobs"])):
+        runtime = rng.choice((900.0, 1800.0, 3600.0))
+        jobs.append(
+            Job(
+                job_id=job_id,
+                submit_time=(job_id // batch) * interval,
+                nodes=rng.randint(1, max(1, nodes // 2)),
+                walltime=runtime * 1.25,
+                runtime=runtime,
+                mem_per_node=rng.choice(
+                    (32 * GiB, 96 * GiB, 192 * GiB, 384 * GiB)
+                ),
+                user=f"user{job_id % 4}",
+            )
+        )
+    return PresetRun(cluster=_thin(nodes), jobs=jobs)
+
+
+def _build_overrun_none(p: Mapping[str, object]) -> PresetRun:
+    """Runtimes past walltime with the walltime killer disabled.
+
+    Under ``kill_policy="none"`` overrunning jobs must *complete* (the
+    auditor rejects any walltime kill), and every reservation-based
+    promise heuristic is off the table — the lifecycle and duration
+    identities are what's being stressed.
+    """
+    nodes = int(p["nodes"])
+    jobs = generate_reference_jobs(
+        "W-MIX", int(p["seed"]), num_jobs=int(p["num_jobs"]), cluster_nodes=nodes
+    )
+    rng = random.Random(int(p["seed"]) + 1)
+    overrun = float(p["overrun"])
+    adjusted: List[Job] = []
+    for job in jobs:
+        if rng.random() < float(p["fraction"]):
+            job = Job(
+                job_id=job.job_id,
+                submit_time=job.submit_time,
+                nodes=job.nodes,
+                walltime=job.walltime,
+                runtime=job.walltime * overrun,
+                mem_per_node=job.mem_per_node,
+                mem_used_per_node=job.mem_used_per_node,
+                user=job.user,
+                group=job.group,
+                tag="overrun",
+            )
+        adjusted.append(job)
+    return PresetRun(
+        cluster=_thin(nodes),
+        jobs=adjusted,
+        scheduler={"kill_policy": "none"},
+    )
+
+
+def _build_cancel_backfill(p: Mapping[str, object]) -> PresetRun:
+    """Cancellations racing the backfiller, via the online engine.
+
+    A seeded subset of jobs is withdrawn mid-run — some while still
+    queued (and possibly holding a backfill reservation), some while
+    running (freeing capacity that triggers an immediate pass).
+    """
+    nodes = int(p["nodes"])
+    jobs = generate_reference_jobs(
+        "W-MIX", int(p["seed"]), num_jobs=int(p["num_jobs"]), cluster_nodes=nodes
+    )
+    rng = random.Random(int(p["seed"]) + 2)
+    victims = rng.sample(jobs, k=int(len(jobs) * float(p["cancel_fraction"])))
+    cancels = tuple(
+        (job.submit_time + rng.uniform(0.0, job.walltime), job.job_id)
+        for job in victims
+    )
+    return PresetRun(cluster=_thin(nodes), jobs=jobs, cancels=cancels)
+
+
+def _build_trace_kth_slice(p: Mapping[str, object]) -> PresetRun:
+    """A KTH-statistics trace slice on the paper's 64-node thin config."""
+    nodes = int(p["nodes"])
+    jobs = generate_reference_jobs(
+        "W-KTH", int(p["seed"]), num_jobs=int(p["num_jobs"]), cluster_nodes=nodes
+    )
+    return PresetRun(cluster=_thin(nodes), jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+PRESETS: Dict[str, Preset] = {
+    preset.name: preset
+    for preset in (
+        Preset(
+            name="drain-storm",
+            summary="node failures drain and rejoin under a loaded queue",
+            build=_build_drain_storm,
+            defaults={
+                "nodes": 32,
+                "num_jobs": 240,
+                "seed": 11,
+                "mtbf": 40_000.0,
+                "mean_repair": 4_000.0,
+            },
+            quick={"num_jobs": 80},
+        ),
+        Preset(
+            name="pool-cliff",
+            summary="remote-heavy jobs walk the exact pool-capacity cliff",
+            build=_build_pool_cliff,
+            defaults={
+                "nodes": 16,
+                "num_jobs": 90,
+                "seed": 5,
+                "pool_fraction": 0.25,
+            },
+            quick={"num_jobs": 45},
+        ),
+        Preset(
+            name="collision-grid",
+            summary="batched same-instant submissions on a coarse time lattice",
+            build=_build_collision_grid,
+            defaults={
+                "nodes": 16,
+                "num_jobs": 120,
+                "seed": 7,
+                "batch": 8,
+                "interval": 900.0,
+            },
+            quick={"num_jobs": 48},
+        ),
+        Preset(
+            name="overrun-none",
+            summary="runtimes past walltime with the walltime killer disabled",
+            build=_build_overrun_none,
+            defaults={
+                "nodes": 16,
+                "num_jobs": 100,
+                "seed": 13,
+                "overrun": 1.5,
+                "fraction": 0.4,
+            },
+            quick={"num_jobs": 40},
+        ),
+        Preset(
+            name="cancel-backfill",
+            summary="mid-run cancellations racing the backfiller (online engine)",
+            build=_build_cancel_backfill,
+            defaults={
+                "nodes": 16,
+                "num_jobs": 120,
+                "seed": 17,
+                "cancel_fraction": 0.25,
+            },
+            quick={"num_jobs": 50},
+        ),
+        Preset(
+            name="trace-kth-slice",
+            summary="KTH trace statistics on the paper's 64-node thin config",
+            build=_build_trace_kth_slice,
+            defaults={"nodes": 64, "num_jobs": 400, "seed": 7},
+            quick={"num_jobs": 120},
+        ),
+    )
+}
+
+PRESET_NAMES: Tuple[str, ...] = tuple(PRESETS)
+
+
+def preset_params(
+    name: str, quick: bool = False, params: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """The effective parameter set: defaults <- quick <- caller."""
+    preset = PRESETS[name]
+    merged: Dict[str, object] = dict(preset.defaults)
+    if quick:
+        merged.update(preset.quick)
+    if params:
+        unknown = set(params) - set(merged)
+        if unknown:
+            raise KeyError(
+                f"preset {name!r} has no parameters {sorted(unknown)}; "
+                f"valid: {sorted(merged)}"
+            )
+        merged.update(params)
+    return merged
+
+
+def run_preset(
+    name: str,
+    backfill: str = "easy",
+    quick: bool = False,
+    params: Optional[Mapping[str, object]] = None,
+) -> SimulationResult:
+    """Build and execute one preset under the given backfill policy."""
+    if name not in PRESETS:
+        raise KeyError(
+            f"unknown preset {name!r}; valid: {', '.join(PRESET_NAMES)}"
+        )
+    run = PRESETS[name].build(preset_params(name, quick=quick, params=params))
+    kwargs = {**run.scheduler, "backfill": backfill}
+    scheduler = build_scheduler(**kwargs)  # type: ignore[arg-type]
+    cluster = Cluster(run.cluster)
+    if not run.cancels:
+        return SchedulerSimulation(
+            cluster, scheduler, run.jobs, failures=run.failures
+        ).run()
+    engine = SchedulerSimulation(
+        cluster, scheduler, [], failures=run.failures, online=True
+    )
+    engine.inject_jobs(run.jobs)
+    for time, job_id in sorted(run.cancels):
+        engine.advance_to(time)
+        engine.cancel_job(job_id)
+    engine.drain()
+    return engine.online_result()
+
+
+# ----------------------------------------------------------------------
+# suite runner -> AUDIT_REPORT.json
+# ----------------------------------------------------------------------
+def run_audit_suite(
+    names: Optional[Iterable[str]] = None,
+    backfills: Sequence[str] = ("easy", "conservative"),
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run presets x backfills through the deep auditor.
+
+    Returns the ``AUDIT_REPORT.json`` document: one cell per
+    (preset, backfill) with the full violation list; ``ok`` is the
+    conjunction over cells (advisories don't fail a cell).
+    """
+    selected = tuple(names) if names is not None else PRESET_NAMES
+    for name in selected:
+        if name not in PRESETS:
+            raise KeyError(
+                f"unknown preset {name!r}; valid: {', '.join(PRESET_NAMES)}"
+            )
+    cells: List[Dict[str, object]] = []
+    for name in selected:
+        for backfill in backfills:
+            if progress is not None:
+                progress(f"{name} [{backfill}]")
+            result = run_preset(name, backfill=backfill, quick=quick)
+            report = deep_audit(result)
+            cells.append(
+                {
+                    "preset": name,
+                    "summary": PRESETS[name].summary,
+                    "backfill": backfill,
+                    "quick": quick,
+                    "jobs": len(result.jobs),
+                    "cycles": result.cycles,
+                    "ok": report.ok,
+                    "violations": [v.to_dict() for v in report.errors],
+                    "advisories": [v.to_dict() for v in report.advisories],
+                    "checks": dict(sorted(report.checks.items())),
+                }
+            )
+    return {
+        "ok": all(cell["ok"] for cell in cells),
+        "presets": list(selected),
+        "backfills": list(backfills),
+        "quick": quick,
+        "cells": cells,
+    }

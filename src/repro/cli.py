@@ -46,6 +46,16 @@ Four subcommands::
         to the offline engine.  Exit codes: 0 ok, 3 identity mismatch,
         4 daemon unreachable, 1 other gate failures.
 
+    dismem-sched audit [--preset NAME ...] [--backfill both] [--quick]
+                       [--out AUDIT_REPORT.json] [--explain JOB_ID]
+        Deep invariant gate: run the preset adversarial scenario
+        library (drain storms, pool cliffs, same-instant collision
+        grids, kill=none overruns, cancel-vs-backfill races, a KTH
+        trace slice) and re-prove every schedule invariant from
+        scratch with the structured validator.  ``--explain JOB_ID``
+        replays one preset and reports the job's binding constraint
+        instead.  See docs/AUDIT.md.
+
     dismem-sched chaos [--quick] [--out CHAOS_REPORT.json]
         Crash-recovery gate: kill the scheduler (simulated crashes and
         real SIGKILLs) mid-trace, recover from the write-ahead journal,
@@ -206,7 +216,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         lambda line: print(line, file=sys.stderr, flush=True)
     )
     runner = SweepRunner(
-        workers=args.workers, cache_dir=cache_dir, progress=progress
+        workers=args.workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        deep_audit=args.audit,
     )
     report = runner.run(grid)
 
@@ -242,7 +255,86 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         Path(args.out).write_text(json.dumps(payload, indent=2, default=str))
         print(f"sweep results written to {args.out}")
     print(report.status_line())
+    if args.audit:
+        failed = []
+        audited = 0
+        for record in report.records:
+            audit = record.get("audit")
+            if audit is None:  # cache hit: validated when first executed
+                continue
+            audited += 1
+            if not audit["ok"]:
+                failed.append(record)
+        print(f"deep audit: {audited} executed cell"
+              f"{'s' if audited != 1 else ''} validated, "
+              f"{len(failed)} with violations")
+        for record in failed:
+            for violation in record["audit"]["violations"][:5]:
+                print(f"  {record['name']}: [{violation['invariant']}] "
+                      f"{violation['message']}", file=sys.stderr)
+        if failed:
+            return 1
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .audit import explain_job
+    from .audit.presets import PRESET_NAMES, PRESETS, run_audit_suite, run_preset
+
+    if args.list:
+        for name in PRESET_NAMES:
+            print(f"{name:>16}  {PRESETS[name].summary}")
+        return 0
+    names = list(args.preset) if args.preset else list(PRESET_NAMES)
+    unknown = [name for name in names if name not in PRESETS]
+    if unknown:
+        print(f"error: unknown preset(s) {', '.join(unknown)}; "
+              f"choose from: {', '.join(PRESET_NAMES)}", file=sys.stderr)
+        return 1
+    backfills = (
+        ("easy", "conservative") if args.backfill == "both" else (args.backfill,)
+    )
+
+    if args.explain is not None:
+        if not args.preset or len(names) != 1:
+            print("error: --explain needs exactly one --preset to replay",
+                  file=sys.stderr)
+            return 1
+        result = run_preset(names[0], backfill=backfills[0], quick=args.quick)
+        try:
+            explanation = explain_job(result, args.explain)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(explanation.describe())
+        return 0
+
+    progress = None if args.quiet else (
+        lambda line: print(f"  auditing {line}", file=sys.stderr, flush=True)
+    )
+    document = run_audit_suite(
+        names, backfills=backfills, quick=args.quick, progress=progress
+    )
+    for cell in document["cells"]:
+        status = "ok" if cell["ok"] else f"FAIL ({len(cell['violations'])})"
+        advisory = (
+            f"  ({len(cell['advisories'])} advisory)" if cell["advisories"] else ""
+        )
+        print(f"{cell['preset']:>16} [{cell['backfill']:>12}] "
+              f"jobs={cell['jobs']:4d}  {status}{advisory}")
+        for violation in cell["violations"][:5]:
+            print(f"      [{violation['invariant']}] {violation['message']}",
+                  file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"audit report written to {args.out}")
+    total = len(document["cells"])
+    if document["ok"]:
+        print(f"audit: {total} cells clean")
+        return 0
+    bad = sum(1 for cell in document["cells"] if not cell["ok"])
+    print(f"audit: {bad} of {total} cells FAILED", file=sys.stderr)
+    return 1
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -701,7 +793,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also print a compare table vs this scenario label")
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress lines")
+    p_sweep.add_argument(
+        "--audit", action="store_true",
+        help="run the deep invariant validator on every executed cell "
+        "(exit 1 on any violation; cache hits were validated when first "
+        "executed)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="deep-audit the preset adversarial scenario library",
+    )
+    p_audit.add_argument(
+        "--preset", action="append", metavar="NAME",
+        help="preset to run (repeatable; default: all — see --list)",
+    )
+    p_audit.add_argument(
+        "--backfill", choices=("easy", "conservative", "both"), default="both",
+        help="backfill policy column(s) to audit under (default both)",
+    )
+    p_audit.add_argument("--quick", action="store_true",
+                         help="CI-sized preset variants")
+    p_audit.add_argument("--out", metavar="AUDIT_REPORT.json",
+                         help="write the machine-readable report here")
+    p_audit.add_argument(
+        "--explain", type=int, metavar="JOB_ID",
+        help="replay one preset (requires exactly one --preset) and "
+        "explain this job's start time instead of auditing",
+    )
+    p_audit.add_argument("--list", action="store_true",
+                         help="list presets and exit")
+    p_audit.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress lines")
+    p_audit.set_defaults(func=_cmd_audit)
 
     p_replay = sub.add_parser(
         "replay",

@@ -36,37 +36,24 @@ def audit_result(result: SimulationResult, strict_promises: bool = True) -> None
     _check_metric_identities(result)
     if strict_promises and _promises_apply(result):
         _check_promises(result)
-    if (
-        result.scheduler_info.get("backfill") == "none"
-        and result.scheduler_info.get("queue") == "fcfs"
-        and result.scheduler_info.get("gate") == "always"
-    ):
+    if _fcfs_order_applies(result):
         _check_fcfs_no_overtaking(result)
 
 
 def _promises_apply(result: SimulationResult) -> bool:
-    """Promises are hard guarantees only for EASY backfill under FCFS
-    order (later arrivals cannot overtake), bounded runtimes (estimates
-    are upper bounds), memory-aware reservations (a memory-blind shadow
-    is exactly the promise the paper shows being broken), and no start
-    gate (a gate may deliberately hold a job past its promised start).
+    """Applicability lives in :mod:`repro.audit.policy` (shared with
+    the deep validator); imported lazily to keep package init acyclic."""
+    from ..audit.policy import promises_apply
 
-    Conservative backfill here is *recompute-style* — the reservation
-    schedule is rebuilt every cycle, and greedy earliest-start
-    schedules are not monotone under early completions (a
-    higher-priority job shifting earlier can legitimately push a
-    lower-priority reservation later), so its promises are advisory.
-    """
-    return (
-        result.scheduler_info.get("backfill") == "easy"
-        and result.scheduler_info.get("queue") == "fcfs"
-        and result.scheduler_info.get("kill") != "none"
-        and result.scheduler_info.get("memory_aware") != "false"
-        and result.scheduler_info.get("gate") == "always"
-        # A node failure can legally delay a promised start (the shadow
-        # was computed on capacity that then died).
-        and not result.failures
+    return promises_apply(
+        result.scheduler_info, has_failures=bool(result.failures)
     )
+
+
+def _fcfs_order_applies(result: SimulationResult) -> bool:
+    from ..audit.policy import fcfs_order_applies
+
+    return fcfs_order_applies(result.scheduler_info)
 
 
 # ----------------------------------------------------------------------

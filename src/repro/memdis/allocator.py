@@ -153,7 +153,11 @@ class HybridAllocator(PoolAllocator):
             if pool is None:
                 overflow += need
                 continue
-            free = self._free(cluster, pool.pool_id, free_override)
+            # A free_override from the reservation sweep can be
+            # negative (the pool is hypothetically over-committed at
+            # that instant); an unclamped take would then *inflate*
+            # the global overflow past the actual demand.
+            free = max(0, self._free(cluster, pool.pool_id, free_override))
             take = min(need, free)
             if take > 0:
                 grants[pool.pool_id] = grants.get(pool.pool_id, 0) + take

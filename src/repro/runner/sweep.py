@@ -45,12 +45,15 @@ def default_workers(fallback: int = 1) -> int:
     return int(os.environ.get("REPRO_SWEEP_WORKERS", str(fallback)))
 
 
-def run_scenario(scenario: Scenario) -> Dict[str, Any]:
+def run_scenario(scenario: Scenario, deep_audit: bool = False) -> Dict[str, Any]:
     """Execute one scenario and return its JSON-able summary record.
 
     The record deliberately contains no wall-clock timing or host
     details, so records are bitwise-comparable across runs, worker
-    counts, and cache round-trips.
+    counts, and cache round-trips.  ``deep_audit`` additionally runs
+    the full invariant validator on the raw result and attaches its
+    report under an ``"audit"`` key; the key never enters the result
+    cache, so audited and unaudited sweeps share cache entries.
     """
     spec = scenario.build_cluster_spec()
     jobs = scenario.build_jobs()
@@ -59,7 +62,7 @@ def run_scenario(scenario: Scenario) -> Dict[str, Any]:
         # Directly-constructed Scenario objects may carry the "512GiB"
         # string form; from_dict normalizes, this covers the rest.
         class_local_mem = parse_mem(class_local_mem)
-    _result, summary = run_config(
+    result, summary = run_config(
         spec,
         jobs,
         label=scenario.name or spec.name,
@@ -68,20 +71,27 @@ def run_scenario(scenario: Scenario) -> Dict[str, Any]:
         class_local_mem=class_local_mem,
         **scenario.scheduler,
     )
-    return {
+    record = {
         "key": scenario.key(),
         "name": scenario.name,
         "coords": dict(scenario.coords),
         "seed": scenario.effective_seed(),
         "summary": asdict(summary),
     }
+    if deep_audit:
+        from ..audit import deep_audit as run_deep_audit
+
+        record["audit"] = run_deep_audit(result).to_dict()
+    return record
 
 
-def _execute_indexed(item: Tuple[int, Scenario]) -> Tuple[int, Dict[str, Any], float]:
+def _execute_indexed(
+    item: Tuple[int, Scenario, bool]
+) -> Tuple[int, Dict[str, Any], float]:
     """Worker entry point: run one cell, keep its grid position."""
-    index, scenario = item
+    index, scenario, deep_audit = item
     start = time.perf_counter()
-    record = run_scenario(scenario)
+    record = run_scenario(scenario, deep_audit=deep_audit)
     return index, record, time.perf_counter() - start
 
 
@@ -151,6 +161,12 @@ class SweepRunner:
     progress:
         Optional callable receiving one human-readable line per
         completed cell (and per cache hit).
+    deep_audit:
+        Run the full invariant validator on every *executed* cell and
+        attach its report to the record (cache hits were validated when
+        first executed and carry no report — the ``"audit"`` key is
+        stripped before a record enters the cache, keeping cache
+        entries and the default sweep output byte-identical).
     """
 
     def __init__(
@@ -158,12 +174,14 @@ class SweepRunner:
         workers: int = 1,
         cache_dir: Optional[str | Path] = None,
         progress: Optional[ProgressFn] = None,
+        deep_audit: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
+        self.deep_audit = deep_audit
 
     # ------------------------------------------------------------------
     def run(self, grid: Union[ScenarioGrid, Sequence[Scenario]]) -> SweepReport:
@@ -178,7 +196,7 @@ class SweepRunner:
         start = time.perf_counter()
 
         records: List[Optional[Dict[str, Any]]] = [None] * total
-        pending: List[Tuple[int, Scenario]] = []
+        pending: List[Tuple[int, Scenario, bool]] = []
         cached = 0
         for index, scenario in enumerate(scenarios):
             hit = self.cache.get(scenario.key()) if self.cache is not None else None
@@ -193,16 +211,19 @@ class SweepRunner:
                 cached += 1
                 self._report(cached, 0, total, scenario, "cached")
             else:
-                pending.append((index, scenario))
+                pending.append((index, scenario, self.deep_audit))
 
         executed = 0
         for index, record, cell_elapsed in self._execute(pending):
             records[index] = record
             executed += 1
             if self.cache is not None:
+                # The audit report describes one execution, not the
+                # scenario's physics; cache entries stay audit-free so
+                # cached reruns reproduce the pre-audit bytes exactly.
                 self.cache.put(
                     record["key"],
-                    record,
+                    {k: v for k, v in record.items() if k != "audit"},
                     scenario=scenarios[index].to_dict(),
                     elapsed=cell_elapsed,
                 )
@@ -297,7 +318,7 @@ class SweepRunner:
         return results
 
     # ------------------------------------------------------------------
-    def _execute(self, pending: List[Tuple[int, Scenario]]):
+    def _execute(self, pending: List[Tuple[int, Scenario, bool]]):
         """Yield ``(index, record, elapsed)`` for every pending cell."""
         if not pending:
             return

@@ -44,7 +44,34 @@ __all__ = [
     "Scheduler",
     "build_scheduler",
     "pool_pressure",
+    "BOUND_NONE",
+    "BOUND_GATE",
+    "BOUND_NODES",
+    "BOUND_POOL",
+    "BOUND_MACHINE",
+    "policy_hold_kind",
 ]
+
+#: Constraint-bound taxonomy shared by the service ``advise`` endpoint
+#: and the audit explanation layer (docs/AUDIT.md): the one vocabulary
+#: for "what is holding this job back".
+BOUND_NONE = "none"  # free nodes and pool capacity cover it right now
+BOUND_GATE = "gate"  # a start gate is deliberately holding it
+BOUND_NODES = "node-availability"  # waiting on busy nodes
+BOUND_POOL = "pool-capacity"  # nodes are free but remote memory is not
+BOUND_MACHINE = "machine-capacity"  # can never run here (reject)
+
+
+def policy_hold_kind(backfill_name: str) -> str:
+    """The scheduling-policy constraint that holds a *physically
+    startable* job: EASY holds it behind the head job's shadow window,
+    conservative behind earlier reservations, no-backfill behind
+    strict queue order."""
+    return {
+        "easy": "shadow-window",
+        "conservative": "reservation-order",
+        "none": "queue-order",
+    }.get(backfill_name, f"{backfill_name}-policy")
 
 
 class KillPolicy(str, enum.Enum):

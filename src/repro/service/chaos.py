@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..audit import deep_audit
 from ..config import ExperimentConfig
 from ..engine.audit import audit_result
 from ..engine.simulation import SchedulerSimulation
@@ -73,6 +74,7 @@ def _offline_records(
     )
     result = engine.run()
     audit_result(result)
+    deep_audit(result).raise_if_failed()
     return {
         job.job_id: job_to_record(job, result.promises.get(job.job_id))
         for job in result.jobs
@@ -164,12 +166,20 @@ def _one_crash_run(
             record["job_id"]: record
             for record in service.jobs()["jobs"]
         }
-        audit_result(service.engine.online_result())
+        recovered = service.engine.online_result()
+        audit_result(recovered)
+        # The extended validator recomputes occupancy from scratch; a
+        # recovered schedule must survive it, not just the legacy
+        # first-failure auditor.
+        recovered_report = deep_audit(recovered)
         dedup_hits = service.counters.dedup_hits
     finally:
         service.stop()
 
     problems = compare_records(live, _offline_records(config, jobs))
+    problems.extend(
+        f"deep-audit: {violation}" for violation in recovered_report.errors
+    )
     return {
         "seed": seed,
         "jobs": len(jobs),

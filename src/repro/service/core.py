@@ -49,7 +49,15 @@ from ..cluster.spec import ClusterSpec
 from ..config import ExperimentConfig
 from ..engine.simulation import SchedulerSimulation
 from ..errors import ConfigurationError, ReproError
-from ..sched.base import Scheduler, SchedulerContext
+from ..sched.base import (
+    BOUND_GATE,
+    BOUND_MACHINE,
+    BOUND_NODES,
+    BOUND_NONE,
+    BOUND_POOL,
+    Scheduler,
+    SchedulerContext,
+)
 from ..workload.job import Job
 from .journal import StateStore, config_fingerprint
 from .protocol import (
@@ -1060,7 +1068,7 @@ class SchedulerService:
             return {
                 **base,
                 "verdict": "reject",
-                "bound": "machine-capacity",
+                "bound": BOUND_MACHINE,
                 "detail": "the request exceeds empty-machine capacity "
                 "(nodes, or remote demand beyond total pool reach)",
             }
@@ -1090,22 +1098,22 @@ class SchedulerService:
                 return {
                     **base,
                     "verdict": "start_now",
-                    "bound": "none",
+                    "bound": BOUND_NONE,
                     "placement": placement,
                 }
             return {
                 **base,
                 "verdict": "wait",
-                "bound": "gate",
+                "bound": BOUND_GATE,
                 "detail": f"start gate {sched.gate.name!r} is holding the job",
                 "placement": placement,
             }
         # No immediate fit: estimate the earliest physically possible
         # start against the running set's conservative duration bounds.
         bound = (
-            "node-availability"
+            BOUND_NODES
             if job.nodes > cluster.free_node_count
-            else "pool-capacity"
+            else BOUND_POOL
         )
         profile = sched.build_profile(ctx)
         duration = sched.est_duration(job, cluster, split)
@@ -1118,7 +1126,7 @@ class SchedulerService:
             memory_aware=getattr(sched.backfill, "memory_aware", True),
         )
         if reservation is None:  # pragma: no cover - fits_machine passed
-            return {**base, "verdict": "reject", "bound": "machine-capacity"}
+            return {**base, "verdict": "reject", "bound": BOUND_MACHINE}
         return {
             **base,
             "verdict": "wait",

@@ -1,0 +1,218 @@
+"""Differential checks for the per-job explanation layer.
+
+Three independent witnesses must agree on *why* a job started when it
+did:
+
+1. the service ``advise`` endpoint, asked at the job's submit instant
+   (pre-admission, against the live running set);
+2. :func:`repro.audit.explain_schedule`'s post-hoc replay
+   (``at_submit`` reproduces the advise taxonomy from the result
+   record alone);
+3. a brute-force interval recomputation of physical feasibility at
+   the explanation's claimed blocking and unblocking instants.
+
+The advise/explain comparison is exact only when no *other* job
+starts or ends at the queried job's submit instant (advise sees the
+pre-submit world; the replay grid applies all same-instant events),
+so coinciding jobs are skipped — with strictly increasing distinct
+submit times this exclusion is rare and principled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import deep_audit, explain_schedule
+from repro.audit.explain import explain_job
+from repro.cluster import Cluster, ClusterSpec
+from repro.config import ExperimentConfig
+from repro.engine import SchedulerSimulation
+from repro.sched.base import (
+    BOUND_MACHINE,
+    BOUND_NODES,
+    BOUND_POOL,
+    build_scheduler,
+)
+from repro.service.core import SchedulerService, ServiceConfig
+from repro.service.protocol import job_to_request_spec
+from repro.units import GiB
+from repro.workload.reference import generate_reference_jobs
+
+_EPS = 1e-6
+
+
+def _spec() -> ClusterSpec:
+    return ClusterSpec.thin_node(
+        num_nodes=8,
+        local_mem="128GiB",
+        fat_local_mem="512GiB",
+        pool_fraction=0.5,
+        reach="global",
+        name="EXPLAIN-8",
+    )
+
+
+def _jobs(seed: int, num_jobs: int = 30):
+    jobs = generate_reference_jobs(
+        "W-MIX", seed, num_jobs=num_jobs, cluster_nodes=8
+    )
+    # Strictly increasing, well-separated submits: the advise/explain
+    # equivalence is exact only away from submit-instant coincidences.
+    jobs.sort(key=lambda job: (job.submit_time, job.job_id))
+    last = -1.0
+    for job in jobs:
+        if job.submit_time <= last + 0.5:
+            job.submit_time = last + 0.5
+        last = job.submit_time
+    return jobs
+
+
+def _replay_through_service(spec, jobs, scheduler):
+    experiment = ExperimentConfig(
+        name="explain-differential", cluster=spec, scheduler=scheduler
+    )
+    service = SchedulerService.open(
+        experiment, ServiceConfig(mode="replay")
+    ).start()
+    advice = {}
+    try:
+        for job in jobs:
+            service.advance(job.submit_time)
+            request = job_to_request_spec(job)
+            advice[job.job_id] = service.advise(request)
+            service.submit([request])
+        service.advance(None)
+        result = service.engine.online_result()
+    finally:
+        service.stop()
+    return advice, result
+
+
+def _coinciding(result, job):
+    """True when any other job starts or ends at this job's submit."""
+    t = job.submit_time
+    for other in result.finished:
+        if other.job_id == job.job_id:
+            continue
+        for edge in (other.start_time, other.end_time):
+            if edge is not None and abs(edge - t) <= 1e-3:
+                return True
+    return False
+
+
+@pytest.mark.parametrize("seed", [2, 9])
+@pytest.mark.parametrize("backfill", ["easy", "conservative"])
+def test_explain_agrees_with_advise(seed, backfill):
+    spec = _spec()
+    jobs = _jobs(seed)
+    scheduler = {"queue": "fcfs", "backfill": backfill,
+                 "penalty": {"kind": "linear", "beta": 0.3}}
+    advice, result = _replay_through_service(spec, jobs, scheduler)
+    assert deep_audit(result).ok
+    explanations = explain_schedule(result)
+    compared = 0
+    for job in result.jobs:
+        explanation = explanations[job.job_id]
+        if explanation.at_submit is None:  # cancelled: advise-incomparable
+            continue
+        if _coinciding(result, job):
+            continue
+        assert advice[job.job_id]["bound"] == explanation.at_submit, (
+            f"job {job.job_id}: advise said {advice[job.job_id]['bound']!r} "
+            f"at t={job.submit_time}, explain replay says "
+            f"{explanation.at_submit!r}"
+        )
+        compared += 1
+    # The skip rule must not hollow the test out.
+    assert compared >= len(jobs) * 2 // 3
+
+
+def test_rejected_job_is_machine_capacity_everywhere():
+    spec = _spec()
+    jobs = _jobs(4, num_jobs=12)
+    # Wider than the machine: rejected at submit by fits_machine.
+    reject = generate_reference_jobs("W-MIX", 4, num_jobs=1, cluster_nodes=8)[0]
+    reject.job_id = 9000
+    reject.nodes = 9
+    reject.submit_time = jobs[-1].submit_time + 10.0
+    jobs.append(reject)
+    scheduler = {"queue": "fcfs", "backfill": "easy"}
+    advice, result = _replay_through_service(spec, jobs, scheduler)
+    assert advice[9000]["verdict"] == "reject"
+    assert advice[9000]["bound"] == BOUND_MACHINE
+    explanation = explain_job(result, 9000)
+    assert explanation.state == "rejected"
+    assert explanation.at_submit == BOUND_MACHINE
+    assert explanation.binding == BOUND_MACHINE
+
+
+# ----------------------------------------------------------------------
+# brute-force physical cross-check
+# ----------------------------------------------------------------------
+def _physical_state(result, t, exclude_job_id):
+    """(free node count, free global pool MiB) at instant ``t`` with the
+    replay-grid semantics: releases at t applied, starts at t applied,
+    the probed job's own execution excluded."""
+    spec = result.cluster_spec
+    free = set(range(spec.num_nodes))
+    pool_free = spec.pool.global_pool
+    for job in result.finished:
+        if job.job_id == exclude_job_id:
+            continue
+        if job.start_time <= t + _EPS and job.end_time > t + _EPS:
+            free -= set(job.assigned_nodes)
+            pool_free -= sum(job.pool_grants.values())
+    return len(free), pool_free
+
+
+@pytest.mark.parametrize("seed", [2, 9, 17])
+def test_blocking_claims_survive_brute_force(seed):
+    result = SchedulerSimulation(
+        Cluster(_spec()),
+        build_scheduler(penalty={"kind": "linear", "beta": 0.3}),
+        _jobs(seed, num_jobs=45),
+    ).run()
+    assert deep_audit(result).ok
+    explanations = explain_schedule(result)
+    checked = 0
+    for job in result.finished:
+        explanation = explanations[job.job_id]
+        if explanation.binding not in (BOUND_NODES, BOUND_POOL):
+            continue
+        assert explanation.blocked_until is not None
+        remote_total = job.remote_per_node * job.nodes
+        free_count, pool_free = _physical_state(
+            result, explanation.blocked_until, job.job_id
+        )
+        if explanation.binding == BOUND_NODES:
+            assert free_count < job.nodes, (
+                f"job {job.job_id} claimed node-blocked at "
+                f"t={explanation.blocked_until} but {free_count} nodes free"
+            )
+        else:
+            assert free_count >= job.nodes
+            assert pool_free < remote_total, (
+                f"job {job.job_id} claimed pool-blocked at "
+                f"t={explanation.blocked_until} but {pool_free} MiB free "
+                f"for a {remote_total} MiB demand"
+            )
+        # And at the claimed unblocking breakpoint it physically fits.
+        bp = explanation.bounding_breakpoint
+        assert bp is not None
+        free_count, pool_free = _physical_state(result, bp, job.job_id)
+        assert free_count >= job.nodes
+        assert pool_free >= remote_total
+        checked += 1
+    assert checked > 0, "scenario produced no physically-blocked waiters"
+
+
+def test_explanations_serialize_and_describe():
+    result = SchedulerSimulation(
+        Cluster(_spec()), build_scheduler(), _jobs(5, num_jobs=15)
+    ).run()
+    import json
+
+    for explanation in explain_schedule(result).values():
+        json.dumps(explanation.to_dict())
+        text = explanation.describe()
+        assert f"job {explanation.job_id}" in text

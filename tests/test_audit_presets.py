@@ -1,0 +1,116 @@
+"""Regression pins and fuzzing for the preset scenario library.
+
+Every preset runs (quick-sized) under EASY and conservative backfill
+with two independent anchors:
+
+* a **pinned golden digest** of the complete schedule record — the
+  preset library is itself regression surface; a silent decision
+  change inside any preset would quietly erode what the audit gate
+  proves (``tools/gen_golden.py --only audit_presets`` re-baselines);
+* a **deep-audit-clean** assertion — the acceptance criterion the CI
+  ``audit-presets`` job re-proves at full size.
+
+The hypothesis pass then perturbs preset *parameters* (seeds, sizes,
+failure cadence) with the deep validator as the only oracle: whatever
+schedule falls out, every invariant must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.audit import deep_audit
+from repro.audit.presets import PRESET_NAMES, preset_params, run_preset
+
+from ._golden import assert_matches_golden
+
+GOLDEN = "audit_presets"
+
+BACKFILLS = ("easy", "conservative")
+
+
+def _case(name: str, backfill: str):
+    token = f"{name}-{backfill}"
+
+    def run():
+        return run_preset(name, backfill=backfill, quick=True)
+
+    return token, run
+
+
+def golden_cases():
+    """Every case in this suite, for tools/gen_golden.py."""
+    for name in PRESET_NAMES:
+        for backfill in BACKFILLS:
+            yield _case(name, backfill)
+
+
+@pytest.mark.parametrize("backfill", BACKFILLS)
+@pytest.mark.parametrize("name", PRESET_NAMES)
+def test_preset_schedule_matches_golden(name, backfill):
+    token, run = _case(name, backfill)
+    result = run()
+    assert_matches_golden(GOLDEN, token, result)
+    report = deep_audit(result)
+    assert report.ok, [str(v) for v in report.errors]
+
+
+def test_preset_params_are_validated():
+    with pytest.raises(KeyError):
+        run_preset("no-such-preset")
+    with pytest.raises(KeyError):
+        preset_params("pool-cliff", params={"bogus_knob": 1})
+    merged = preset_params("pool-cliff", quick=True, params={"seed": 99})
+    assert merged["seed"] == 99
+    assert merged["num_jobs"] < preset_params("pool-cliff")["num_jobs"]
+
+
+# ----------------------------------------------------------------------
+# parameter fuzzing: the auditor is the only oracle
+# ----------------------------------------------------------------------
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_jobs=st.integers(min_value=10, max_value=60),
+    backfill=st.sampled_from(BACKFILLS),
+)
+def test_fuzzed_pool_cliff_always_audits_clean(seed, num_jobs, backfill):
+    result = run_preset(
+        "pool-cliff", backfill=backfill, quick=True,
+        params={"seed": seed, "num_jobs": num_jobs},
+    )
+    report = deep_audit(result)
+    assert report.ok, [str(v) for v in report.errors]
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    mtbf=st.floats(min_value=5_000.0, max_value=80_000.0),
+    mean_repair=st.floats(min_value=500.0, max_value=10_000.0),
+)
+def test_fuzzed_drain_storm_always_audits_clean(seed, mtbf, mean_repair):
+    result = run_preset(
+        "drain-storm", quick=True,
+        params={"seed": seed, "num_jobs": 40, "mtbf": mtbf,
+                "mean_repair": mean_repair},
+    )
+    report = deep_audit(result)
+    assert report.ok, [str(v) for v in report.errors]
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    cancel_fraction=st.floats(min_value=0.0, max_value=0.6),
+    backfill=st.sampled_from(BACKFILLS),
+)
+def test_fuzzed_cancel_races_always_audit_clean(seed, cancel_fraction, backfill):
+    result = run_preset(
+        "cancel-backfill", backfill=backfill, quick=True,
+        params={"seed": seed, "num_jobs": 40,
+                "cancel_fraction": cancel_fraction},
+    )
+    report = deep_audit(result)
+    assert report.ok, [str(v) for v in report.errors]

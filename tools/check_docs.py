@@ -33,7 +33,7 @@ REPO = Path(__file__).resolve().parent.parent
 LINKED_DOCS = ("README.md", "docs", "benchmarks/perf/README.md")
 
 #: Python trees whose modules must carry docstrings.
-DOCSTRING_TREES = ("src/repro/sched", "src/repro/service")
+DOCSTRING_TREES = ("src/repro/sched", "src/repro/service", "src/repro/audit")
 
 # [text](target) — good enough for the hand-written markdown here;
 # skips images' alt-text edge cases by accepting them identically.

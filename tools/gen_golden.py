@@ -38,6 +38,7 @@ SUITES = {
     "conservative_equivalence": "tests.test_conservative_equivalence",
     "pool_skew": "tests.test_pool_skew",
     "plan_cache_skew": "tests.test_plan_cache_skew",
+    "audit_presets": "tests.test_audit_presets",
 }
 
 
